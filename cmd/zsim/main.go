@@ -1,0 +1,94 @@
+// Command zsim runs one configuration-driven simulation: it loads a system
+// description (JSON) or one of the built-in presets, attaches a named
+// workload, runs the bound-weave simulation and prints the results and,
+// optionally, the full statistics tree.
+//
+// Examples:
+//
+//	zsim -preset westmere -workload mcf -threads 1
+//	zsim -preset tiled -tiles 16 -workload fluidanimate -threads 256 -stats
+//	zsim -config mychip.json -workload stream -threads 8 -max-instrs 50000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"zsim"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "JSON system configuration file (overrides -preset)")
+		preset     = flag.String("preset", "westmere", "built-in preset: westmere, tiled, small")
+		tiles      = flag.Int("tiles", 4, "number of 16-core tiles for the tiled preset")
+		coreModel  = flag.String("cores", "ooo", "core model for the tiled preset: ooo or ipc1")
+		workload   = flag.String("workload", "blackscholes", "named workload (see -list)")
+		threads    = flag.Int("threads", 1, "software threads of the workload")
+		maxInstrs  = flag.Uint64("max-instrs", 0, "stop after this many simulated instructions (0 = run to completion)")
+		hostThr    = flag.Int("host-threads", 0, "host worker threads (0 = all CPUs)")
+		blocks     = flag.Int("blocks", 0, "override the workload's per-thread basic-block budget")
+		statsDump  = flag.Bool("stats", false, "dump the full statistics tree after the run")
+		list       = flag.Bool("list", false, "list the registered workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range zsim.NamedWorkloads() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	cfg, err := loadConfig(*configPath, *preset, *tiles, *coreModel)
+	if err != nil {
+		fatal(err)
+	}
+	sim, err := zsim.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	params, ok := zsim.LookupWorkload(*workload)
+	if !ok {
+		fatal(fmt.Errorf("unknown workload %q (use -list)", *workload))
+	}
+	if *blocks > 0 {
+		params.BlocksPerThread = *blocks
+	}
+	sim.AddWorkload(*workload, params, *threads)
+	sim.SetMaxInstructions(*maxInstrs)
+	sim.SetHostThreads(*hostThr)
+
+	res, err := sim.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(res.Summary())
+	if *statsDump {
+		if err := sim.WriteStats(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func loadConfig(path, preset string, tiles int, coreModel string) (*zsim.Config, error) {
+	if path != "" {
+		return zsim.LoadConfigFile(path)
+	}
+	switch preset {
+	case "westmere":
+		return zsim.WestmereConfig(), nil
+	case "tiled":
+		return zsim.TiledConfig(tiles, coreModel), nil
+	case "small":
+		return zsim.SmallConfig(), nil
+	default:
+		return nil, fmt.Errorf("unknown preset %q", preset)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "zsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Command zsimexp regenerates the tables and figures of the paper's
+// evaluation section. Each experiment prints the same rows or series the
+// paper reports; EXPERIMENTS.md records a full run.
+//
+// Usage:
+//
+//	zsimexp [-scale 1.0] [-max-cores 1024] [-host-threads N] <experiment>
+//
+// Experiments: table2, table3, fig2, fig5, fig6perf, fig6speedup, fig6stream,
+// table4, fig7, fig8, fig9, intervals, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"zsim/internal/harness"
+)
+
+func main() {
+	var (
+		scale    = flag.Float64("scale", 0.25, "instruction-budget scale factor (1.0 = full EXPERIMENTS.md sizes)")
+		maxCores = flag.Int("max-cores", 1024, "cap on the simulated core count for the large-chip experiments")
+		hostThr  = flag.Int("host-threads", 0, "host worker threads (0 = all CPUs)")
+		quiet    = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: zsimexp [flags] <table2|table3|fig2|fig5|fig6perf|fig6speedup|fig6stream|table4|fig7|fig8|fig9|intervals|all>")
+		os.Exit(2)
+	}
+	opts := harness.Options{Scale: *scale, MaxCores: *maxCores, HostThreads: *hostThr}
+	if !*quiet {
+		opts.Log = os.Stderr
+	}
+
+	if err := run(flag.Arg(0), opts); err != nil {
+		fmt.Fprintln(os.Stderr, "zsimexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, opts harness.Options) error {
+	type formatter interface{ Format() string }
+	emit := func(r formatter, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+		return nil
+	}
+	switch name {
+	case "table2":
+		fmt.Println(harness.Table2())
+	case "table3":
+		fmt.Println(harness.Table3(64))
+	case "fig2":
+		return emit(harness.Figure2(opts))
+	case "fig5":
+		return emit(harness.Figure5(opts))
+	case "fig6perf":
+		return emit(harness.Figure6Perf(opts))
+	case "fig6speedup":
+		return emit(harness.Figure6Speedup(opts))
+	case "fig6stream":
+		return emit(harness.Figure6Stream(opts))
+	case "table4":
+		return emit(harness.Table4(opts))
+	case "fig7":
+		return emit(harness.Figure7(opts))
+	case "fig8":
+		return emit(harness.Figure8(opts, ""))
+	case "fig9":
+		return emit(harness.Figure9(opts))
+	case "intervals":
+		return emit(harness.IntervalSensitivity(opts, ""))
+	case "all":
+		fmt.Println(harness.Table2())
+		fmt.Println(harness.Table3(64))
+		for _, exp := range []string{"fig2", "fig5", "fig6perf", "fig6speedup", "fig6stream", "table4", "fig7", "fig8", "fig9", "intervals"} {
+			if err := run(exp, opts); err != nil {
+				return fmt.Errorf("%s: %w", exp, err)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

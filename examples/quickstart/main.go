@@ -1,0 +1,42 @@
+// Quickstart: simulate a PARSEC-like multithreaded workload on the validated
+// 6-core Westmere-class configuration and print the headline results.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zsim"
+)
+
+func main() {
+	// The Table 2 configuration from the paper: 6 OOO cores, 32KB L1s, 256KB
+	// private L2s, a 12MB 6-bank shared L3 and one DDR3-1333 memory channel.
+	cfg := zsim.WestmereConfig()
+
+	sim, err := zsim.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run the blackscholes-like workload with 6 threads. Named workloads are
+	// deterministic synthetic program models tuned to match the behavioural
+	// envelope of the paper's benchmarks.
+	if _, err := sim.AddNamedWorkload("blackscholes", 6); err != nil {
+		log.Fatal(err)
+	}
+	sim.SetMaxInstructions(2_000_000)
+
+	res, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== quickstart ==")
+	fmt.Println(res.Summary())
+	fmt.Printf("aggregate IPC: %.2f   L3 MPKI: %.2f   simulation speed: %.1f MIPS\n",
+		res.Metrics.IPC, res.Metrics.L3MPKI, res.Metrics.SimMIPS)
+}

@@ -1,0 +1,163 @@
+package baseline
+
+import (
+	"testing"
+
+	"zsim/internal/config"
+	"zsim/internal/core"
+	"zsim/internal/isa"
+	"zsim/internal/stats"
+	"zsim/internal/trace"
+)
+
+func testCfg() *config.System {
+	cfg := config.SmallTest()
+	cfg.NumCores = 4
+	return cfg
+}
+
+func testWorkload(threads, blocks int) *trace.Workload {
+	p := trace.DefaultParams()
+	p.BlocksPerThread = blocks
+	p.ScaleWork = false
+	return trace.New("baseline-test", p, threads)
+}
+
+func TestRunGoldenSingleThread(t *testing.T) {
+	res, err := RunGolden(testCfg(), testWorkload(1, 500), 0)
+	if err != nil {
+		t.Fatalf("RunGolden: %v", err)
+	}
+	m := res.Metrics
+	if m.Instrs == 0 || m.Cycles == 0 {
+		t.Fatalf("golden run should execute work: %+v", m)
+	}
+	if m.IPC <= 0 || m.IPC > 4 {
+		t.Fatalf("implausible golden IPC: %f", m.IPC)
+	}
+	if m.Model == "" || m.Workload == "" {
+		t.Fatalf("metrics should be labelled")
+	}
+}
+
+func TestRunGoldenMultithreadedWithSync(t *testing.T) {
+	p := trace.DefaultParams()
+	p.BlocksPerThread = 400
+	p.LockEvery = 30
+	p.LockHoldBlocks = 2
+	p.BarrierEvery = 100
+	p.SerialFraction = 0.1
+	w := trace.New("sync-heavy", p, 4)
+	res, err := RunGolden(testCfg(), w, 0)
+	if err != nil {
+		t.Fatalf("RunGolden: %v", err)
+	}
+	if res.Metrics.Instrs == 0 {
+		t.Fatalf("multithreaded golden run should finish")
+	}
+	// All four cores should have executed something.
+	if res.Metrics.Cores != 4 {
+		t.Fatalf("expected 4 cores in metrics")
+	}
+}
+
+func TestRunGoldenMaxInstrs(t *testing.T) {
+	res, err := RunGolden(testCfg(), testWorkload(2, 100000), 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Instrs < 20000 || res.Metrics.Instrs > 80000 {
+		t.Fatalf("golden run should stop near the instruction bound, got %d", res.Metrics.Instrs)
+	}
+}
+
+func TestGoldenParallelSpeedupShape(t *testing.T) {
+	// The golden reference must also show parallel speedup for a scalable
+	// workload (it is the "real machine" for the Figure 6 speedup curves).
+	run := func(threads int) uint64 {
+		p := trace.DefaultParams()
+		p.BlocksPerThread = 2400
+		p.ScaleWork = true
+		p.SerialFraction = 0.05
+		w := trace.New("scaling", p, threads)
+		res, err := RunGolden(testCfg(), w, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Metrics.Cycles
+	}
+	one := run(1)
+	four := run(4)
+	if float64(one)/float64(four) < 1.8 {
+		t.Fatalf("golden model should show parallel speedup: 1t=%d 4t=%d", one, four)
+	}
+}
+
+func TestRunLax(t *testing.T) {
+	cfg := testCfg()
+	cfg.MemModel = config.MemMD1
+	m, err := RunLax(cfg, testWorkload(4, 400), 0)
+	if err != nil {
+		t.Fatalf("RunLax: %v", err)
+	}
+	if m.Instrs == 0 {
+		t.Fatalf("lax run should execute work")
+	}
+	if m.Model != "lax-md1" {
+		t.Fatalf("model label: %s", m.Model)
+	}
+	// Bounded run.
+	m2, err := RunLax(cfg, testWorkload(4, 1000000), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Instrs == 0 {
+		t.Fatalf("bounded lax run should do some work")
+	}
+}
+
+func TestRunLockstep(t *testing.T) {
+	m, err := RunLockstep(testCfg(), testWorkload(4, 300), 10, 0)
+	if err != nil {
+		t.Fatalf("RunLockstep: %v", err)
+	}
+	if m.Instrs == 0 || m.Model != "lockstep-pdes" {
+		t.Fatalf("lockstep run broken: %+v", m)
+	}
+	// Default quantum.
+	if _, err := RunLockstep(testCfg(), testWorkload(2, 100), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselineRejectsBadConfig(t *testing.T) {
+	bad := &config.System{}
+	if _, err := RunGolden(bad, testWorkload(1, 10), 0); err == nil {
+		t.Fatalf("golden should reject invalid configs")
+	}
+	if _, err := RunLax(bad, testWorkload(1, 10), 0); err == nil {
+		t.Fatalf("lax should reject invalid configs")
+	}
+	if _, err := RunLockstep(bad, testWorkload(1, 10), 1, 0); err == nil {
+		t.Fatalf("lockstep should reject invalid configs")
+	}
+}
+
+func TestEmulationCoreRedecodes(t *testing.T) {
+	reg := stats.NewRegistry("emu")
+	inner := core.NewIPC1(0, core.MemPorts{}, reg)
+	emu := &EmulationCore{Inner: inner}
+	b := &isa.BasicBlock{ID: 1, Addr: 0x400000, Instrs: []isa.Instruction{
+		{Op: isa.OpAdd, Dst: isa.RAX, Src1: isa.RAX, Src2: isa.RBX, Bytes: 3},
+		{Op: isa.OpJcc, Bytes: 2},
+	}}
+	for i := 0; i < 10; i++ {
+		emu.SimulateStaticBlock(b, nil, true)
+	}
+	if emu.Redecodes != 10 {
+		t.Fatalf("emulation core should re-decode every dynamic block, got %d", emu.Redecodes)
+	}
+	if inner.Instrs() != 20 {
+		t.Fatalf("inner core should have simulated the blocks")
+	}
+}

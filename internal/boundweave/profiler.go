@@ -1,0 +1,104 @@
+package boundweave
+
+import "sync"
+
+// InterferenceProfiler measures the fraction of memory accesses that suffer
+// path-altering interference for a given reordering window (interval length),
+// reproducing the characterization of Figure 2. Two accesses interfere in a
+// path-altering way when they touch the same cache line within the same
+// interval, come from different cores, and at least one of them is a write
+// (two read hits to the same line are explicitly excluded by the paper's
+// definition). Eviction-induced interference is not counted here; the paper
+// reports it is negligible for realistic associativities.
+//
+// The profiler is installed as a cache.AccessObserver on every core, so it
+// sees the access stream before the hierarchy reorders anything. It is safe
+// for concurrent use by all bound-phase worker threads.
+type InterferenceProfiler struct {
+	intervalLen uint64
+
+	mu sync.Mutex
+	// lines maps line -> per-interval access summary. Entries are reset
+	// lazily whenever an access from a newer interval arrives.
+	lines map[uint64]*lineInfo
+
+	Total       uint64
+	Interfering uint64
+	// WriteShared counts interfering accesses that involved a write to a
+	// shared line (the dominant class in the paper's characterization).
+	WriteShared uint64
+}
+
+type lineInfo struct {
+	interval  uint64
+	firstCore int
+	multiCore bool
+	anyWrite  bool
+}
+
+// NewInterferenceProfiler creates a profiler for the given interval length in
+// cycles (the paper sweeps 1K, 10K and 100K).
+func NewInterferenceProfiler(intervalLen uint64) *InterferenceProfiler {
+	if intervalLen == 0 {
+		intervalLen = 1000
+	}
+	return &InterferenceProfiler{
+		intervalLen: intervalLen,
+		lines:       make(map[uint64]*lineInfo),
+	}
+}
+
+// ObserveAccess implements cache.AccessObserver.
+func (p *InterferenceProfiler) ObserveAccess(lineAddr uint64, write bool, coreID int, cycle uint64) {
+	interval := cycle / p.intervalLen
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.Total++
+	li, ok := p.lines[lineAddr]
+	if !ok || li.interval != interval {
+		if !ok {
+			li = &lineInfo{}
+			p.lines[lineAddr] = li
+		}
+		li.interval = interval
+		li.firstCore = coreID
+		li.multiCore = false
+		li.anyWrite = write
+		return
+	}
+	// Same line, same interval.
+	sameCore := li.firstCore == coreID && !li.multiCore
+	if !sameCore {
+		li.multiCore = true
+	}
+	interferes := !sameCore && (write || li.anyWrite)
+	if write {
+		li.anyWrite = true
+	}
+	if interferes {
+		p.Interfering++
+		if write {
+			p.WriteShared++
+		}
+	}
+}
+
+// Fraction returns interfering accesses / total accesses.
+func (p *InterferenceProfiler) Fraction() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.Total == 0 {
+		return 0
+	}
+	return float64(p.Interfering) / float64(p.Total)
+}
+
+// Reset clears all counts and line state.
+func (p *InterferenceProfiler) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.lines = make(map[uint64]*lineInfo)
+	p.Total = 0
+	p.Interfering = 0
+	p.WriteShared = 0
+}

@@ -1,0 +1,190 @@
+package boundweave
+
+import (
+	"zsim/internal/cache"
+	"zsim/internal/event"
+	"zsim/internal/memctrl"
+)
+
+// accessRecord is one bound-phase memory access that left the private cache
+// levels: its zero-load issue cycle and the hops it performed.
+type accessRecord struct {
+	issueCycle uint64
+	hops       []cache.Hop
+}
+
+// Recorder is the per-core bound-phase trace: it receives every recorded
+// access from its core (via the core.AccessRecorder interface) and keeps the
+// ones that touch shared components (L3 banks, memory controllers), which are
+// the accesses the weave phase retimes. Each core has its own recorder and is
+// driven by one host thread, so no locking is needed.
+type Recorder struct {
+	coreID int
+	shared map[int]bool
+	recs   []accessRecord
+	// Dropped counts accesses that stayed within the private levels and were
+	// therefore not recorded (contention there is dominated by the core
+	// itself and is modeled in the bound phase).
+	Dropped uint64
+}
+
+// NewRecorder creates a recorder for one core. shared is the set of component
+// IDs whose events are weave-simulated.
+func NewRecorder(coreID int, shared map[int]bool) *Recorder {
+	return &Recorder{coreID: coreID, shared: shared}
+}
+
+// RecordAccess implements core.AccessRecorder.
+func (r *Recorder) RecordAccess(coreID int, issueCycle uint64, hops []cache.Hop) {
+	touchesShared := false
+	for _, h := range hops {
+		if r.shared[h.Comp] {
+			touchesShared = true
+			break
+		}
+	}
+	if !touchesShared {
+		r.Dropped++
+		return
+	}
+	// The hop slice is owned by the request that produced it and is not
+	// reused afterwards, so it can be retained without copying.
+	r.recs = append(r.recs, accessRecord{issueCycle: issueCycle, hops: hops})
+}
+
+// Len returns the number of recorded accesses in the current interval.
+func (r *Recorder) Len() int { return len(r.recs) }
+
+// Reset clears the interval's records (called after the weave phase).
+func (r *Recorder) Reset() { r.recs = r.recs[:0] }
+
+// BankModel is the weave-phase contention model for a pipelined L3 bank: a
+// single address port accepts one access per cycle, and a limited number of
+// MSHRs bounds outstanding misses (each miss holds an MSHR for roughly the
+// memory round trip). It is driven from exactly one weave domain, so it needs
+// no locking.
+type BankModel struct {
+	// Latency is the bank's zero-load access latency.
+	Latency uint32
+	// MSHRs bounds outstanding misses (0 = unlimited).
+	MSHRs int
+	// MissHoldCycles approximates how long a miss occupies an MSHR.
+	MissHoldCycles uint64
+
+	portFree uint64
+	mshrFree []uint64 // completion cycles of in-flight misses
+
+	// Stats.
+	Accesses      uint64
+	PortConflicts uint64
+	MSHRStalls    uint64
+}
+
+// NewBankModel creates a bank contention model.
+func NewBankModel(latency uint32, mshrs int, missHold uint64) *BankModel {
+	if missHold == 0 {
+		missHold = 120
+	}
+	return &BankModel{Latency: latency, MSHRs: mshrs, MissHoldCycles: missHold}
+}
+
+// Schedule returns the finish cycle of an access dispatched to the bank at
+// the given cycle. isMiss marks accesses that continue to memory and hold an
+// MSHR.
+func (b *BankModel) Schedule(dispatch uint64, isMiss bool) uint64 {
+	b.Accesses++
+	start := dispatch
+	if b.portFree > start {
+		b.PortConflicts++
+		start = b.portFree
+	}
+	// MSHR occupancy for misses.
+	if isMiss && b.MSHRs > 0 {
+		// Retire completed MSHRs.
+		live := b.mshrFree[:0]
+		for _, f := range b.mshrFree {
+			if f > start {
+				live = append(live, f)
+			}
+		}
+		b.mshrFree = live
+		if len(b.mshrFree) >= b.MSHRs {
+			// All MSHRs busy: wait for the earliest to free.
+			earliest := b.mshrFree[0]
+			for _, f := range b.mshrFree {
+				if f < earliest {
+					earliest = f
+				}
+			}
+			if earliest > start {
+				b.MSHRStalls++
+				start = earliest
+			}
+		}
+		b.mshrFree = append(b.mshrFree, start+b.MissHoldCycles)
+	}
+	b.portFree = start + 1 // pipelined: one new access per cycle
+	return start + uint64(b.Latency)
+}
+
+// Reset clears the model between runs.
+func (b *BankModel) Reset() {
+	b.portFree = 0
+	b.mshrFree = b.mshrFree[:0]
+}
+
+// weaveModels bundles the per-component contention models used by the weave
+// phase of one Simulator.
+type weaveModels struct {
+	banks map[int]*BankModel              // by component ID
+	mems  map[int]memctrl.ContentionModel // by component ID
+}
+
+// buildChain converts one recorded access into a weave event chain and
+// returns the chain's response event (at the core), whose finish-vs-bound
+// difference is the access's contention delay. Events are allocated from the
+// given slab.
+func buildChain(slab *event.Slab, rec accessRecord, coreComp int, models *weaveModels) *event.Event {
+	// Root: the core issues the request at its bound-phase cycle.
+	root := slab.Alloc()
+	root.Comp = coreComp
+	root.MinCycle = rec.issueCycle
+
+	prev := root
+	var lastZeroLoadDone uint64 = rec.issueCycle
+	for _, h := range rec.hops {
+		if bank, ok := models.banks[h.Comp]; ok {
+			ev := slab.Alloc()
+			ev.Comp = h.Comp
+			ev.MinCycle = h.Cycle
+			isMiss := h.Kind == cache.HopMiss
+			ev.Exec = func(dispatch uint64) uint64 { return bank.Schedule(dispatch, isMiss) }
+			prev.AddChild(ev)
+			prev = ev
+			lastZeroLoadDone = h.Cycle + uint64(h.Latency)
+			continue
+		}
+		if mem, ok := models.mems[h.Comp]; ok {
+			ev := slab.Alloc()
+			ev.Comp = h.Comp
+			ev.MinCycle = h.Cycle
+			line := h.Line
+			write := h.Kind == cache.HopWB
+			ev.Exec = func(dispatch uint64) uint64 { return dispatch + mem.RequestLatency(line, dispatch, write) }
+			prev.AddChild(ev)
+			prev = ev
+			lastZeroLoadDone = h.Cycle + uint64(h.Latency)
+			continue
+		}
+		// Private-level hops contribute only their zero-load time.
+		lastZeroLoadDone = h.Cycle + uint64(h.Latency)
+	}
+
+	// Response event back at the core: its lower bound is the access's
+	// zero-load completion; its actual finish reflects contention upstream.
+	resp := slab.Alloc()
+	resp.Comp = coreComp
+	resp.MinCycle = lastZeroLoadDone
+	prev.AddChild(resp)
+	return resp
+}

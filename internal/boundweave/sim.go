@@ -1,0 +1,341 @@
+package boundweave
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zsim/internal/config"
+	"zsim/internal/event"
+	"zsim/internal/memctrl"
+	"zsim/internal/trace"
+	"zsim/internal/virt"
+)
+
+// Options control a simulation run.
+type Options struct {
+	// MaxInstrs stops the simulation once the total simulated instruction
+	// count reaches this value (0 = run until every thread finishes).
+	MaxInstrs uint64
+	// MaxIntervals bounds the number of bound-weave intervals (0 = no bound).
+	MaxIntervals uint64
+	// HostThreads caps bound-phase parallelism (0 = cfg.HostThreads, which
+	// itself defaults to the number of host CPUs).
+	HostThreads int
+	// Profiler, when non-nil, observes every access for the path-altering
+	// interference characterization (Figure 2).
+	Profiler *InterferenceProfiler
+	// Seed randomizes the interval barrier's thread wake-up order.
+	Seed uint64
+}
+
+// Simulator drives the bound-weave loop over a built System and a scheduler
+// full of workload threads.
+type Simulator struct {
+	Sys   *System
+	Sched *virt.Scheduler
+	opts  Options
+
+	intervalLen uint64
+	hostThreads int
+	contention  bool
+
+	recorders []*Recorder
+	slabs     []*event.Slab
+	models    *weaveModels
+
+	schedMu     sync.Mutex
+	globalCycle uint64
+	rngState    uint64
+
+	// Run statistics.
+	Intervals     uint64
+	WeaveEvents   uint64
+	TotalFeedback uint64
+	BoundNanos    int64
+	WeaveNanos    int64
+}
+
+// NewSimulator wires a built system, a populated scheduler and run options
+// into a runnable simulation.
+func NewSimulator(sys *System, sched *virt.Scheduler, opts Options) *Simulator {
+	cfg := sys.Cfg
+	host := opts.HostThreads
+	if host <= 0 {
+		host = cfg.HostThreads
+	}
+	if host <= 0 {
+		host = runtime.NumCPU()
+	}
+	s := &Simulator{
+		Sys:         sys,
+		Sched:       sched,
+		opts:        opts,
+		intervalLen: cfg.IntervalCycles,
+		hostThreads: host,
+		contention:  cfg.Contention,
+		rngState:    opts.Seed*6364136223846793005 + 1442695040888963407,
+	}
+
+	if s.contention {
+		s.models = &weaveModels{
+			banks: make(map[int]*BankModel),
+			mems:  make(map[int]memctrl.ContentionModel),
+		}
+		for i, comp := range sys.BankComp {
+			s.models.banks[comp] = NewBankModel(sys.Banks[i].Latency(), sys.Banks[i].MSHRs(), uint64(cfg.MemLatency))
+		}
+		for _, comp := range sys.MemComp {
+			var m memctrl.ContentionModel
+			switch cfg.WeaveMem {
+			case config.WeaveMemCycleDriven:
+				m = memctrl.NewCycleDriven("weave-mem", memctrl.DefaultDDR3Timing())
+			case config.WeaveMemNone:
+				m = &memctrl.NoContention{Latency: uint64(cfg.MemLatency)}
+			default:
+				m = memctrl.NewDDR3("weave-mem", memctrl.DefaultDDR3Timing())
+			}
+			s.models.mems[comp] = m
+		}
+		for coreID, c := range sys.Cores {
+			rec := NewRecorder(coreID, sys.SharedComp)
+			s.recorders = append(s.recorders, rec)
+			c.SetRecorder(rec)
+			s.slabs = append(s.slabs, event.NewSlab(1024))
+		}
+	}
+	if opts.Profiler != nil {
+		for _, c := range sys.Cores {
+			c.SetObserver(opts.Profiler)
+		}
+	}
+	return s
+}
+
+// GlobalCycle returns the current interval-aligned global cycle.
+func (s *Simulator) GlobalCycle() uint64 { return s.globalCycle }
+
+// nextRand is a small xorshift for shuffling assignment order.
+func (s *Simulator) nextRand() uint64 {
+	x := s.rngState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rngState = x
+	return x
+}
+
+// totalInstrs sums the simulated instructions over all cores.
+func (s *Simulator) totalInstrs() uint64 {
+	var n uint64
+	for _, c := range s.Sys.Cores {
+		n += c.Instrs()
+	}
+	return n
+}
+
+// Run executes the bound-weave loop until every thread finishes or a
+// configured bound (instructions or intervals) is reached. It returns the
+// total number of simulated instructions.
+func (s *Simulator) Run() uint64 {
+	for {
+		if s.Sched.LiveThreads() == 0 {
+			break
+		}
+		if s.opts.MaxInstrs > 0 && s.totalInstrs() >= s.opts.MaxInstrs {
+			break
+		}
+		if s.opts.MaxIntervals > 0 && s.Intervals >= s.opts.MaxIntervals {
+			break
+		}
+		s.runInterval()
+	}
+	return s.totalInstrs()
+}
+
+// runInterval executes one bound phase and (optionally) one weave phase.
+func (s *Simulator) runInterval() {
+	s.Intervals++
+	assignments := s.Sched.ScheduleInterval(s.globalCycle)
+	intervalEnd := s.globalCycle + s.intervalLen
+	if len(assignments) == 0 {
+		// Everything is blocked (barriers resolve instantly, so this means
+		// syscalls): let simulated time advance so wake-ups can fire.
+		s.globalCycle = intervalEnd
+		return
+	}
+
+	// Shuffle the wake-up order to avoid systematic bias (the interval
+	// barrier's third role in Section 3.2.1).
+	for i := len(assignments) - 1; i > 0; i-- {
+		j := int(s.nextRand() % uint64(i+1))
+		assignments[i], assignments[j] = assignments[j], assignments[i]
+	}
+
+	// Bound phase: a pool of hostThreads workers draws assignments; at most
+	// hostThreads simulated cores run concurrently, and when one finishes its
+	// interval the next waiting core is woken — the barrier's "moderate
+	// parallelism" role.
+	boundStart := time.Now()
+	var next atomic.Int64
+	workers := s.hostThreads
+	if workers > len(assignments) {
+		workers = len(assignments)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= len(assignments) {
+					return
+				}
+				s.runCoreInterval(assignments[idx], intervalEnd)
+			}
+		}()
+	}
+	wg.Wait()
+	s.BoundNanos += time.Since(boundStart).Nanoseconds()
+
+	// Weave phase: retime the recorded accesses with contention models.
+	if s.contention {
+		weaveStart := time.Now()
+		s.runWeave()
+		s.WeaveNanos += time.Since(weaveStart).Nanoseconds()
+	}
+
+	s.globalCycle = intervalEnd
+}
+
+// runCoreInterval simulates one core until it reaches the interval end or its
+// thread blocks/finishes.
+func (s *Simulator) runCoreInterval(a virt.Assignment, intervalEnd uint64) {
+	c := s.Sys.Cores[a.Core]
+	th := a.Thread
+
+	start := c.Cycle()
+	if s.globalCycle > start {
+		start = s.globalCycle
+	}
+	if th.Cycle > start {
+		start = th.Cycle
+	}
+	c.SetCycle(start)
+
+	for c.Cycle() < intervalEnd {
+		blk := th.Stream.NextBlock()
+		switch blk.Sync {
+		case trace.SyncDone:
+			s.schedMu.Lock()
+			s.Sched.OnDone(th, c.Cycle())
+			s.schedMu.Unlock()
+			return
+		case trace.SyncBarrier:
+			c.SimulateBlock(blk)
+			th.Cycle = c.Cycle()
+			s.schedMu.Lock()
+			s.Sched.OnBarrier(th, blk.SyncID, c.Cycle())
+			s.schedMu.Unlock()
+			return
+		case trace.SyncBlocked:
+			c.SimulateBlock(blk)
+			th.Cycle = c.Cycle()
+			s.schedMu.Lock()
+			s.Sched.OnBlockedSyscall(th, c.Cycle(), blk.SyncArg)
+			s.schedMu.Unlock()
+			return
+		case trace.SyncLockAcquire:
+			c.SimulateBlock(blk)
+			th.Cycle = c.Cycle()
+			s.schedMu.Lock()
+			acquired := s.Sched.OnLockAcquire(th, blk.SyncID, c.Cycle())
+			s.schedMu.Unlock()
+			if !acquired {
+				return
+			}
+		case trace.SyncLockRelease:
+			c.SimulateBlock(blk)
+			s.schedMu.Lock()
+			s.Sched.OnLockRelease(th, blk.SyncID, c.Cycle())
+			s.schedMu.Unlock()
+		default:
+			c.SimulateBlock(blk)
+		}
+	}
+	th.Cycle = c.Cycle()
+
+	// Oversubscription: when there are more runnable software threads than
+	// cores, the round-robin scheduler time-multiplexes them interval by
+	// interval.
+	s.schedMu.Lock()
+	if s.Sched.LiveThreads() > s.Sched.NumCores() {
+		s.Sched.Deschedule(th, c.Cycle())
+	}
+	s.schedMu.Unlock()
+}
+
+// runWeave builds the interval's event graph from the per-core recorders,
+// executes it across parallel domains, and feeds the contention delays back
+// into the core clocks.
+func (s *Simulator) runWeave() {
+	engine := event.NewEngine(s.Sys.NumDomains)
+	for comp, dom := range s.Sys.CompDomain {
+		engine.AssignComponent(comp, dom)
+	}
+
+	// Build chains per core and remember each core's latest response event.
+	type lastResp struct {
+		ev       *event.Event
+		minCycle uint64
+	}
+	last := make([]lastResp, len(s.Sys.Cores))
+	totalEvents := uint64(0)
+	for coreID, rec := range s.recorders {
+		slab := s.slabs[coreID]
+		slab.Reset()
+		coreComp := s.Sys.CoreComp[coreID]
+		for _, r := range rec.recs {
+			resp := buildChain(slab, r, coreComp, s.models)
+			totalEvents += uint64(len(r.hops)) + 2
+			if resp.MinCycle >= last[coreID].minCycle {
+				last[coreID] = lastResp{ev: resp, minCycle: resp.MinCycle}
+			}
+		}
+	}
+	// Enqueue the chain roots: every parentless event in the slabs is the
+	// core-side start of one access chain.
+	for coreID := range s.recorders {
+		slab := s.slabs[coreID]
+		for i := 0; i < slab.InUse(); i++ {
+			ev := slab.At(i)
+			if ev.Parentless() {
+				engine.Enqueue(ev)
+			}
+		}
+	}
+	s.WeaveEvents += totalEvents
+
+	engine.Run()
+
+	// Feedback: each core's clock advances by the contention delay of its
+	// last access (actual finish minus zero-load bound).
+	for coreID, lr := range last {
+		if lr.ev == nil || !lr.ev.Finished() {
+			continue
+		}
+		if lr.ev.FinishCycle() > lr.minCycle {
+			delay := lr.ev.FinishCycle() - lr.minCycle
+			s.Sys.Cores[coreID].AddDelay(delay)
+			s.TotalFeedback += delay
+		}
+	}
+
+	// Recycle the interval's traces. The contention models keep their clocks
+	// across intervals (they are absolute-cycle based), so they need no reset.
+	for _, rec := range s.recorders {
+		rec.Reset()
+	}
+}

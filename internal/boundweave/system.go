@@ -1,0 +1,280 @@
+// Package boundweave implements the bound-weave two-phase parallel simulation
+// algorithm that is the paper's second contribution (Section 3.2), together
+// with the system builder that assembles cores, cache hierarchies, networks
+// and memory controllers from a configuration.
+//
+// Simulation proceeds in small intervals (1,000-10,000 cycles). In the bound
+// phase, every scheduled core is simulated in parallel assuming zero-load
+// latencies, bounded in skew by the interval barrier, while recording the
+// hierarchy hops of every access that misses beyond the private cache levels.
+// In the weave phase, those hops become events that are replayed in full
+// order per component across parallel domains, applying detailed contention
+// models (pipelined L3 banks with limited MSHRs, DDR3 memory controllers).
+// The extra latency observed for each core's accesses is then fed back into
+// the core's clocks before the next interval.
+package boundweave
+
+import (
+	"fmt"
+
+	"zsim/internal/cache"
+	"zsim/internal/config"
+	"zsim/internal/core"
+	"zsim/internal/memctrl"
+	"zsim/internal/network"
+	"zsim/internal/stats"
+)
+
+// System is the fully built simulated chip: cores, hierarchy, network and
+// memory, plus the component-ID and domain maps the weave phase needs.
+type System struct {
+	Cfg  *config.System
+	Root *stats.Registry
+
+	Cores []core.Core
+	L1I   []*cache.Cache
+	L1D   []*cache.Cache
+	L2    []*cache.Cache // one per tile (or per core when CoresPerTile == 1)
+	Banks []*cache.Cache // L3 banks
+	L3    *cache.Banked
+	Mems  []memctrl.Controller
+	Net   network.Model
+
+	// Component IDs.
+	CoreComp []int
+	BankComp []int
+	MemComp  []int
+	// SharedComp marks component IDs whose accesses are retimed in the weave
+	// phase (L3 banks and memory controllers).
+	SharedComp map[int]bool
+	// CompDomain maps every weave-relevant component to its domain.
+	CompDomain map[int]int
+	NumDomains int
+}
+
+// BuildSystem constructs the simulated chip described by the configuration.
+func BuildSystem(cfg *config.System) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := stats.NewRegistry(cfg.Name)
+	sys := &System{
+		Cfg:        cfg,
+		Root:       root,
+		SharedComp: make(map[int]bool),
+		CompDomain: make(map[int]int),
+	}
+
+	nextComp := 0
+	alloc := func() int { v := nextComp; nextComp++; return v }
+
+	// Network model (zero-load).
+	tiles := cfg.NumTiles()
+	switch cfg.Network {
+	case config.NetRing:
+		sys.Net = network.NewRing(tiles, cfg.NetHopCycles, cfg.NetInjection)
+	case config.NetMesh:
+		sys.Net = network.NewMeshForTiles(tiles, cfg.NetHopCycles, cfg.NetRouterStage, cfg.NetInjection)
+	default:
+		sys.Net = &network.Flat{Cycles: cfg.NetInjection + cfg.NetHopCycles}
+	}
+
+	// Memory controllers.
+	memReg := root.Child("mem")
+	var memLevels []cache.Level
+	for m := 0; m < cfg.MemControllers; m++ {
+		comp := alloc()
+		name := fmt.Sprintf("mem-%d", m)
+		var ctrl memctrl.Controller
+		switch cfg.MemModel {
+		case config.MemMD1:
+			ctrl = memctrl.NewMD1(name, comp, cfg.MemLatency, cfg.MemServiceCycles, memReg.Child(name))
+		default:
+			ctrl = memctrl.NewSimple(name, comp, cfg.MemLatency, memReg.Child(name))
+		}
+		sys.Mems = append(sys.Mems, ctrl)
+		sys.MemComp = append(sys.MemComp, comp)
+		sys.SharedComp[comp] = true
+		memLevels = append(memLevels, ctrl)
+	}
+	memRouter := cache.NewMemRouter("mem-router", memLevels, cfg.NetHopCycles)
+
+	// L3 banks (fully shared, inclusive, one directory over all L2s).
+	l3Reg := root.Child("l3")
+	bankSizeKB := cfg.L3.SizeKB / cfg.L3.Banks
+	if bankSizeKB < 1 {
+		bankSizeKB = 1
+	}
+	for b := 0; b < cfg.L3.Banks; b++ {
+		comp := alloc()
+		name := fmt.Sprintf("l3b-%d", b)
+		bank := cache.New(cache.Config{
+			Name:       name,
+			SizeKB:     bankSizeKB,
+			Ways:       cfg.L3.Ways,
+			Latency:    cfg.L3.Latency,
+			MSHRs:      cfg.L3.MSHRs,
+			RandomRepl: cfg.L3.RandomRepl,
+		}, comp, l3Reg.Child(name))
+		bank.SetParent(memRouter)
+		sys.Banks = append(sys.Banks, bank)
+		sys.BankComp = append(sys.BankComp, comp)
+		sys.SharedComp[comp] = true
+	}
+	sys.L3 = cache.NewBanked("l3", sys.Banks, cfg.NetInjection+cfg.NetHopCycles)
+	// Distance-dependent latency: from the requesting core's tile to the
+	// bank's tile, using the configured topology.
+	coresPerTile := cfg.CoresPerTile
+	net := sys.Net
+	banksPerTile := maxInt(cfg.L3.Banks/tiles, 1)
+	sys.L3.SetDistanceFunc(func(coreID, bank int) uint32 {
+		srcTile := coreID / coresPerTile
+		dstTile := bank / banksPerTile
+		return net.Latency(srcTile, dstTile)
+	})
+
+	// L2 caches: one per tile (shared within the tile) or one per core.
+	l2Reg := root.Child("l2")
+	numL2 := tiles
+	for i := 0; i < numL2; i++ {
+		comp := alloc()
+		name := fmt.Sprintf("l2-%d", i)
+		l2 := cache.New(cache.Config{
+			Name:    name,
+			SizeKB:  cfg.L2.SizeKB,
+			Ways:    cfg.L2.Ways,
+			Latency: cfg.L2.Latency,
+			MSHRs:   cfg.L2.MSHRs,
+		}, comp, l2Reg.Child(name))
+		l2.SetParent(sys.L3)
+		sys.L2 = append(sys.L2, l2)
+	}
+	// Register every L2 as a child of every L3 bank, in the same order, so
+	// directory indices agree across banks.
+	for _, bank := range sys.Banks {
+		for _, l2 := range sys.L2 {
+			bank.AddChild(l2)
+		}
+	}
+
+	// Per-core L1s and cores.
+	coreReg := root.Child("cores")
+	for cID := 0; cID < cfg.NumCores; cID++ {
+		tile := cID / coresPerTile
+		l1iComp := alloc()
+		l1dComp := alloc()
+		l1i := cache.New(cache.Config{
+			Name: fmt.Sprintf("l1i-%d", cID), SizeKB: cfg.L1I.SizeKB, Ways: cfg.L1I.Ways, Latency: cfg.L1I.Latency,
+		}, l1iComp, coreReg.Child(fmt.Sprintf("l1i-%d", cID)))
+		l1d := cache.New(cache.Config{
+			Name: fmt.Sprintf("l1d-%d", cID), SizeKB: cfg.L1D.SizeKB, Ways: cfg.L1D.Ways, Latency: cfg.L1D.Latency,
+		}, l1dComp, coreReg.Child(fmt.Sprintf("l1d-%d", cID)))
+		l2 := sys.L2[tile]
+		l1i.SetParent(l2)
+		l1d.SetParent(l2)
+		l2.AddChild(l1i)
+		l2.AddChild(l1d)
+		sys.L1I = append(sys.L1I, l1i)
+		sys.L1D = append(sys.L1D, l1d)
+
+		coreComp := alloc()
+		sys.CoreComp = append(sys.CoreComp, coreComp)
+		ports := core.MemPorts{L1I: l1i, L1D: l1d}
+		reg := coreReg.Child(fmt.Sprintf("core-%d", cID))
+		var c core.Core
+		switch cfg.CoreModel {
+		case config.CoreIPC1:
+			c = core.NewIPC1(cID, ports, reg)
+		default:
+			c = core.NewOOO(cID, oooConfigFrom(cfg.OOO), ports, reg)
+		}
+		sys.Cores = append(sys.Cores, c)
+	}
+
+	// Domain assignment: vertical slices over cores, banks and controllers
+	// (Figure 3).
+	sys.NumDomains = cfg.WeaveDomains
+	if sys.NumDomains < 1 {
+		sys.NumDomains = 1
+	}
+	for cID, comp := range sys.CoreComp {
+		sys.CompDomain[comp] = cID * sys.NumDomains / cfg.NumCores
+	}
+	for b, comp := range sys.BankComp {
+		sys.CompDomain[comp] = b * sys.NumDomains / len(sys.BankComp)
+	}
+	for m, comp := range sys.MemComp {
+		sys.CompDomain[comp] = m * sys.NumDomains / len(sys.MemComp)
+	}
+	return sys, nil
+}
+
+func oooConfigFrom(p config.OOOParams) core.OOOConfig {
+	cfg := core.OOOWestmere()
+	if p.IssueWidth > 0 {
+		cfg.IssueWidth = p.IssueWidth
+	}
+	if p.RetireWidth > 0 {
+		cfg.RetireWidth = p.RetireWidth
+	}
+	if p.ROBSize > 0 {
+		cfg.ROBSize = p.ROBSize
+	}
+	if p.LoadQueueSize > 0 {
+		cfg.LoadQueueSize = p.LoadQueueSize
+	}
+	if p.StoreQueueSize > 0 {
+		cfg.StoreQueueSize = p.StoreQueueSize
+	}
+	if p.FetchBytesPerCyc > 0 {
+		cfg.FetchBytesPerCyc = p.FetchBytesPerCyc
+	}
+	if p.MispredictCycles > 0 {
+		cfg.MispredictCycles = p.MispredictCycles
+	}
+	return cfg
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Metrics aggregates the system's counters into the harness's Metrics form.
+func (s *System) Metrics() *stats.Metrics {
+	m := &stats.Metrics{
+		Workload: "",
+		Model:    string(s.Cfg.CoreModel),
+		Cores:    len(s.Cores),
+	}
+	for _, c := range s.Cores {
+		m.Instrs += c.Instrs()
+		m.Uops += c.Uops()
+		m.CoreCycles += c.Cycle()
+		if c.Cycle() > m.Cycles {
+			m.Cycles = c.Cycle()
+		}
+		_, miss := c.BranchStats()
+		m.BranchMisses += miss
+	}
+	for _, l1 := range s.L1I {
+		m.L1IMisses += l1.Misses.Get()
+	}
+	for _, l1 := range s.L1D {
+		m.L1DMisses += l1.Misses.Get()
+	}
+	for _, l2 := range s.L2 {
+		m.L2Misses += l2.Misses.Get()
+	}
+	for _, b := range s.Banks {
+		m.L3Misses += b.Misses.Get()
+	}
+	for _, mc := range s.Mems {
+		m.MemReads += mc.Reads()
+		m.MemWrites += mc.Writes()
+	}
+	m.Finalize()
+	return m
+}

@@ -1,0 +1,175 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAlwaysTaken(t *testing.T) {
+	p := NewAlwaysTaken()
+	if !p.Predict(0x400) {
+		t.Fatalf("always-taken must predict taken")
+	}
+	p.Update(0x400, false) // must not panic or change behaviour
+	if !p.Predict(0x400) {
+		t.Fatalf("always-taken must still predict taken")
+	}
+	if p.Name() != "always-taken" {
+		t.Fatalf("name: %s", p.Name())
+	}
+}
+
+func TestCounter2Saturation(t *testing.T) {
+	c := counter2(0)
+	c = c.update(false)
+	if c != 0 {
+		t.Fatalf("counter should saturate at 0")
+	}
+	for i := 0; i < 10; i++ {
+		c = c.update(true)
+	}
+	if c != 3 {
+		t.Fatalf("counter should saturate at 3, got %d", c)
+	}
+	if !c.taken() {
+		t.Fatalf("saturated-taken counter should predict taken")
+	}
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	p := NewBimodal(1024)
+	pc := uint64(0x1234)
+	// Train strongly not-taken.
+	for i := 0; i < 8; i++ {
+		p.Update(pc, false)
+	}
+	if p.Predict(pc) {
+		t.Fatalf("bimodal should learn a not-taken bias")
+	}
+	// Retrain taken.
+	for i := 0; i < 8; i++ {
+		p.Update(pc, true)
+	}
+	if !p.Predict(pc) {
+		t.Fatalf("bimodal should relearn a taken bias")
+	}
+	if p.Name() != "bimodal" {
+		t.Fatalf("name: %s", p.Name())
+	}
+}
+
+func TestBimodalSizeRounding(t *testing.T) {
+	p := NewBimodal(1000)
+	if len(p.table) != 1024 {
+		t.Fatalf("table should round up to 1024, got %d", len(p.table))
+	}
+	p = NewBimodal(0)
+	if len(p.table) != 16 {
+		t.Fatalf("minimum table size should be 16, got %d", len(p.table))
+	}
+}
+
+func TestTwoLevelLearnsPattern(t *testing.T) {
+	// A branch alternating T,N,T,N is mispredicted ~50% by a bimodal
+	// predictor but learned almost perfectly by a history-based one.
+	pc := uint64(0x4000)
+	g := NewStats(NewDefault())
+	b := NewStats(NewBimodal(16384))
+	for i := 0; i < 4000; i++ {
+		taken := i%2 == 0
+		g.PredictAndUpdate(pc, taken)
+		b.PredictAndUpdate(pc, taken)
+	}
+	if g.MispredictRate() > 0.05 {
+		t.Fatalf("two-level should learn an alternating pattern, rate=%f", g.MispredictRate())
+	}
+	if b.MispredictRate() < 0.3 {
+		t.Fatalf("bimodal should struggle with an alternating pattern, rate=%f", b.MispredictRate())
+	}
+}
+
+func TestTwoLevelBiasedBranches(t *testing.T) {
+	// 95%-taken branches should be predicted well.
+	g := NewStats(NewDefault())
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		pc := uint64(0x1000 + (i%16)*4)
+		taken := rng.Float64() < 0.95
+		g.PredictAndUpdate(pc, taken)
+	}
+	if g.MispredictRate() > 0.15 {
+		t.Fatalf("biased branches should have low mispredict rate, got %f", g.MispredictRate())
+	}
+}
+
+func TestTwoLevelConfigBounds(t *testing.T) {
+	p := NewTwoLevel(0, 0)
+	if len(p.table) != 64 {
+		t.Fatalf("minimum table is 64 entries, got %d", len(p.table))
+	}
+	if p.histBits != 12 {
+		t.Fatalf("default history is 12 bits, got %d", p.histBits)
+	}
+	p = NewTwoLevel(100, 64)
+	if p.histBits != 32 {
+		t.Fatalf("history should clamp to 32 bits, got %d", p.histBits)
+	}
+	if p.Name() != "two-level" {
+		t.Fatalf("name: %s", p.Name())
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	s := NewStats(NewAlwaysTaken())
+	s.PredictAndUpdate(0x10, true)  // correct
+	s.PredictAndUpdate(0x10, false) // wrong
+	s.PredictAndUpdate(0x10, false) // wrong
+	if s.Predictions != 3 || s.Mispredicts != 2 {
+		t.Fatalf("counts: %d/%d", s.Mispredicts, s.Predictions)
+	}
+	if got := s.MispredictRate(); got < 0.66 || got > 0.67 {
+		t.Fatalf("rate: %f", got)
+	}
+	empty := NewStats(NewAlwaysTaken())
+	if empty.MispredictRate() != 0 {
+		t.Fatalf("empty stats should have rate 0")
+	}
+}
+
+// Property: the history register never exceeds histBits bits, and predictions
+// are always a deterministic function of (table, history, pc).
+func TestTwoLevelHistoryBounded(t *testing.T) {
+	f := func(pcs []uint32, outcomes []bool) bool {
+		g := NewTwoLevel(256, 8)
+		n := len(pcs)
+		if len(outcomes) < n {
+			n = len(outcomes)
+		}
+		for i := 0; i < n; i++ {
+			g.Update(uint64(pcs[i]), outcomes[i])
+			if g.history >= 1<<g.histBits {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for a perfectly biased branch stream (always taken), any of the
+// dynamic predictors converges to at most a handful of mispredictions.
+func TestAlwaysTakenStreamConverges(t *testing.T) {
+	predictors := []Predictor{NewBimodal(256), NewDefault()}
+	for _, p := range predictors {
+		s := NewStats(p)
+		for i := 0; i < 1000; i++ {
+			s.PredictAndUpdate(0xabcd, true)
+		}
+		if s.Mispredicts > 5 {
+			t.Fatalf("%s: too many mispredictions on a constant stream: %d", p.Name(), s.Mispredicts)
+		}
+	}
+}

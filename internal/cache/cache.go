@@ -1,0 +1,636 @@
+// Package cache implements the simulated memory hierarchy used by the bound
+// phase: set-associative caches with LRU or random replacement, MESI
+// coherence with in-cache directories over inclusive hierarchies, multi-bank
+// shared caches, and the per-cache locking scheme that lets the parallel
+// bound phase access the shared hierarchy from many host threads at once.
+//
+// During the bound phase every access is served with zero-load (uncontended)
+// latencies, and each level a request touches appends a Hop to the request's
+// trace. Package boundweave turns those hop lists into weave-phase events
+// that model contention (bank ports, MSHRs, DRAM timing).
+//
+// Locking follows the paper's discipline for accesses that travel both up
+// (fetches, writebacks) and down (invalidations, downgrades) the hierarchy: a
+// cache never holds its own lock while calling up into its parent, and only
+// takes child locks while handling a downward invalidation. Lock ordering is
+// therefore always parent-before-child and the scheme is deadlock-free. The
+// only race this admits is the one the paper accepts: two near-simultaneous
+// accesses to the same line may be serialized in either order.
+package cache
+
+import (
+	"fmt"
+	"sync"
+
+	"zsim/internal/stats"
+)
+
+// LineSize is the cache line size in bytes (64 B, as in the validated
+// Westmere configuration).
+const LineSize = 64
+
+// LineAddr converts a byte address to a line address.
+func LineAddr(addr uint64) uint64 { return addr >> 6 }
+
+// State is a MESI coherence state.
+type State uint8
+
+// MESI states.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String returns the one-letter MESI name.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("?%d", uint8(s))
+	}
+}
+
+// HopKind classifies an entry in a request's hierarchy trace.
+type HopKind uint8
+
+// Hop kinds recorded during bound-phase accesses.
+const (
+	HopHit   HopKind = iota // request hit at this level
+	HopMiss                 // request missed at this level and continued up
+	HopMem                  // request was served by a memory controller
+	HopWB                   // a dirty eviction generated a writeback at this level
+	HopInval                // this access caused an invalidation in another cache
+)
+
+// String returns a short name for the hop kind.
+func (k HopKind) String() string {
+	switch k {
+	case HopHit:
+		return "hit"
+	case HopMiss:
+		return "miss"
+	case HopMem:
+		return "mem"
+	case HopWB:
+		return "wback"
+	case HopInval:
+		return "inval"
+	default:
+		return fmt.Sprintf("hop(%d)", uint8(k))
+	}
+}
+
+// Hop records one level's handling of a request; the weave phase turns hops
+// into events with the component's contention model.
+type Hop struct {
+	Comp    int // global component ID (assigned by the system builder)
+	Kind    HopKind
+	Line    uint64 // line address of the access (used by DRAM bank mapping)
+	Cycle   uint64 // zero-load cycle at which this level starts handling the request
+	Latency uint32 // zero-load latency contributed by this level
+}
+
+// Request is a memory access travelling up the hierarchy. Levels mutate Cycle
+// as the request progresses and append to Hops when tracing is enabled.
+type Request struct {
+	LineAddr uint64
+	Write    bool
+	CoreID   int    // issuing core, used for profiling and domain assignment
+	Cycle    uint64 // cycle the request arrives at the level being accessed
+	// Hops accumulates the levels this request touched; nil disables tracing
+	// (set by the bound phase only for accesses it wants weave events for).
+	Hops []Hop
+	// RecordHops enables appending to Hops.
+	RecordHops bool
+	// Prof, when non-nil, receives every (line, write) access for the
+	// path-altering-interference profiler of Figure 2.
+	Prof AccessObserver
+	// FillState is set by the serving level to tell the requester which MESI
+	// state to install the line in (Shared when other children also hold the
+	// line, Exclusive/Modified otherwise). Terminal levels (memory) leave it
+	// untouched; callers initialize it to Exclusive before forwarding.
+	FillState State
+	// childIdx is the directory index of the child cache that issued this
+	// request into its parent; it is set by the child when forwarding a miss
+	// upward and is meaningless for core-issued requests into L1s.
+	childIdx int
+}
+
+func (r *Request) addHop(comp int, kind HopKind, cycle uint64, lat uint32) {
+	if r.RecordHops {
+		r.Hops = append(r.Hops, Hop{Comp: comp, Kind: kind, Line: r.LineAddr, Cycle: cycle, Latency: lat})
+	}
+}
+
+// AccessObserver observes line-granularity accesses (used by the interference
+// profiler and by tests).
+type AccessObserver interface {
+	ObserveAccess(lineAddr uint64, write bool, coreID int, cycle uint64)
+}
+
+// Level is anything that can serve a request from below: a cache, a banked
+// cache router, or a memory controller.
+type Level interface {
+	// Access serves the request and returns the cycle at which the requested
+	// line is available at the requester, assuming zero load.
+	Access(req *Request) uint64
+	// Name returns the component's name for stats and debugging.
+	Name() string
+}
+
+// line is one cache line's tag, coherence state, directory info and
+// replacement metadata.
+type line struct {
+	tag      uint64 // line address
+	state    State
+	sharers  uint64 // bitmask of children holding the line (directory)
+	childMod bool   // some child may hold the line modified
+	lastUse  uint64 // replacement timestamp
+}
+
+// Config describes one cache.
+type Config struct {
+	Name    string
+	SizeKB  int
+	Ways    int
+	Latency uint32 // zero-load access latency in cycles
+	// MSHRs bounds outstanding misses in the weave-phase contention model
+	// (the bound phase ignores it).
+	MSHRs int
+	// NumBanks > 1 creates a banked cache (use NewBanked).
+	NumBanks int
+	// RandomRepl selects random replacement instead of LRU.
+	RandomRepl bool
+}
+
+// Cache is a single set-associative cache (or one bank of a banked cache).
+type Cache struct {
+	name    string
+	compID  int
+	sets    int
+	ways    int
+	latency uint32
+	mshrs   int
+	random  bool
+
+	mu    sync.Mutex
+	array []line // sets*ways entries, set-major
+	useCt uint64 // replacement clock
+	rng   uint64 // xorshift state for random replacement
+
+	parent   Level
+	children []*Cache // for directory-driven invalidations
+	childIdx int      // this cache's index within its parent's children
+
+	// Statistics (updated under mu).
+	Hits        *stats.Counter
+	Misses      *stats.Counter
+	Evictions   *stats.Counter
+	Writebacks  *stats.Counter
+	Invals      *stats.Counter
+	UpgradeMiss *stats.Counter
+}
+
+// New creates a cache from the config, registering its statistics under the
+// given registry. compID is the global component ID used in weave traces.
+func New(cfg Config, compID int, reg *stats.Registry) *Cache {
+	ways := cfg.Ways
+	if ways < 1 {
+		ways = 1
+	}
+	lines := cfg.SizeKB * 1024 / LineSize
+	sets := lines / ways
+	if sets < 1 {
+		sets = 1
+	}
+	if reg == nil {
+		reg = stats.NewRegistry(cfg.Name)
+	}
+	c := &Cache{
+		name:    cfg.Name,
+		compID:  compID,
+		sets:    sets,
+		ways:    ways,
+		latency: cfg.Latency,
+		mshrs:   cfg.MSHRs,
+		random:  cfg.RandomRepl,
+		array:   make([]line, sets*ways),
+		rng:     uint64(compID)*0x9e3779b97f4a7c15 + 0xdeadbeef,
+
+		Hits:        reg.Counter("hits", "accesses that hit"),
+		Misses:      reg.Counter("misses", "accesses that missed"),
+		Evictions:   reg.Counter("evictions", "lines evicted"),
+		Writebacks:  reg.Counter("writebacks", "dirty lines written back"),
+		Invals:      reg.Counter("invalidations", "lines invalidated by coherence"),
+		UpgradeMiss: reg.Counter("upgradeMisses", "write hits to Shared lines requiring upgrade"),
+	}
+	return c
+}
+
+// Name returns the cache's name.
+func (c *Cache) Name() string { return c.name }
+
+// CompID returns the cache's global component ID.
+func (c *Cache) CompID() int { return c.compID }
+
+// Latency returns the cache's zero-load access latency.
+func (c *Cache) Latency() uint32 { return c.latency }
+
+// MSHRs returns the configured number of MSHRs (for the weave model).
+func (c *Cache) MSHRs() int { return c.mshrs }
+
+// SetParent links the cache to its parent level.
+func (c *Cache) SetParent(p Level) { c.parent = p }
+
+// AddChild registers a child cache for directory tracking and returns the
+// child's index. Panics if more than 64 children are added (the directory
+// sharer set is a 64-bit mask).
+func (c *Cache) AddChild(child *Cache) int {
+	if len(c.children) >= 64 {
+		panic("cache: more than 64 children per cache are not supported")
+	}
+	idx := len(c.children)
+	c.children = append(c.children, child)
+	child.childIdx = idx
+	return idx
+}
+
+// NumLines returns the cache's capacity in lines.
+func (c *Cache) NumLines() int { return c.sets * c.ways }
+
+func (c *Cache) setOf(lineAddr uint64) int {
+	// Hash the line address so that strided accesses spread across sets even
+	// when the stride is a multiple of the set count (the "hashed" L3 in the
+	// validated configuration).
+	h := lineAddr * 0x9e3779b97f4a7c15
+	return int(h % uint64(c.sets))
+}
+
+// lookup returns the way index of lineAddr in its set, or -1.
+// Caller must hold mu.
+func (c *Cache) lookup(lineAddr uint64) (setBase, way int) {
+	set := c.setOf(lineAddr)
+	setBase = set * c.ways
+	for w := 0; w < c.ways; w++ {
+		l := &c.array[setBase+w]
+		if l.state != Invalid && l.tag == lineAddr {
+			return setBase, w
+		}
+	}
+	return setBase, -1
+}
+
+// victimWay picks a victim way in the set. Caller must hold mu.
+func (c *Cache) victimWay(setBase int) int {
+	// Prefer an invalid way.
+	for w := 0; w < c.ways; w++ {
+		if c.array[setBase+w].state == Invalid {
+			return w
+		}
+	}
+	if c.random {
+		c.rng ^= c.rng << 13
+		c.rng ^= c.rng >> 7
+		c.rng ^= c.rng << 17
+		return int(c.rng % uint64(c.ways))
+	}
+	// LRU.
+	best, bestUse := 0, c.array[setBase].lastUse
+	for w := 1; w < c.ways; w++ {
+		if c.array[setBase+w].lastUse < bestUse {
+			best, bestUse = w, c.array[setBase+w].lastUse
+		}
+	}
+	return best
+}
+
+// Access serves a request from a child (or from a core, for L1s).
+//
+// The protocol is inclusive MESI: a hit with sufficient permissions is served
+// locally; a write hit on a Shared line upgrades via the parent; a miss
+// evicts a victim (invalidating it in children and writing it back if dirty)
+// and fetches the line from the parent. Directory state tracks which children
+// hold the line so writes can invalidate other sharers.
+func (c *Cache) Access(req *Request) uint64 {
+	if req.Prof != nil {
+		// Only the first level observes the access (profiling is about the
+		// access stream, not about each hierarchy level).
+		req.Prof.ObserveAccess(req.LineAddr, req.Write, req.CoreID, req.Cycle)
+		req.Prof = nil
+	}
+
+	c.mu.Lock()
+	c.useCt++
+	now := c.useCt
+	setBase, way := c.lookup(req.LineAddr)
+	availCycle := req.Cycle + uint64(c.latency)
+
+	if way >= 0 {
+		l := &c.array[setBase+way]
+		l.lastUse = now
+		if !req.Write || l.state == Exclusive || l.state == Modified {
+			// Plain hit.
+			if req.Write {
+				// Write hit with sufficient permission: invalidate any other
+				// children holding the line, then grant Modified.
+				if l.sharers != 0 {
+					c.invalidateChildrenLocked(req, req.LineAddr, l)
+				}
+				l.state = Modified
+				req.FillState = Modified
+			} else {
+				// Read hit. If another child may hold the line Exclusive or
+				// Modified, downgrade it to Shared so the data is coherent,
+				// and grant Shared when the line ends up shared by several
+				// children.
+				otherSharers := l.sharers
+				if req.childIdx >= 0 && len(c.children) > 0 {
+					otherSharers &^= 1 << uint(req.childIdx)
+				}
+				if l.childMod && otherSharers != 0 {
+					if c.downgradeChildrenLocked(req, req.LineAddr, otherSharers) {
+						l.state = Modified
+					}
+					l.childMod = false
+				}
+				if otherSharers != 0 || l.state == Shared {
+					req.FillState = Shared
+				} else {
+					req.FillState = Exclusive
+				}
+			}
+			c.markChild(l, req)
+			c.Hits.Inc()
+			c.mu.Unlock()
+			req.addHop(c.compID, HopHit, req.Cycle, c.latency)
+			return availCycle
+		}
+		// Write hit on Shared: upgrade through the parent (invalidates other
+		// copies system-wide). Treated as a miss for timing purposes.
+		c.UpgradeMiss.Inc()
+		c.Misses.Inc()
+		l.state = Invalid // re-installed below after the parent access
+		c.mu.Unlock()
+		return c.fetchAndInstall(req, availCycle)
+	}
+
+	// Miss: pick a victim and evict it, then fetch from the parent.
+	c.Misses.Inc()
+	vw := c.victimWay(setBase)
+	victim := c.array[setBase+vw]
+	c.array[setBase+vw].state = Invalid
+	if victim.state != Invalid {
+		c.Evictions.Inc()
+	}
+	c.mu.Unlock()
+
+	if victim.state != Invalid {
+		c.evictLine(req, victim)
+	}
+	return c.fetchAndInstall(req, availCycle)
+}
+
+// fetchAndInstall completes a miss: it forwards the request to the parent (without
+// holding our lock), then installs the line. It returns the zero-load cycle
+// at which the line is available to the requester.
+func (c *Cache) fetchAndInstall(req *Request, localAvail uint64) uint64 {
+	req.addHop(c.compID, HopMiss, req.Cycle, c.latency)
+	var fillCycle uint64
+	grant := Exclusive
+	if c.parent != nil {
+		parentReq := *req
+		parentReq.Cycle = localAvail // request leaves this level after its lookup latency
+		parentReq.Prof = nil
+		parentReq.childIdx = c.childIdx
+		parentReq.FillState = Exclusive
+		fillCycle = c.parent.Access(&parentReq)
+		req.Hops = parentReq.Hops // propagate recorded hops back
+		grant = parentReq.FillState
+	} else {
+		// No parent: act as if backed by an ideal memory with no extra delay.
+		fillCycle = localAvail
+	}
+
+	// Install the line.
+	c.mu.Lock()
+	c.useCt++
+	setBase, way := c.lookup(req.LineAddr)
+	if way < 0 {
+		way = c.victimWay(setBase)
+		victim := c.array[setBase+way]
+		if victim.state != Invalid {
+			c.Evictions.Inc()
+			c.array[setBase+way].state = Invalid
+			c.mu.Unlock()
+			c.evictLine(req, victim)
+			c.mu.Lock()
+			// Re-lookup: the set may have changed while unlocked.
+			setBase, way = c.lookup(req.LineAddr)
+			if way < 0 {
+				way = c.victimWay(setBase)
+				c.array[setBase+way].state = Invalid
+			}
+		}
+	}
+	l := &c.array[setBase+way]
+	l.tag = req.LineAddr
+	l.lastUse = c.useCt
+	l.sharers = 0
+	l.childMod = false
+	if req.Write {
+		l.state = Modified
+	} else {
+		l.state = grant
+	}
+	req.FillState = l.state
+	c.markChild(l, req)
+	c.mu.Unlock()
+	return fillCycle
+}
+
+// markChild records, in the directory, that the requesting child now holds
+// the line. For L1 caches (no children), the requester is the core and no
+// directory state is needed. Caller must hold mu.
+func (c *Cache) markChild(l *line, req *Request) {
+	if len(c.children) == 0 {
+		return
+	}
+	if req.childIdx >= 0 && req.childIdx < 64 {
+		l.sharers |= 1 << uint(req.childIdx)
+		// A child holding the line Exclusive can silently upgrade it to
+		// Modified, so both write grants and Exclusive grants mark the line
+		// as possibly dirty in a child.
+		if req.Write || req.FillState == Exclusive || req.FillState == Modified {
+			l.childMod = true
+		}
+	}
+}
+
+// evictLine handles the eviction of a victim line: invalidate it in children
+// (inclusive hierarchy) and write it back to the parent if dirty.
+func (c *Cache) evictLine(req *Request, victim line) {
+	// Invalidate children copies.
+	if victim.sharers != 0 {
+		dirtyInChild := c.invalidateChildren(victim.tag, victim.sharers)
+		if dirtyInChild {
+			victim.state = Modified
+		}
+	}
+	if victim.state == Modified {
+		c.Writebacks.Inc()
+		req.addHop(c.compID, HopWB, req.Cycle, 0)
+		if c.parent != nil {
+			wb := &Request{
+				LineAddr:   victim.tag,
+				Write:      true,
+				CoreID:     req.CoreID,
+				Cycle:      req.Cycle,
+				RecordHops: req.RecordHops,
+				childIdx:   c.childIdx,
+			}
+			c.parent.Access(wb)
+			if req.RecordHops {
+				req.Hops = append(req.Hops, wb.Hops...)
+			}
+		}
+	}
+}
+
+// invalidateChildren invalidates the line in every child in the sharer mask
+// and reports whether any child held it modified. No locks are held on c.
+func (c *Cache) invalidateChildren(lineAddr uint64, sharers uint64) bool {
+	dirty := false
+	for i, ch := range c.children {
+		if sharers&(1<<uint(i)) == 0 {
+			continue
+		}
+		if ch.Invalidate(lineAddr) {
+			dirty = true
+		}
+	}
+	return dirty
+}
+
+// invalidateChildrenLocked is used on a write hit to invalidate other
+// sharers. Caller holds c.mu; child locks are acquired inside Invalidate
+// (parent-before-child ordering, no deadlock). The requester's own copy is
+// preserved by clearing its bit afterwards.
+func (c *Cache) invalidateChildrenLocked(req *Request, lineAddr uint64, l *line) {
+	sharers := l.sharers
+	if req.childIdx >= 0 && len(c.children) > 0 {
+		sharers &^= 1 << uint(req.childIdx)
+	}
+	if sharers == 0 {
+		return
+	}
+	for i, ch := range c.children {
+		if sharers&(1<<uint(i)) == 0 {
+			continue
+		}
+		ch.Invalidate(lineAddr)
+		req.addHop(ch.compID, HopInval, req.Cycle, 0)
+	}
+	l.sharers &^= sharers
+	l.childMod = false
+}
+
+// downgradeChildrenLocked downgrades the given children sharers to Shared and
+// reports whether any of them held the line modified. Caller holds c.mu.
+func (c *Cache) downgradeChildrenLocked(req *Request, lineAddr uint64, sharers uint64) bool {
+	dirty := false
+	for i, ch := range c.children {
+		if sharers&(1<<uint(i)) == 0 {
+			continue
+		}
+		if ch.Downgrade(lineAddr) {
+			dirty = true
+		}
+		req.addHop(ch.compID, HopInval, req.Cycle, 0)
+	}
+	return dirty
+}
+
+// Downgrade demotes the line to Shared in this cache and its children,
+// returning true if any copy was Modified (i.e., a writeback of fresh data is
+// implied).
+func (c *Cache) Downgrade(lineAddr uint64) bool {
+	c.mu.Lock()
+	setBase, way := c.lookup(lineAddr)
+	if way < 0 {
+		c.mu.Unlock()
+		return false
+	}
+	l := &c.array[setBase+way]
+	dirty := l.state == Modified
+	if l.state == Modified || l.state == Exclusive {
+		l.state = Shared
+	}
+	sharers := l.sharers
+	childMod := l.childMod
+	l.childMod = false
+	c.mu.Unlock()
+
+	if childMod && sharers != 0 {
+		for i, ch := range c.children {
+			if sharers&(1<<uint(i)) == 0 {
+				continue
+			}
+			if ch.Downgrade(lineAddr) {
+				dirty = true
+			}
+		}
+	}
+	return dirty
+}
+
+// Invalidate removes the line from this cache (and, recursively, from its
+// children), returning true if the line (or any child copy) was modified.
+// It is the downward path of the coherence protocol.
+func (c *Cache) Invalidate(lineAddr uint64) bool {
+	c.mu.Lock()
+	setBase, way := c.lookup(lineAddr)
+	if way < 0 {
+		c.mu.Unlock()
+		return false
+	}
+	l := c.array[setBase+way]
+	c.array[setBase+way].state = Invalid
+	c.Invals.Inc()
+	c.mu.Unlock()
+
+	dirty := l.state == Modified
+	if l.sharers != 0 {
+		if c.invalidateChildren(lineAddr, l.sharers) {
+			dirty = true
+		}
+	}
+	return dirty
+}
+
+// Contains reports whether the cache currently holds the line (test helper).
+func (c *Cache) Contains(lineAddr uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, way := c.lookup(lineAddr)
+	return way >= 0
+}
+
+// StateOf returns the MESI state of the line (Invalid if absent).
+func (c *Cache) StateOf(lineAddr uint64) State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	setBase, way := c.lookup(lineAddr)
+	if way < 0 {
+		return Invalid
+	}
+	return c.array[setBase+way].state
+}

@@ -1,0 +1,105 @@
+package cache
+
+// Routers connect hierarchy levels that are physically distributed: a banked
+// shared cache (the L3 of the validated Westmere configuration and of the
+// tiled thousand-core chip) and the set of memory controllers. Routers select
+// the destination bank or controller by hashing the line address, and add the
+// network's zero-load latency for the hop, which is how the bound phase
+// accounts for the NoC (the paper leaves weave-phase NoC models to future
+// work and argues zero-load latencies capture most of the impact for
+// well-provisioned networks).
+
+// Banked routes requests to one of several banks by hashing the line
+// address. It implements Level and is used as the parent of the private cache
+// levels.
+type Banked struct {
+	name  string
+	banks []*Cache
+	// netLatency is the zero-load network latency (cycles) added to every
+	// access that crosses the interconnect to reach a bank.
+	netLatency uint32
+	// distanceFn, if non-nil, returns the extra per-hop latency between a
+	// requesting core and a destination bank (used with mesh networks where
+	// distance depends on placement).
+	distanceFn func(coreID, bank int) uint32
+}
+
+// NewBanked creates a banked-cache router over the given banks.
+func NewBanked(name string, banks []*Cache, netLatency uint32) *Banked {
+	return &Banked{name: name, banks: banks, netLatency: netLatency}
+}
+
+// SetDistanceFunc installs a per-(core,bank) latency function, replacing the
+// flat network latency for distance-dependent topologies (mesh).
+func (b *Banked) SetDistanceFunc(f func(coreID, bank int) uint32) { b.distanceFn = f }
+
+// Name returns the router's name.
+func (b *Banked) Name() string { return b.name }
+
+// NumBanks returns the number of banks.
+func (b *Banked) NumBanks() int { return len(b.banks) }
+
+// Bank returns bank i.
+func (b *Banked) Bank(i int) *Cache { return b.banks[i] }
+
+// BankOf returns the bank index that owns the line.
+func (b *Banked) BankOf(lineAddr uint64) int {
+	h := lineAddr * 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return int(h % uint64(len(b.banks)))
+}
+
+// Access routes the request to the owning bank, adding network latency.
+func (b *Banked) Access(req *Request) uint64 {
+	bank := b.BankOf(req.LineAddr)
+	lat := b.netLatency
+	if b.distanceFn != nil {
+		lat = b.distanceFn(req.CoreID, bank)
+	}
+	bankReq := *req
+	bankReq.Cycle = req.Cycle + uint64(lat)
+	avail := b.banks[bank].Access(&bankReq)
+	req.Hops = bankReq.Hops
+	req.FillState = bankReq.FillState
+	// The response also crosses the network.
+	return avail + uint64(lat)
+}
+
+// MemRouter routes requests that missed in the last-level cache to one of
+// several memory controllers, selected by hashing the line address (channel
+// interleaving).
+type MemRouter struct {
+	name  string
+	ctrls []Level
+	// netLatency models the path from the LLC bank to the memory controller.
+	netLatency uint32
+}
+
+// NewMemRouter creates a router over the given memory controllers.
+func NewMemRouter(name string, ctrls []Level, netLatency uint32) *MemRouter {
+	return &MemRouter{name: name, ctrls: ctrls, netLatency: netLatency}
+}
+
+// Name returns the router's name.
+func (m *MemRouter) Name() string { return m.name }
+
+// NumControllers returns the number of memory controllers.
+func (m *MemRouter) NumControllers() int { return len(m.ctrls) }
+
+// CtrlOf returns the controller index that owns the line.
+func (m *MemRouter) CtrlOf(lineAddr uint64) int {
+	h := lineAddr*0xc2b2ae3d27d4eb4f + 0x165667b19e3779f9
+	h ^= h >> 29
+	return int(h % uint64(len(m.ctrls)))
+}
+
+// Access routes the request to the owning memory controller.
+func (m *MemRouter) Access(req *Request) uint64 {
+	idx := m.CtrlOf(req.LineAddr)
+	ctrlReq := *req
+	ctrlReq.Cycle = req.Cycle + uint64(m.netLatency)
+	avail := m.ctrls[idx].Access(&ctrlReq)
+	req.Hops = ctrlReq.Hops
+	req.FillState = ctrlReq.FillState
+	return avail + uint64(m.netLatency)
+}

@@ -1,0 +1,349 @@
+// Package config defines the system descriptions the simulator is built
+// from: cores, cache hierarchy, network, memory controllers and bound-weave
+// parameters. Configurations can be loaded from JSON (the stdlib replacement
+// for zsim's libconfig files) and two presets reproduce the paper's
+// configurations: Table 2's 6-core Westmere used for validation and Table 3's
+// tiled 64/256/1024-core chips used for the performance evaluation.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// CoreModel selects a core timing model.
+type CoreModel string
+
+// Supported core models.
+const (
+	CoreIPC1 CoreModel = "ipc1"
+	CoreOOO  CoreModel = "ooo"
+)
+
+// MemModel selects the bound-phase memory-controller model.
+type MemModel string
+
+// Supported memory-controller models.
+const (
+	MemSimple MemModel = "simple" // fixed zero-load latency (contention in weave phase, if enabled)
+	MemMD1    MemModel = "md1"    // analytical M/D/1 queuing model applied in the bound phase
+)
+
+// WeaveMemModel selects the weave-phase DRAM contention model.
+type WeaveMemModel string
+
+// Supported weave-phase DRAM models.
+const (
+	WeaveMemDDR3        WeaveMemModel = "ddr3"         // detailed event-driven DDR3 model
+	WeaveMemCycleDriven WeaveMemModel = "cycle-driven" // DRAMSim2-style cycle-driven model
+	WeaveMemNone        WeaveMemModel = "none"         // no DRAM contention
+)
+
+// NetworkKind selects the NoC topology.
+type NetworkKind string
+
+// Supported topologies.
+const (
+	NetRing NetworkKind = "ring"
+	NetMesh NetworkKind = "mesh"
+	NetFlat NetworkKind = "flat"
+)
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	SizeKB  int    `json:"sizeKB"`
+	Ways    int    `json:"ways"`
+	Latency uint32 `json:"latency"`
+	MSHRs   int    `json:"mshrs"`
+	// Banks applies only to the shared LLC.
+	Banks int `json:"banks,omitempty"`
+	// RandomRepl selects random replacement instead of LRU.
+	RandomRepl bool `json:"randomRepl,omitempty"`
+}
+
+// OOOParams exposes the OOO core's microarchitectural knobs in configs.
+type OOOParams struct {
+	IssueWidth       int    `json:"issueWidth"`
+	RetireWidth      int    `json:"retireWidth"`
+	ROBSize          int    `json:"robSize"`
+	LoadQueueSize    int    `json:"loadQueueSize"`
+	StoreQueueSize   int    `json:"storeQueueSize"`
+	FetchBytesPerCyc int    `json:"fetchBytesPerCycle"`
+	MispredictCycles uint64 `json:"mispredictCycles"`
+}
+
+// DefaultOOOParams returns the validated Westmere-class parameters.
+func DefaultOOOParams() OOOParams {
+	return OOOParams{
+		IssueWidth:       4,
+		RetireWidth:      4,
+		ROBSize:          128,
+		LoadQueueSize:    48,
+		StoreQueueSize:   32,
+		FetchBytesPerCyc: 16,
+		MispredictCycles: 17,
+	}
+}
+
+// System is the full simulated-system description.
+type System struct {
+	Name string `json:"name"`
+
+	// Cores.
+	NumCores  int       `json:"numCores"`
+	CoreModel CoreModel `json:"coreModel"`
+	OOO       OOOParams `json:"ooo"`
+	// CoresPerTile groups cores into tiles that share an L2 (Table 3). A
+	// value of 0 or 1 gives private L2s (Table 2).
+	CoresPerTile int     `json:"coresPerTile"`
+	FreqGHz      float64 `json:"freqGHz"`
+
+	// Cache hierarchy.
+	L1I CacheConfig `json:"l1i"`
+	L1D CacheConfig `json:"l1d"`
+	L2  CacheConfig `json:"l2"`
+	L3  CacheConfig `json:"l3"`
+
+	// Network.
+	Network        NetworkKind `json:"network"`
+	NetHopCycles   uint32      `json:"netHopCycles"`
+	NetRouterStage uint32      `json:"netRouterStages"`
+	NetInjection   uint32      `json:"netInjectionCycles"`
+
+	// Memory.
+	MemControllers int      `json:"memControllers"`
+	MemModel       MemModel `json:"memModel"`
+	MemLatency     uint32   `json:"memLatency"`
+	// MemServiceCycles is the per-request channel occupancy used by the M/D/1
+	// model and to size the DDR3 model's bandwidth.
+	MemServiceCycles float64 `json:"memServiceCycles"`
+
+	// Bound-weave parameters.
+	IntervalCycles uint64 `json:"intervalCycles"`
+	// Contention enables the weave phase; without it only the bound phase
+	// runs (the paper's -NC configurations).
+	Contention   bool          `json:"contention"`
+	WeaveMem     WeaveMemModel `json:"weaveMem"`
+	WeaveDomains int           `json:"weaveDomains"`
+	// HostThreads caps the number of host worker threads used by the bound
+	// phase barrier (0 = number of host CPUs).
+	HostThreads int `json:"hostThreads"`
+}
+
+// Validate checks the configuration for inconsistencies and fills defaults
+// for unset fields.
+func (s *System) Validate() error {
+	if s.NumCores <= 0 {
+		return fmt.Errorf("config: numCores must be positive, got %d", s.NumCores)
+	}
+	if s.CoreModel == "" {
+		s.CoreModel = CoreOOO
+	}
+	if s.CoreModel != CoreIPC1 && s.CoreModel != CoreOOO {
+		return fmt.Errorf("config: unknown core model %q", s.CoreModel)
+	}
+	if s.CoresPerTile <= 0 {
+		s.CoresPerTile = 1
+	}
+	if s.NumCores%s.CoresPerTile != 0 {
+		return fmt.Errorf("config: numCores (%d) must be a multiple of coresPerTile (%d)", s.NumCores, s.CoresPerTile)
+	}
+	if s.FreqGHz <= 0 {
+		s.FreqGHz = 2.27
+	}
+	for _, c := range []struct {
+		name string
+		cfg  *CacheConfig
+	}{{"l1i", &s.L1I}, {"l1d", &s.L1D}, {"l2", &s.L2}, {"l3", &s.L3}} {
+		if c.cfg.SizeKB <= 0 {
+			return fmt.Errorf("config: %s size must be positive", c.name)
+		}
+		if c.cfg.Ways <= 0 {
+			c.cfg.Ways = 1
+		}
+	}
+	if s.L3.Banks <= 0 {
+		s.L3.Banks = 1
+	}
+	if s.Network == "" {
+		s.Network = NetFlat
+	}
+	if s.MemControllers <= 0 {
+		s.MemControllers = 1
+	}
+	if s.MemModel == "" {
+		s.MemModel = MemSimple
+	}
+	if s.MemLatency == 0 {
+		s.MemLatency = 120
+	}
+	if s.MemServiceCycles <= 0 {
+		s.MemServiceCycles = 8
+	}
+	if s.IntervalCycles == 0 {
+		s.IntervalCycles = 1000
+	}
+	if s.WeaveMem == "" {
+		s.WeaveMem = WeaveMemDDR3
+	}
+	if s.WeaveDomains <= 0 {
+		s.WeaveDomains = minInt(s.NumCores, 16)
+	}
+	if s.OOO.IssueWidth == 0 {
+		s.OOO = DefaultOOOParams()
+	}
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// NumTiles returns the number of tiles in the configuration.
+func (s *System) NumTiles() int {
+	if s.CoresPerTile <= 1 {
+		return s.NumCores
+	}
+	return s.NumCores / s.CoresPerTile
+}
+
+// WriteJSON serializes the configuration.
+func (s *System) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Load reads a configuration from JSON and validates it.
+func Load(r io.Reader) (*System, error) {
+	var s System
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("config: decoding: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadFile reads a configuration from a JSON file.
+func LoadFile(path string) (*System, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// WestmereValidation returns the Table 2 configuration: the 6-core Westmere
+// (Xeon L5640) system zsim is validated against, with its corresponding
+// simulator settings (1000-cycle intervals, 6 weave threads).
+func WestmereValidation() *System {
+	s := &System{
+		Name:         "westmere-6c",
+		NumCores:     6,
+		CoreModel:    CoreOOO,
+		OOO:          DefaultOOOParams(),
+		CoresPerTile: 1,
+		FreqGHz:      2.27,
+		L1I:          CacheConfig{SizeKB: 32, Ways: 4, Latency: 3},
+		L1D:          CacheConfig{SizeKB: 32, Ways: 8, Latency: 4},
+		L2:           CacheConfig{SizeKB: 256, Ways: 8, Latency: 7},
+		L3:           CacheConfig{SizeKB: 12 * 1024, Ways: 16, Latency: 14, Banks: 6, MSHRs: 16},
+		Network:      NetRing,
+		NetHopCycles: 1, NetInjection: 5,
+		MemControllers:   1,
+		MemModel:         MemSimple,
+		MemLatency:       120,
+		MemServiceCycles: 4,
+		IntervalCycles:   1000,
+		Contention:       true,
+		WeaveMem:         WeaveMemDDR3,
+		WeaveDomains:     6,
+	}
+	if err := s.Validate(); err != nil {
+		panic("config: invalid Westmere preset: " + err.Error())
+	}
+	return s
+}
+
+// TiledChip returns the Table 3 configuration for the given number of tiles
+// (4, 16 or 64 tiles = 64, 256 or 1024 cores): 16 cores per tile, a 4 MB
+// shared L2 per tile, an 8 MB L3 bank per tile, a mesh NoC and one memory
+// controller per tile pair.
+func TiledChip(tiles int, model CoreModel) *System {
+	if tiles < 1 {
+		tiles = 1
+	}
+	s := &System{
+		Name:         fmt.Sprintf("tiled-%dc", tiles*16),
+		NumCores:     tiles * 16,
+		CoreModel:    model,
+		OOO:          DefaultOOOParams(),
+		CoresPerTile: 16,
+		FreqGHz:      2.0,
+		L1I:          CacheConfig{SizeKB: 32, Ways: 4, Latency: 3},
+		L1D:          CacheConfig{SizeKB: 32, Ways: 8, Latency: 4},
+		L2:           CacheConfig{SizeKB: 4 * 1024, Ways: 8, Latency: 8},
+		L3:           CacheConfig{SizeKB: 8 * 1024 * tiles, Ways: 16, Latency: 12, Banks: tiles, MSHRs: 16},
+		Network:      NetMesh,
+		NetHopCycles: 1, NetRouterStage: 2, NetInjection: 1,
+		MemControllers:   maxInt(tiles/2, 1),
+		MemModel:         MemSimple,
+		MemLatency:       120,
+		MemServiceCycles: 4,
+		IntervalCycles:   1000,
+		Contention:       true,
+		WeaveMem:         WeaveMemDDR3,
+		WeaveDomains:     minInt(tiles, 16),
+	}
+	if err := s.Validate(); err != nil {
+		panic("config: invalid tiled preset: " + err.Error())
+	}
+	return s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SmallTest returns a small 4-core configuration used by unit tests and the
+// quickstart example; it keeps cache sizes tiny so tests exercise evictions.
+func SmallTest() *System {
+	s := &System{
+		Name:         "small-4c",
+		NumCores:     4,
+		CoreModel:    CoreIPC1,
+		CoresPerTile: 1,
+		FreqGHz:      2.0,
+		L1I:          CacheConfig{SizeKB: 16, Ways: 4, Latency: 3},
+		L1D:          CacheConfig{SizeKB: 16, Ways: 4, Latency: 4},
+		L2:           CacheConfig{SizeKB: 128, Ways: 8, Latency: 7},
+		L3:           CacheConfig{SizeKB: 1024, Ways: 16, Latency: 14, Banks: 2, MSHRs: 16},
+		Network:      NetRing,
+		NetHopCycles: 1, NetInjection: 3,
+		MemControllers:   1,
+		MemModel:         MemSimple,
+		MemLatency:       100,
+		MemServiceCycles: 6,
+		IntervalCycles:   1000,
+		Contention:       false,
+		WeaveMem:         WeaveMemDDR3,
+		WeaveDomains:     2,
+	}
+	if err := s.Validate(); err != nil {
+		panic("config: invalid small preset: " + err.Error())
+	}
+	return s
+}

@@ -1,0 +1,175 @@
+package config
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+var osWriteFile = os.WriteFile
+
+func TestWestmerePreset(t *testing.T) {
+	s := WestmereValidation()
+	if s.NumCores != 6 || s.CoreModel != CoreOOO {
+		t.Fatalf("Westmere preset should be a 6-core OOO system: %+v", s)
+	}
+	if s.L3.Banks != 6 || s.L3.SizeKB != 12*1024 || s.L3.Ways != 16 {
+		t.Fatalf("Westmere L3 should be a 12MB 16-way 6-bank cache")
+	}
+	if s.L1D.Latency != 4 || s.L1I.Latency != 3 || s.L2.Latency != 7 {
+		t.Fatalf("Westmere cache latencies wrong")
+	}
+	if s.IntervalCycles != 1000 || s.WeaveDomains != 6 {
+		t.Fatalf("Westmere bound-weave settings wrong")
+	}
+	if s.Network != NetRing {
+		t.Fatalf("Westmere uncore uses a ring")
+	}
+	if s.NumTiles() != 6 {
+		t.Fatalf("one core per tile expected")
+	}
+}
+
+func TestTiledChipPresets(t *testing.T) {
+	for _, tc := range []struct {
+		tiles, cores int
+	}{{4, 64}, {16, 256}, {64, 1024}} {
+		s := TiledChip(tc.tiles, CoreIPC1)
+		if s.NumCores != tc.cores {
+			t.Fatalf("%d tiles should give %d cores, got %d", tc.tiles, tc.cores, s.NumCores)
+		}
+		if s.CoresPerTile != 16 || s.NumTiles() != tc.tiles {
+			t.Fatalf("tiling wrong for %d tiles", tc.tiles)
+		}
+		if s.L3.Banks != tc.tiles {
+			t.Fatalf("one L3 bank per tile expected")
+		}
+		if s.L3.SizeKB != 8*1024*tc.tiles {
+			t.Fatalf("8MB of L3 per tile expected")
+		}
+		if s.Network != NetMesh {
+			t.Fatalf("tiled chip uses a mesh")
+		}
+	}
+	// Degenerate tile count clamps.
+	if TiledChip(0, CoreOOO).NumCores != 16 {
+		t.Fatalf("zero tiles should clamp to one")
+	}
+}
+
+func TestSmallTestPreset(t *testing.T) {
+	s := SmallTest()
+	if s.NumCores != 4 || s.CoreModel != CoreIPC1 {
+		t.Fatalf("small preset wrong")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*System)
+	}{
+		{"no cores", func(s *System) { s.NumCores = 0 }},
+		{"bad core model", func(s *System) { s.CoreModel = "vliw" }},
+		{"tile mismatch", func(s *System) { s.CoresPerTile = 5 }},
+		{"zero l1d", func(s *System) { s.L1D.SizeKB = 0 }},
+		{"zero l3", func(s *System) { s.L3.SizeKB = 0 }},
+	}
+	for _, c := range cases {
+		s := WestmereValidation()
+		c.mut(s)
+		if err := s.Validate(); err == nil {
+			t.Fatalf("%s: expected a validation error", c.name)
+		}
+	}
+}
+
+func TestValidateDefaults(t *testing.T) {
+	s := &System{
+		NumCores: 2,
+		L1I:      CacheConfig{SizeKB: 32},
+		L1D:      CacheConfig{SizeKB: 32},
+		L2:       CacheConfig{SizeKB: 256},
+		L3:       CacheConfig{SizeKB: 1024},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("minimal config should validate: %v", err)
+	}
+	if s.CoreModel != CoreOOO || s.MemModel != MemSimple || s.Network != NetFlat {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+	if s.IntervalCycles != 1000 || s.WeaveDomains != 2 || s.MemControllers != 1 {
+		t.Fatalf("bound-weave defaults wrong: %+v", s)
+	}
+	if s.L1I.Ways != 1 || s.L3.Banks != 1 {
+		t.Fatalf("cache defaults wrong")
+	}
+	if s.OOO.IssueWidth != 4 {
+		t.Fatalf("OOO defaults not applied")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := TiledChip(4, CoreOOO)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if loaded.NumCores != s.NumCores || loaded.L3.Banks != s.L3.Banks ||
+		loaded.CoreModel != s.CoreModel || loaded.IntervalCycles != s.IntervalCycles {
+		t.Fatalf("round trip mismatch: %+v vs %+v", loaded, s)
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	_, err := Load(strings.NewReader(`{"numCores": 4, "bogusField": 1}`))
+	if err == nil {
+		t.Fatalf("unknown fields should be rejected")
+	}
+}
+
+func TestLoadRejectsInvalid(t *testing.T) {
+	_, err := Load(strings.NewReader(`{"numCores": 0}`))
+	if err == nil {
+		t.Fatalf("invalid config should be rejected")
+	}
+	_, err = Load(strings.NewReader(`not json`))
+	if err == nil {
+		t.Fatalf("malformed JSON should be rejected")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile("/nonexistent/zsim.json"); err == nil {
+		t.Fatalf("missing file should error")
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	path := t.TempDir() + "/cfg.json"
+	s := SmallTest()
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(path, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if loaded.Name != s.Name {
+		t.Fatalf("loaded config mismatch")
+	}
+}
+
+// writeFile is a tiny helper to avoid importing os in most tests.
+func writeFile(path string, data []byte) error {
+	return osWriteFile(path, data, 0o644)
+}

@@ -1,0 +1,262 @@
+// Package core implements the instruction-driven core timing models that are
+// the paper's first contribution: a simple IPC=1 core and a detailed
+// Westmere-class out-of-order core. Both are driven once per µop (or block)
+// by the dynamic instruction stream, rather than being stepped every cycle
+// (cycle-driven) or scheduled through a priority queue (event-driven). All
+// per-instruction decode work (µop fission, port masks, latencies, frontend
+// stall cycles) was already done once per static block by the isa.Decoder, so
+// the per-µop work here is a handful of clock updates — this is what gives
+// the 10-100x core-model speedup over conventional simulators.
+package core
+
+import (
+	"zsim/internal/bpred"
+	"zsim/internal/cache"
+	"zsim/internal/isa"
+	"zsim/internal/stats"
+	"zsim/internal/trace"
+)
+
+// Core is the interface shared by the IPC1 and OOO core models. A core is
+// driven by one host thread at a time (the bound phase barrier guarantees
+// this), so implementations are not internally synchronized.
+type Core interface {
+	// SimulateBlock advances the core's timing state over one dynamic basic
+	// block, performing the instruction-cache and data-cache accesses it
+	// implies.
+	SimulateBlock(b *trace.DynBlock)
+	// Cycle returns the core's current cycle (the retire-stage clock).
+	Cycle() uint64
+	// Instrs returns the number of instructions simulated.
+	Instrs() uint64
+	// Uops returns the number of µops simulated.
+	Uops() uint64
+	// AddDelay applies weave-phase feedback: it advances every internal clock
+	// by the given number of cycles (the contention-induced delay of the
+	// core's accesses in the previous interval).
+	AddDelay(cycles uint64)
+	// SetCycle fast-forwards the core's clocks to at least the given cycle
+	// (used when a descheduled thread is rescheduled onto the core, and at
+	// interval joins).
+	SetCycle(cycle uint64)
+	// SetRecorder installs the bound-phase access recorder used to build
+	// weave events; a nil recorder (the default) disables recording.
+	SetRecorder(rec AccessRecorder)
+	// SetObserver installs a line-granularity access observer (used by the
+	// path-altering-interference profiler); nil disables it.
+	SetObserver(obs cache.AccessObserver)
+	// ID returns the core's index in the simulated chip.
+	ID() int
+	// Name returns the core model's name ("ipc1" or "ooo").
+	Name() string
+	// BranchStats returns (predicted, mispredicted) branch counts.
+	BranchStats() (uint64, uint64)
+}
+
+// AccessRecorder receives, for every memory access that leaves the core while
+// recording is enabled, the zero-load issue cycle and the hierarchy hops the
+// access performed. The bound-weave driver uses it to build weave events for
+// accesses that miss beyond the private levels.
+type AccessRecorder interface {
+	RecordAccess(coreID int, issueCycle uint64, hops []cache.Hop)
+}
+
+// MemPorts bundles the cache ports a core issues accesses to.
+type MemPorts struct {
+	L1I cache.Level
+	L1D cache.Level
+}
+
+// Counters groups the statistic counters every core model maintains.
+type Counters struct {
+	Instrs     *stats.Counter
+	Uops       *stats.Counter
+	Cycles     *stats.Counter
+	Loads      *stats.Counter
+	Stores     *stats.Counter
+	Fetches    *stats.Counter
+	BrPred     *stats.Counter
+	BrMiss     *stats.Counter
+	FetchStall *stats.Counter
+	IssueStall *stats.Counter
+}
+
+func newCounters(reg *stats.Registry) Counters {
+	return Counters{
+		Instrs:     reg.Counter("instrs", "instructions simulated"),
+		Uops:       reg.Counter("uops", "µops simulated"),
+		Cycles:     reg.Counter("cycles", "core cycles elapsed"),
+		Loads:      reg.Counter("loads", "load µops issued to the L1D"),
+		Stores:     reg.Counter("stores", "store µops issued to the L1D"),
+		Fetches:    reg.Counter("fetches", "instruction-fetch accesses to the L1I"),
+		BrPred:     reg.Counter("branchPredictions", "conditional branches predicted"),
+		BrMiss:     reg.Counter("branchMispredicts", "conditional branches mispredicted"),
+		FetchStall: reg.Counter("fetchStallCycles", "cycles lost to frontend stalls"),
+		IssueStall: reg.Counter("issueStallCycles", "cycles lost to backend (issue) stalls"),
+	}
+}
+
+// IPC1 is the simple core model: one cycle per instruction, plus the memory
+// hierarchy's latency for loads (stores are buffered and do not stall), plus
+// instruction-fetch stalls. It is the model architects use for quick cache
+// studies, and the "IPC1" configuration of the paper's evaluation.
+type IPC1 struct {
+	id    int
+	ports MemPorts
+	cnt   Counters
+	rec   AccessRecorder
+	obs   cache.AccessObserver
+
+	cycle     uint64
+	lastFetch uint64 // line address of the last fetched I-cache line
+	pred      *bpred.Stats
+}
+
+// NewIPC1 creates a simple core.
+func NewIPC1(id int, ports MemPorts, reg *stats.Registry) *IPC1 {
+	return &IPC1{
+		id:    id,
+		ports: ports,
+		cnt:   newCounters(reg),
+		pred:  bpred.NewStats(bpred.NewDefault()),
+	}
+}
+
+// ID returns the core index.
+func (c *IPC1) ID() int { return c.id }
+
+// Name returns "ipc1".
+func (c *IPC1) Name() string { return "ipc1" }
+
+// Cycle returns the core's current cycle.
+func (c *IPC1) Cycle() uint64 { return c.cycle }
+
+// Instrs returns the instruction count.
+func (c *IPC1) Instrs() uint64 { return c.cnt.Instrs.Get() }
+
+// Uops returns the µop count.
+func (c *IPC1) Uops() uint64 { return c.cnt.Uops.Get() }
+
+// BranchStats returns (predictions, mispredictions).
+func (c *IPC1) BranchStats() (uint64, uint64) { return c.pred.Predictions, c.pred.Mispredicts }
+
+// AddDelay applies weave-phase feedback.
+func (c *IPC1) AddDelay(cycles uint64) {
+	c.cycle += cycles
+	c.cnt.Cycles.Set(c.cycle)
+}
+
+// SetCycle fast-forwards the core clock.
+func (c *IPC1) SetCycle(cycle uint64) {
+	if cycle > c.cycle {
+		c.cycle = cycle
+		c.cnt.Cycles.Set(c.cycle)
+	}
+}
+
+// SetRecorder installs the access recorder.
+func (c *IPC1) SetRecorder(rec AccessRecorder) { c.rec = rec }
+
+// SetObserver installs the line-access observer.
+func (c *IPC1) SetObserver(obs cache.AccessObserver) { c.obs = obs }
+
+// SimulateBlock simulates one dynamic block on the simple core.
+func (c *IPC1) SimulateBlock(b *trace.DynBlock) {
+	d := b.Decoded
+	if d == nil {
+		return
+	}
+
+	// Instruction fetch: one L1I access per new I-cache line touched.
+	fetchLine := cache.LineAddr(d.Addr)
+	if fetchLine != c.lastFetch {
+		c.lastFetch = fetchLine
+		c.cnt.Fetches.Inc()
+		avail := c.access(c.ports.L1I, fetchLine, false, c.cycle)
+		if avail > c.cycle {
+			// The simple model charges I-cache miss latency fully.
+			lat := avail - c.cycle
+			if lat > uint64(lineHitLatency(c.ports.L1I)) {
+				c.cnt.FetchStall.Add(lat)
+				c.cycle = avail
+			}
+		}
+	}
+
+	// One cycle per instruction.
+	c.cycle += uint64(d.Instrs)
+	c.cnt.Instrs.Add(uint64(d.Instrs))
+	c.cnt.Uops.Add(uint64(len(d.Uops)))
+
+	// Memory operations: loads stall the core for their full latency, stores
+	// are sent to the hierarchy but do not stall.
+	for _, u := range d.Uops {
+		switch u.Type {
+		case isa.UopLoad:
+			c.cnt.Loads.Inc()
+			addr := addrFor(b, u.MemSlot)
+			avail := c.access(c.ports.L1D, cache.LineAddr(addr), false, c.cycle)
+			if avail > c.cycle {
+				c.cycle = avail
+			}
+		case isa.UopStData:
+			c.cnt.Stores.Inc()
+			addr := addrFor(b, u.MemSlot)
+			c.access(c.ports.L1D, cache.LineAddr(addr), true, c.cycle)
+		}
+	}
+
+	// Branch prediction: mispredictions add a fixed penalty even on the
+	// simple core (this keeps branch MPKI statistics meaningful).
+	if d.CondBranch {
+		c.cnt.BrPred.Inc()
+		if !c.pred.PredictAndUpdate(b.BranchPC, b.Taken) {
+			c.cnt.BrMiss.Inc()
+			c.cycle += mispredictPenalty
+		}
+	}
+	c.cnt.Cycles.Set(c.cycle)
+}
+
+// access issues one request to a cache port, recording hops when a recorder
+// is installed.
+func (c *IPC1) access(port cache.Level, lineAddr uint64, write bool, cycle uint64) uint64 {
+	if port == nil {
+		return cycle
+	}
+	req := cache.Request{
+		LineAddr:   lineAddr,
+		Write:      write,
+		CoreID:     c.id,
+		Cycle:      cycle,
+		RecordHops: c.rec != nil,
+		Prof:       c.obs,
+	}
+	avail := port.Access(&req)
+	if c.rec != nil && len(req.Hops) > 0 {
+		c.rec.RecordAccess(c.id, cycle, req.Hops)
+	}
+	return avail
+}
+
+// lineHitLatency returns the hit latency of a cache.Level if it is a *cache.Cache.
+func lineHitLatency(l cache.Level) uint32 {
+	if cc, ok := l.(*cache.Cache); ok {
+		return cc.Latency()
+	}
+	return 0
+}
+
+// addrFor returns the dynamic address for a memory slot, tolerating blocks
+// whose address list is shorter than expected (defensive: the generator
+// guarantees one address per slot).
+func addrFor(b *trace.DynBlock, slot int8) uint64 {
+	if slot < 0 || int(slot) >= len(b.Addrs) {
+		return 0
+	}
+	return b.Addrs[slot]
+}
+
+// mispredictPenalty is the fixed branch-misprediction recovery penalty in
+// cycles (Westmere recovers in ~17 cycles).
+const mispredictPenalty = 17

@@ -1,0 +1,499 @@
+package core
+
+import (
+	"zsim/internal/bpred"
+	"zsim/internal/cache"
+	"zsim/internal/isa"
+	"zsim/internal/stats"
+	"zsim/internal/trace"
+)
+
+// OOOConfig holds the microarchitectural parameters of the out-of-order core
+// model. Defaults (OOOWestmere) follow the validated Westmere configuration:
+// 4-wide issue and retire, a 36-entry reservation-station-like issue window
+// approximated through the port scheduler, a 128-entry ROB, 48-entry load
+// queue and 32-entry store queue, 16-bytes-per-cycle fetch and a 17-cycle
+// misprediction recovery.
+type OOOConfig struct {
+	IssueWidth       int
+	RetireWidth      int
+	ROBSize          int
+	LoadQueueSize    int
+	StoreQueueSize   int
+	FetchBytesPerCyc int
+	MispredictCycles uint64
+	// RRFWritesPerCycle models the limited register-renaming bandwidth for
+	// non-captured operands (the paper models a limited-width RRF).
+	RRFWritesPerCycle int
+	// SchedWindowCycles bounds how far ahead of the issue clock a µop may be
+	// scheduled on a port (the future window of port occupancy).
+	SchedWindowCycles int
+	// PredictorEntries and PredictorHistBits configure the two-level branch
+	// predictor.
+	PredictorEntries  int
+	PredictorHistBits uint
+}
+
+// OOOWestmere returns the Westmere-class configuration used for validation.
+func OOOWestmere() OOOConfig {
+	return OOOConfig{
+		IssueWidth:        4,
+		RetireWidth:       4,
+		ROBSize:           128,
+		LoadQueueSize:     48,
+		StoreQueueSize:    32,
+		FetchBytesPerCyc:  16,
+		MispredictCycles:  17,
+		RRFWritesPerCycle: 4,
+		SchedWindowCycles: 256,
+		PredictorEntries:  16384,
+		PredictorHistBits: 12,
+	}
+}
+
+// storeEntry is one entry of the store queue, used for store-to-load
+// forwarding and TSO ordering.
+type storeEntry struct {
+	lineAddr   uint64
+	dataCycle  uint64 // cycle at which the store's data is available
+	commitDone uint64 // cycle at which the store has drained to the L1D
+}
+
+// OOO is the detailed out-of-order core model. It is instruction-driven: each
+// µop passes through fetch, decode, issue and retire in a single call,
+// updating the per-stage clocks and the structures that couple them (register
+// scoreboard, port-occupancy window, ROB, load/store queues), exactly as
+// described in Section 3.1 and Figure 1 of the paper.
+type OOO struct {
+	id    int
+	cfg   OOOConfig
+	ports MemPorts
+	cnt   Counters
+	rec   AccessRecorder
+	obs   cache.AccessObserver
+	pred  *bpred.Stats
+
+	// Per-stage clocks.
+	fetchClock  uint64
+	decodeClock uint64
+	issueClock  uint64
+	retireClock uint64
+
+	// Register scoreboard: cycle at which each architectural register's value
+	// becomes available.
+	scoreboard [isa.NumRegs]uint64
+
+	// Port-occupancy window: portBusy[c%len][p] reports whether port p is
+	// taken at absolute cycle c. windowBase is the lowest absolute cycle with
+	// valid entries; entries below it are stale and cleared lazily as the
+	// window slides forward.
+	portBusy   [][isa.NumPorts]bool
+	windowBase uint64
+
+	// ROB: retire cycle of each in-flight µop, in allocation order.
+	rob     []uint64
+	robHead int
+
+	// Issue and retire bandwidth accounting within the current cycle.
+	issuedThisCycle  int
+	issueCycle       uint64
+	retiredThisCycle int
+	retireCycle      uint64
+
+	// Load/store queues.
+	storeQ []storeEntry
+	loadQ  []uint64 // completion cycles of in-flight loads
+
+	// Fetch state.
+	lastFetchLine uint64
+	// pendingRedirect is the cycle at which the frontend may resume fetching
+	// after a branch misprediction detected in a previous block.
+	pendingRedirect uint64
+
+	// fenceUntil serializes memory operations after a fence µop.
+	fenceUntil uint64
+}
+
+// NewOOO creates an out-of-order core with the given configuration.
+func NewOOO(id int, cfg OOOConfig, ports MemPorts, reg *stats.Registry) *OOO {
+	if cfg.IssueWidth < 1 {
+		cfg.IssueWidth = 4
+	}
+	if cfg.RetireWidth < 1 {
+		cfg.RetireWidth = 4
+	}
+	if cfg.ROBSize < 8 {
+		cfg.ROBSize = 128
+	}
+	if cfg.SchedWindowCycles < 32 {
+		cfg.SchedWindowCycles = 256
+	}
+	if cfg.FetchBytesPerCyc < 1 {
+		cfg.FetchBytesPerCyc = 16
+	}
+	if cfg.MispredictCycles == 0 {
+		cfg.MispredictCycles = 17
+	}
+	if cfg.LoadQueueSize < 1 {
+		cfg.LoadQueueSize = 48
+	}
+	if cfg.StoreQueueSize < 1 {
+		cfg.StoreQueueSize = 32
+	}
+	if cfg.PredictorEntries == 0 {
+		cfg.PredictorEntries = 16384
+	}
+	if cfg.PredictorHistBits == 0 {
+		cfg.PredictorHistBits = 12
+	}
+	c := &OOO{
+		id:       id,
+		cfg:      cfg,
+		ports:    ports,
+		cnt:      newCounters(reg),
+		pred:     bpred.NewStats(bpred.NewTwoLevel(cfg.PredictorEntries, cfg.PredictorHistBits)),
+		portBusy: make([][isa.NumPorts]bool, cfg.SchedWindowCycles),
+		rob:      make([]uint64, cfg.ROBSize),
+	}
+	return c
+}
+
+// ID returns the core index.
+func (c *OOO) ID() int { return c.id }
+
+// Name returns "ooo".
+func (c *OOO) Name() string { return "ooo" }
+
+// Cycle returns the retire-stage clock (the architected completion point).
+func (c *OOO) Cycle() uint64 { return c.retireClock }
+
+// Instrs returns the instruction count.
+func (c *OOO) Instrs() uint64 { return c.cnt.Instrs.Get() }
+
+// Uops returns the µop count.
+func (c *OOO) Uops() uint64 { return c.cnt.Uops.Get() }
+
+// BranchStats returns (predictions, mispredictions).
+func (c *OOO) BranchStats() (uint64, uint64) { return c.pred.Predictions, c.pred.Mispredicts }
+
+// SetRecorder installs the access recorder.
+func (c *OOO) SetRecorder(rec AccessRecorder) { c.rec = rec }
+
+// SetObserver installs the line-access observer.
+func (c *OOO) SetObserver(obs cache.AccessObserver) { c.obs = obs }
+
+// AddDelay applies weave-phase feedback by advancing every stage clock.
+func (c *OOO) AddDelay(cycles uint64) {
+	c.fetchClock += cycles
+	c.decodeClock += cycles
+	c.issueClock += cycles
+	c.retireClock += cycles
+	c.cnt.Cycles.Set(c.retireClock)
+}
+
+// SetCycle fast-forwards all clocks to at least the given cycle.
+func (c *OOO) SetCycle(cycle uint64) {
+	if cycle > c.retireClock {
+		delta := cycle - c.retireClock
+		c.AddDelay(delta)
+	}
+}
+
+// access issues a request to a cache port, recording hops when enabled.
+func (c *OOO) access(port cache.Level, lineAddr uint64, write bool, cycle uint64) uint64 {
+	if port == nil {
+		return cycle
+	}
+	req := cache.Request{
+		LineAddr:   lineAddr,
+		Write:      write,
+		CoreID:     c.id,
+		Cycle:      cycle,
+		RecordHops: c.rec != nil,
+		Prof:       c.obs,
+	}
+	avail := port.Access(&req)
+	if c.rec != nil && len(req.Hops) > 0 {
+		c.rec.RecordAccess(c.id, cycle, req.Hops)
+	}
+	return avail
+}
+
+// SimulateBlock simulates one dynamic basic block: the instruction fetch
+// (including branch prediction and I-cache access), the frontend decode
+// stalls, and every µop's dispatch, port scheduling, execution and
+// retirement.
+func (c *OOO) SimulateBlock(b *trace.DynBlock) {
+	d := b.Decoded
+	if d == nil {
+		return
+	}
+
+	// --- Fetch stage ---------------------------------------------------
+	// Resume after any pending misprediction redirect.
+	if c.pendingRedirect > c.fetchClock {
+		c.cnt.FetchStall.Add(c.pendingRedirect - c.fetchClock)
+		c.fetchClock = c.pendingRedirect
+		c.pendingRedirect = 0
+	}
+	// Instruction-cache access, one per line the block spans.
+	firstLine := cache.LineAddr(d.Addr)
+	lastLine := cache.LineAddr(d.Addr + d.Bytes)
+	for lineA := firstLine; lineA <= lastLine; lineA++ {
+		if lineA == c.lastFetchLine {
+			continue
+		}
+		c.lastFetchLine = lineA
+		c.cnt.Fetches.Inc()
+		avail := c.access(c.ports.L1I, lineA, false, c.fetchClock)
+		if avail > c.fetchClock {
+			hitLat := uint64(lineHitLatency(c.ports.L1I))
+			if avail-c.fetchClock > hitLat {
+				// I-cache miss: the frontend stalls for the excess latency.
+				c.cnt.FetchStall.Add(avail - c.fetchClock - hitLat)
+				c.fetchClock = avail - hitLat
+			}
+		}
+	}
+	// Fetch bandwidth: the block's bytes drain at FetchBytesPerCyc.
+	c.fetchClock += (d.Bytes + uint64(c.cfg.FetchBytesPerCyc) - 1) / uint64(c.cfg.FetchBytesPerCyc)
+
+	// --- Decode stage ----------------------------------------------------
+	if c.decodeClock < c.fetchClock {
+		c.decodeClock = c.fetchClock
+	}
+	c.decodeClock += uint64(d.DecodeCycles)
+
+	// --- Issue / execute / retire, one µop at a time --------------------
+	blockIssue := c.decodeClock // µops cannot issue before the block is decoded
+	for i := range d.Uops {
+		u := &d.Uops[i]
+		c.simulateUop(b, u, blockIssue)
+	}
+
+	c.cnt.Instrs.Add(uint64(d.Instrs))
+	c.cnt.Uops.Add(uint64(len(d.Uops)))
+
+	// --- Branch resolution ----------------------------------------------
+	if d.CondBranch {
+		c.cnt.BrPred.Inc()
+		if !c.pred.PredictAndUpdate(b.BranchPC, b.Taken) {
+			c.cnt.BrMiss.Inc()
+			// The redirect takes effect when the branch resolves (the RIP
+			// scoreboard entry carries the branch µop's completion cycle)
+			// plus the fixed recovery penalty. Wrong-path fetch pollution:
+			// fetch one wrong-path line into the L1I.
+			resolve := c.scoreboard[isa.RIP]
+			if resolve < c.issueClock {
+				resolve = c.issueClock
+			}
+			c.pendingRedirect = resolve + c.cfg.MispredictCycles
+			wrongPath := cache.LineAddr(d.Addr+d.Bytes) + 1
+			c.access(c.ports.L1I, wrongPath, false, c.fetchClock)
+			c.cnt.Fetches.Inc()
+		}
+	}
+	c.cnt.Cycles.Set(c.retireClock)
+}
+
+// simulateUop runs one µop through dispatch, port scheduling, execution and
+// retirement.
+func (c *OOO) simulateUop(b *trace.DynBlock, u *isa.Uop, blockIssue uint64) {
+	// (2) Minimum dispatch cycle from the scoreboard (operand readiness).
+	dispatch := blockIssue
+	if t := c.scoreboard[u.Src1]; u.Src1 != isa.RegZero && t > dispatch {
+		dispatch = t
+	}
+	if t := c.scoreboard[u.Src2]; u.Src2 != isa.RegZero && t > dispatch {
+		dispatch = t
+	}
+	// Memory ordering: fences serialize everything after them.
+	if c.fenceUntil > dispatch && (u.Type == isa.UopLoad || u.Type == isa.UopStData || u.Type == isa.UopStAddr || u.Type == isa.UopFence) {
+		dispatch = c.fenceUntil
+	}
+
+	// (3) Issue width and RRF bandwidth: at most IssueWidth µops enter the
+	// window per cycle.
+	if c.issueCycle != c.issueClock {
+		c.issueCycle = c.issueClock
+		c.issuedThisCycle = 0
+	}
+	c.issuedThisCycle++
+	if c.issuedThisCycle >= c.cfg.IssueWidth {
+		c.issueClock++
+		c.issuedThisCycle = 0
+	}
+	if dispatch < c.issueClock {
+		stall := c.issueClock - dispatch
+		c.cnt.IssueStall.Add(stall)
+		dispatch = c.issueClock
+	}
+
+	// ROB occupancy: reuse the oldest entry; if it retires in the future, the
+	// issue stage stalls until then (the paper's head-of-line ROB stall).
+	oldestRetire := c.rob[c.robHead]
+	if oldestRetire > dispatch {
+		c.cnt.IssueStall.Add(oldestRetire - dispatch)
+		dispatch = oldestRetire
+		if c.issueClock < dispatch {
+			c.issueClock = dispatch
+		}
+	}
+
+	// (4) Port scheduling: first cycle >= dispatch with a free compatible port.
+	execCycle, port := c.schedulePort(u.Ports, dispatch)
+
+	// (5) Memory µops access the hierarchy at their execution cycle.
+	var doneCycle uint64
+	switch u.Type {
+	case isa.UopLoad:
+		c.cnt.Loads.Inc()
+		addr := addrFor(b, u.MemSlot)
+		lineA := cache.LineAddr(addr)
+		if fwd, ok := c.storeForward(lineA, execCycle); ok {
+			// Store-to-load forwarding: data comes from the store queue.
+			doneCycle = fwd
+		} else {
+			avail := c.access(c.ports.L1D, lineA, false, execCycle)
+			doneCycle = avail
+		}
+		c.pushLoad(doneCycle)
+	case isa.UopStAddr:
+		// Store-address generation completes quickly; the store's data and
+		// drain are tracked by the matching StData µop.
+		doneCycle = execCycle + uint64(u.Lat)
+	case isa.UopStData:
+		c.cnt.Stores.Inc()
+		addr := addrFor(b, u.MemSlot)
+		lineA := cache.LineAddr(addr)
+		// The store drains to the L1D after it commits; under TSO it does not
+		// stall the core unless the store queue is full.
+		drain := c.access(c.ports.L1D, lineA, true, execCycle)
+		doneCycle = execCycle
+		c.pushStore(lineA, execCycle, drain)
+	case isa.UopFence:
+		// Fences wait for the store queue to drain.
+		doneCycle = execCycle + uint64(u.Lat)
+		if d := c.storeQueueDrain(); d > doneCycle {
+			doneCycle = d
+		}
+		c.fenceUntil = doneCycle
+	default:
+		doneCycle = execCycle + uint64(u.Lat)
+	}
+
+	// (6) Scoreboard update for destination registers.
+	if u.Dst1 != isa.RegZero {
+		c.scoreboard[u.Dst1] = doneCycle
+	}
+	if u.Dst2 != isa.RegZero {
+		c.scoreboard[u.Dst2] = doneCycle
+	}
+
+	// (7) Retire: in order, bounded by retire width.
+	retire := doneCycle
+	if retire < c.retireClock {
+		retire = c.retireClock
+	}
+	if c.retireCycle != retire {
+		c.retireCycle = retire
+		c.retiredThisCycle = 0
+	}
+	c.retiredThisCycle++
+	if c.retiredThisCycle >= c.cfg.RetireWidth {
+		retire++
+		c.retiredThisCycle = 0
+	}
+	c.retireClock = retire
+	c.rob[c.robHead] = retire
+	c.robHead = (c.robHead + 1) % len(c.rob)
+	_ = port
+}
+
+// schedulePort finds the first cycle >= earliest with a free port compatible
+// with the mask, marks it busy, and returns (cycle, port).
+func (c *OOO) schedulePort(mask isa.PortMask, earliest uint64) (uint64, int) {
+	w := uint64(len(c.portBusy))
+	// Slide the window forward if earliest is beyond it; everything below the
+	// new base is in the past and can be cleared lazily.
+	if earliest < c.windowBase {
+		earliest = c.windowBase
+	}
+	if earliest >= c.windowBase+w {
+		// Clear the whole window; it has fully slid past.
+		for i := range c.portBusy {
+			c.portBusy[i] = [isa.NumPorts]bool{}
+		}
+		c.windowBase = earliest
+	}
+	for cyc := earliest; ; cyc++ {
+		if cyc >= c.windowBase+w {
+			// Slide the window by one cycle: the slot that wraps around
+			// becomes the new frontier and must be cleared.
+			c.portBusy[c.windowBase%w] = [isa.NumPorts]bool{}
+			c.windowBase++
+		}
+		slot := &c.portBusy[cyc%w]
+		for p := 0; p < isa.NumPorts; p++ {
+			if mask.Has(p) && !slot[p] {
+				slot[p] = true
+				return cyc, p
+			}
+		}
+	}
+}
+
+// pushStore records a committed store for forwarding and drain tracking.
+func (c *OOO) pushStore(lineAddr, dataCycle, drainCycle uint64) {
+	if len(c.storeQ) >= c.cfg.StoreQueueSize && c.cfg.StoreQueueSize > 0 {
+		// Store queue full: the oldest store must drain before this one can
+		// enter; this back-pressures the issue stage.
+		oldest := c.storeQ[0]
+		if oldest.commitDone > c.issueClock {
+			c.cnt.IssueStall.Add(oldest.commitDone - c.issueClock)
+			c.issueClock = oldest.commitDone
+		}
+		c.storeQ = c.storeQ[1:]
+	}
+	c.storeQ = append(c.storeQ, storeEntry{lineAddr: lineAddr, dataCycle: dataCycle, commitDone: drainCycle})
+}
+
+// storeForward returns the forwarding completion cycle if a store to the same
+// line is still in the store queue (newest match wins).
+func (c *OOO) storeForward(lineAddr uint64, loadCycle uint64) (uint64, bool) {
+	for i := len(c.storeQ) - 1; i >= 0; i-- {
+		if c.storeQ[i].lineAddr == lineAddr {
+			done := c.storeQ[i].dataCycle + 1 // 1-cycle forwarding latency
+			if done < loadCycle {
+				done = loadCycle + 1
+			}
+			return done, true
+		}
+	}
+	return 0, false
+}
+
+// pushLoad tracks an in-flight load; a full load queue back-pressures issue.
+func (c *OOO) pushLoad(doneCycle uint64) {
+	if c.cfg.LoadQueueSize > 0 && len(c.loadQ) >= c.cfg.LoadQueueSize {
+		oldest := c.loadQ[0]
+		if oldest > c.issueClock {
+			c.cnt.IssueStall.Add(oldest - c.issueClock)
+			c.issueClock = oldest
+		}
+		c.loadQ = c.loadQ[1:]
+	}
+	c.loadQ = append(c.loadQ, doneCycle)
+}
+
+// storeQueueDrain returns the cycle at which all stores currently in the
+// queue have drained.
+func (c *OOO) storeQueueDrain() uint64 {
+	var max uint64
+	for _, s := range c.storeQ {
+		if s.commitDone > max {
+			max = s.commitDone
+		}
+	}
+	return max
+}

@@ -1,0 +1,382 @@
+// Package event implements the weave-phase parallel event-driven simulation
+// framework described in Section 3.2.2 of the paper.
+//
+// The bound phase records, per core, a trace of the microarchitectural events
+// each memory access generates beyond the private cache levels (L3 bank
+// accesses, memory controller reads, writebacks). The weave phase replays
+// those events in full order to model contention. Every event carries a lower
+// bound on its execution cycle (established by the zero-load bound phase),
+// its parents (events that must finish first) and its children.
+//
+// Components (cache banks, memory controllers, cores) are statically
+// partitioned into domains. Each domain owns a priority queue of events and
+// is driven by its own goroutine. When a parent and child live in different
+// domains, a domain-crossing event is enqueued in the child's domain; it polls
+// the parent's completion, re-enqueueing itself at the parent domain's
+// current cycle plus the parent-to-child delay until the parent has finished
+// — exactly the scheme of Figure 4. Because every event has a lower bound,
+// crossings never have to wait for a cycle that could precede their final
+// execution cycle, which is what makes this accurate without conventional
+// PDES synchronization.
+package event
+
+import (
+	"container/heap"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Executor is the contention-model callback attached to an event: it receives
+// the cycle at which the event is dispatched and returns the cycle at which
+// the event finishes (>= the dispatch cycle).
+type Executor func(dispatchCycle uint64) (finishCycle uint64)
+
+// Event is one weave-phase event: an access hitting a component, a memory
+// read, a writeback, or a core-side marker. Events are created during the
+// bound phase (through a Slab) with their dependencies fully specified.
+type Event struct {
+	// Comp is the global component ID the event operates on; it determines
+	// the event's domain.
+	Comp int
+	// MinCycle is the lower bound on the event's execution cycle, established
+	// by the zero-load bound phase.
+	MinCycle uint64
+	// Exec computes the event's finish cycle given its dispatch cycle. A nil
+	// Exec means the event finishes instantly at its dispatch cycle.
+	Exec Executor
+
+	// Delay is the fixed parent-to-child delay: the event cannot be
+	// dispatched before parentFinish + Delay (for each parent).
+	Delay uint64
+
+	children []*Event
+
+	// Mutable simulation state.
+	pendingParents int32
+	readyCycle     uint64 // max over parents of (finish + Delay), and MinCycle
+	finishCycle    uint64
+	done           atomic.Bool
+	enqueued       bool
+}
+
+// AddChild declares that child depends on e (child cannot dispatch before e
+// finishes plus child.Delay).
+func (e *Event) AddChild(child *Event) {
+	e.children = append(e.children, child)
+	child.pendingParents++
+}
+
+// Parentless reports whether the event has no parents (it is a chain root
+// that must be enqueued explicitly). Only meaningful before the engine runs.
+func (e *Event) Parentless() bool { return e.pendingParents == 0 }
+
+// Finished reports whether the event has executed.
+func (e *Event) Finished() bool { return e.done.Load() }
+
+// FinishCycle returns the cycle at which the event finished (valid only after
+// Finished() is true).
+func (e *Event) FinishCycle() uint64 { return e.finishCycle }
+
+// NumChildren returns the number of declared children (used by tests).
+func (e *Event) NumChildren() int { return len(e.children) }
+
+// Slab is a per-core slab allocator for events. The bound phase allocates
+// events from its core's slab; after the interval's weave phase completes the
+// slab is recycled wholesale, avoiding generic heap allocation on the
+// simulator's hot path (Section 3.2.1, "Tracing"). Events are allocated in
+// fixed-size chunks so previously returned pointers remain valid as the slab
+// grows.
+type Slab struct {
+	chunks    [][]Event
+	chunkSize int
+	cur       int // index of the chunk being filled
+	next      int // next free slot within the current chunk
+	inUse     int
+}
+
+// NewSlab creates a slab whose chunks hold n events each.
+func NewSlab(n int) *Slab {
+	if n < 16 {
+		n = 16
+	}
+	return &Slab{chunks: [][]Event{make([]Event, n)}, chunkSize: n}
+}
+
+// Alloc returns a zeroed event from the slab, growing it by whole chunks as
+// needed.
+func (s *Slab) Alloc() *Event {
+	if s.next == s.chunkSize {
+		s.cur++
+		s.next = 0
+		if s.cur == len(s.chunks) {
+			s.chunks = append(s.chunks, make([]Event, s.chunkSize))
+		}
+	}
+	e := &s.chunks[s.cur][s.next]
+	s.next++
+	s.inUse++
+	*e = Event{}
+	return e
+}
+
+// Reset recycles every event in the slab (whole-interval recycling).
+func (s *Slab) Reset() {
+	s.cur = 0
+	s.next = 0
+	s.inUse = 0
+}
+
+// InUse returns the number of live events.
+func (s *Slab) InUse() int { return s.inUse }
+
+// At returns the i-th live event (0 <= i < InUse()), in allocation order.
+func (s *Slab) At(i int) *Event {
+	return &s.chunks[i/s.chunkSize][i%s.chunkSize]
+}
+
+// queueItem orders events by dispatch cycle.
+type queueItem struct {
+	ev    *Event
+	cycle uint64
+}
+
+type eventPQ []queueItem
+
+func (q eventPQ) Len() int            { return len(q) }
+func (q eventPQ) Less(i, j int) bool  { return q[i].cycle < q[j].cycle }
+func (q eventPQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventPQ) Push(x interface{}) { *q = append(*q, x.(queueItem)) }
+func (q *eventPQ) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Domain is one weave-phase domain: a set of components, a priority queue of
+// their events, and a logical clock. Domains are driven concurrently by the
+// Engine.
+type Domain struct {
+	id int
+
+	mu sync.Mutex
+	pq eventPQ
+
+	// cycle is the domain's current cycle, read by crossings from other
+	// domains (updated atomically).
+	cycle atomic.Uint64
+
+	// Executed counts events executed in this domain (stats / load balance).
+	Executed uint64
+	// CrossRetries counts crossing re-enqueues (synchronization overhead
+	// indicator).
+	CrossRetries uint64
+}
+
+// ID returns the domain's index.
+func (d *Domain) ID() int { return d.id }
+
+// Cycle returns the domain's current cycle.
+func (d *Domain) Cycle() uint64 { return d.cycle.Load() }
+
+func (d *Domain) push(ev *Event, cycle uint64) {
+	d.mu.Lock()
+	heap.Push(&d.pq, queueItem{ev: ev, cycle: cycle})
+	d.mu.Unlock()
+}
+
+func (d *Domain) pop() (queueItem, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.pq) == 0 {
+		return queueItem{}, false
+	}
+	return heap.Pop(&d.pq).(queueItem), true
+}
+
+// Engine coordinates the weave phase: it owns the domains, maps components to
+// domains, accepts the root events of each interval, and runs all domains in
+// parallel until every event has executed.
+type Engine struct {
+	domains    []*Domain
+	compDomain map[int]int
+	// remaining counts events enqueued but not yet finished across all
+	// domains (crossings excluded: they are bookkeeping, not real events).
+	remaining atomic.Int64
+}
+
+// NewEngine creates an engine with n domains.
+func NewEngine(nDomains int) *Engine {
+	if nDomains < 1 {
+		nDomains = 1
+	}
+	e := &Engine{compDomain: make(map[int]int)}
+	for i := 0; i < nDomains; i++ {
+		e.domains = append(e.domains, &Domain{id: i})
+	}
+	return e
+}
+
+// NumDomains returns the number of domains.
+func (e *Engine) NumDomains() int { return len(e.domains) }
+
+// Domain returns domain i.
+func (e *Engine) Domain(i int) *Domain { return e.domains[i] }
+
+// AssignComponent maps a component ID to a domain. Components not assigned
+// explicitly default to domain (comp mod nDomains).
+func (e *Engine) AssignComponent(comp, domain int) {
+	e.compDomain[comp] = domain % len(e.domains)
+}
+
+// DomainOf returns the domain index owning the component.
+func (e *Engine) DomainOf(comp int) int {
+	if d, ok := e.compDomain[comp]; ok {
+		return d
+	}
+	d := comp % len(e.domains)
+	if d < 0 {
+		d += len(e.domains)
+	}
+	return d
+}
+
+// Enqueue submits a root event (one with no parents) for execution in its
+// component's domain. Events with parents are enqueued automatically when
+// their parents finish; only roots need explicit enqueueing.
+func (e *Engine) Enqueue(ev *Event) {
+	ev.readyCycle = ev.MinCycle
+	ev.enqueued = true
+	e.remaining.Add(1)
+	d := e.domains[e.DomainOf(ev.Comp)]
+	d.push(ev, ev.MinCycle)
+}
+
+// countEvents walks the dependency graph from the roots and adds every
+// not-yet-enqueued descendant to the remaining counter, so Run knows when the
+// graph is fully executed.
+func (e *Engine) registerDescendants(ev *Event) {
+	for _, ch := range ev.children {
+		if !ch.enqueued {
+			ch.enqueued = true
+			e.remaining.Add(1)
+			e.registerDescendants(ch)
+		}
+	}
+}
+
+// Run executes all enqueued events (and their descendants) to completion,
+// driving each domain with its own goroutine. It returns the largest finish
+// cycle observed (the interval's actual end).
+func (e *Engine) Run() uint64 {
+	// Register all descendants so the termination condition is exact.
+	for _, d := range e.domains {
+		d.mu.Lock()
+		items := append([]queueItem(nil), d.pq...)
+		d.mu.Unlock()
+		for _, it := range items {
+			e.registerDescendants(it.ev)
+		}
+	}
+
+	var wg sync.WaitGroup
+	var maxFinish atomic.Uint64
+	for _, d := range e.domains {
+		wg.Add(1)
+		go func(dom *Domain) {
+			defer wg.Done()
+			e.runDomain(dom, &maxFinish)
+		}(d)
+	}
+	wg.Wait()
+	// Reset domain clocks for the next interval.
+	for _, d := range e.domains {
+		d.cycle.Store(0)
+	}
+	return maxFinish.Load()
+}
+
+// runDomain drains one domain's queue, executing events in dispatch-cycle
+// order and handing finished events' children to their domains.
+func (e *Engine) runDomain(dom *Domain, maxFinish *atomic.Uint64) {
+	idleSpins := 0
+	for {
+		item, ok := dom.pop()
+		if !ok {
+			if e.remaining.Load() == 0 {
+				return
+			}
+			// The domain is idle but other domains still have work that may
+			// hand events to us; advance our clock to infinity so crossings
+			// waiting on us don't throttle, then yield.
+			dom.cycle.Store(math.MaxUint64)
+			idleSpins++
+			if idleSpins > 64 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		idleSpins = 0
+		ev := item.ev
+		dispatch := item.cycle
+		if dispatch < ev.readyCycle {
+			dispatch = ev.readyCycle
+		}
+		dom.cycle.Store(dispatch)
+
+		finish := dispatch
+		if ev.Exec != nil {
+			finish = ev.Exec(dispatch)
+			if finish < dispatch {
+				finish = dispatch
+			}
+		}
+		ev.finishCycle = finish
+		ev.done.Store(true)
+		dom.Executed++
+		e.remaining.Add(-1)
+
+		for {
+			cur := maxFinish.Load()
+			if finish <= cur || maxFinish.CompareAndSwap(cur, finish) {
+				break
+			}
+		}
+
+		// Release children.
+		for _, ch := range ev.children {
+			e.childReady(dom, ch, finish)
+		}
+	}
+}
+
+// childReady records that one parent of ch finished at parentFinish; when the
+// last parent finishes, the child is enqueued in its own domain (directly if
+// same-domain, via an implicit crossing otherwise — with lower-bounded events
+// the crossing reduces to enqueueing at the correct ready cycle, since the
+// child's dispatch can never precede it).
+func (e *Engine) childReady(parentDom *Domain, ch *Event, parentFinish uint64) {
+	ready := parentFinish + ch.Delay
+	// The child's ready cycle and pending-parent count are protected by the
+	// child domain's lock: two parents in different domains may finish
+	// concurrently.
+	chDom := e.domains[e.DomainOf(ch.Comp)]
+	chDom.mu.Lock()
+	if ch.readyCycle < ready {
+		ch.readyCycle = ready
+	}
+	if ch.readyCycle < ch.MinCycle {
+		ch.readyCycle = ch.MinCycle
+	}
+	ch.pendingParents--
+	if ch.pendingParents == 0 {
+		heap.Push(&chDom.pq, queueItem{ev: ch, cycle: ch.readyCycle})
+		if chDom != parentDom {
+			parentDom.CrossRetries++ // count inter-domain handoffs
+		}
+	}
+	chDom.mu.Unlock()
+}

@@ -1,0 +1,339 @@
+package event
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSlabAllocAndReset(t *testing.T) {
+	s := NewSlab(4)
+	var evs []*Event
+	for i := 0; i < 10; i++ { // forces growth past the first chunk
+		e := s.Alloc()
+		e.Comp = i
+		evs = append(evs, e)
+	}
+	if s.InUse() != 10 {
+		t.Fatalf("in-use count: %d", s.InUse())
+	}
+	// Growth must not invalidate earlier pointers.
+	for i, e := range evs {
+		if e.Comp != i {
+			t.Fatalf("event %d corrupted after slab growth: comp=%d", i, e.Comp)
+		}
+	}
+	s.Reset()
+	if s.InUse() != 0 {
+		t.Fatalf("reset should clear in-use count")
+	}
+	e := s.Alloc()
+	if e.Comp != 0 || e.MinCycle != 0 || e.Exec != nil {
+		t.Fatalf("recycled event should be zeroed")
+	}
+	// Minimum chunk size.
+	tiny := NewSlab(1)
+	if tiny.chunkSize != 16 {
+		t.Fatalf("chunk size should clamp to 16, got %d", tiny.chunkSize)
+	}
+}
+
+func TestSingleEventExecution(t *testing.T) {
+	eng := NewEngine(2)
+	if eng.NumDomains() != 2 {
+		t.Fatalf("domains: %d", eng.NumDomains())
+	}
+	s := NewSlab(16)
+	ev := s.Alloc()
+	ev.Comp = 0
+	ev.MinCycle = 100
+	var got uint64
+	ev.Exec = func(c uint64) uint64 { got = c; return c + 25 }
+	eng.Enqueue(ev)
+	end := eng.Run()
+	if !ev.Finished() {
+		t.Fatalf("event should have executed")
+	}
+	if got != 100 {
+		t.Fatalf("event should dispatch at its lower bound, got %d", got)
+	}
+	if ev.FinishCycle() != 125 || end != 125 {
+		t.Fatalf("finish cycle wrong: %d / %d", ev.FinishCycle(), end)
+	}
+}
+
+func TestParentChildDelayPropagation(t *testing.T) {
+	eng := NewEngine(1)
+	s := NewSlab(16)
+	parent := s.Alloc()
+	parent.Comp = 0
+	parent.MinCycle = 10
+	parent.Exec = func(c uint64) uint64 { return c + 40 } // finishes at 50
+
+	child := s.Alloc()
+	child.Comp = 0
+	child.MinCycle = 20 // lower bound is far below the real dispatch
+	child.Delay = 5
+	var childDispatch uint64
+	child.Exec = func(c uint64) uint64 { childDispatch = c; return c }
+	parent.AddChild(child)
+	if parent.NumChildren() != 1 {
+		t.Fatalf("child not registered")
+	}
+
+	eng.Enqueue(parent)
+	eng.Run()
+	if !child.Finished() {
+		t.Fatalf("child should run after parent")
+	}
+	if childDispatch != 55 {
+		t.Fatalf("child should dispatch at parentFinish+delay = 55, got %d", childDispatch)
+	}
+}
+
+func TestMultipleParentsWaitForAll(t *testing.T) {
+	eng := NewEngine(2)
+	s := NewSlab(16)
+	p1 := s.Alloc()
+	p1.Comp = 0
+	p1.MinCycle = 0
+	p1.Exec = func(c uint64) uint64 { return c + 10 }
+	p2 := s.Alloc()
+	p2.Comp = 1 // different domain
+	p2.MinCycle = 0
+	p2.Exec = func(c uint64) uint64 { return c + 90 }
+
+	child := s.Alloc()
+	child.Comp = 0
+	var dispatch uint64
+	child.Exec = func(c uint64) uint64 { dispatch = c; return c }
+	p1.AddChild(child)
+	p2.AddChild(child)
+
+	eng.Enqueue(p1)
+	eng.Enqueue(p2)
+	eng.Run()
+	if !child.Finished() {
+		t.Fatalf("child should execute after both parents")
+	}
+	if dispatch != 90 {
+		t.Fatalf("child should wait for the slower parent (90), got %d", dispatch)
+	}
+}
+
+func TestCrossDomainChain(t *testing.T) {
+	// A chain alternating between domains: core -> L3 bank -> memory ->
+	// core, like Figure 4's request-response traffic.
+	eng := NewEngine(4)
+	eng.AssignComponent(100, 0) // core
+	eng.AssignComponent(200, 1) // L3 bank
+	eng.AssignComponent(300, 3) // memory controller
+	s := NewSlab(16)
+
+	mk := func(comp int, min uint64, lat uint64) *Event {
+		e := s.Alloc()
+		e.Comp = comp
+		e.MinCycle = min
+		e.Exec = func(c uint64) uint64 { return c + lat }
+		return e
+	}
+	core := mk(100, 30, 0)
+	l3 := mk(200, 80, 20) // contention model adds 20 cycles
+	mem := mk(300, 110, 66)
+	resp := mk(100, 250, 0)
+	core.AddChild(l3)
+	l3.AddChild(mem)
+	mem.AddChild(resp)
+
+	eng.Enqueue(core)
+	end := eng.Run()
+	for i, ev := range []*Event{core, l3, mem, resp} {
+		if !ev.Finished() {
+			t.Fatalf("event %d did not finish", i)
+		}
+	}
+	// Finish cycles must be monotone along the chain.
+	if !(core.FinishCycle() <= l3.FinishCycle() && l3.FinishCycle() <= mem.FinishCycle() && mem.FinishCycle() <= resp.FinishCycle()) {
+		t.Fatalf("chain finish cycles not monotone: %d %d %d %d",
+			core.FinishCycle(), l3.FinishCycle(), mem.FinishCycle(), resp.FinishCycle())
+	}
+	// The response cannot finish before its lower bound.
+	if resp.FinishCycle() < 250 {
+		t.Fatalf("lower bound violated: %d", resp.FinishCycle())
+	}
+	if end < resp.FinishCycle() {
+		t.Fatalf("engine end cycle should cover the last event")
+	}
+}
+
+func TestLowerBoundRespected(t *testing.T) {
+	// A child whose MinCycle exceeds parentFinish+Delay dispatches at its
+	// MinCycle (bound phase already guarantees it cannot be earlier).
+	eng := NewEngine(1)
+	s := NewSlab(4)
+	p := s.Alloc()
+	p.Comp = 0
+	p.Exec = func(c uint64) uint64 { return c + 1 }
+	ch := s.Alloc()
+	ch.Comp = 0
+	ch.MinCycle = 500
+	var dispatch uint64
+	ch.Exec = func(c uint64) uint64 { dispatch = c; return c }
+	p.AddChild(ch)
+	eng.Enqueue(p)
+	eng.Run()
+	if dispatch != 500 {
+		t.Fatalf("child should dispatch at its lower bound 500, got %d", dispatch)
+	}
+}
+
+func TestEngineOrderWithinDomain(t *testing.T) {
+	// Events in one domain must execute in dispatch-cycle order (full order
+	// within a domain is what gives the weave phase its accuracy).
+	eng := NewEngine(1)
+	s := NewSlab(64)
+	var order []uint64
+	for i := 10; i > 0; i-- {
+		ev := s.Alloc()
+		ev.Comp = 0
+		ev.MinCycle = uint64(i * 10)
+		cyc := uint64(i * 10)
+		ev.Exec = func(c uint64) uint64 {
+			order = append(order, cyc)
+			return c
+		}
+		eng.Enqueue(ev)
+	}
+	eng.Run()
+	if len(order) != 10 {
+		t.Fatalf("expected 10 executions, got %d", len(order))
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("events executed out of order: %v", order)
+		}
+	}
+}
+
+func TestManyEventsAcrossDomainsParallel(t *testing.T) {
+	// A larger stress test: per-core chains touching shared components,
+	// executed across 4 domains. Every event must execute exactly once.
+	eng := NewEngine(4)
+	s := NewSlab(1024)
+	var executed atomic.Int64
+	const cores = 16
+	const perCore = 50
+	for c := 0; c < cores; c++ {
+		var prev *Event
+		for i := 0; i < perCore; i++ {
+			ev := s.Alloc()
+			ev.Comp = (c + i) % 8 // spread over 8 components -> 4 domains
+			ev.MinCycle = uint64(i * 10)
+			ev.Exec = func(cy uint64) uint64 {
+				executed.Add(1)
+				return cy + 3
+			}
+			if prev == nil {
+				eng.Enqueue(ev)
+			} else {
+				prev.AddChild(ev)
+			}
+			prev = ev
+		}
+	}
+	eng.Run()
+	if executed.Load() != cores*perCore {
+		t.Fatalf("expected %d executions, got %d", cores*perCore, executed.Load())
+	}
+	// Work should be spread across domains.
+	total := uint64(0)
+	for i := 0; i < eng.NumDomains(); i++ {
+		total += eng.Domain(i).Executed
+	}
+	if total != cores*perCore {
+		t.Fatalf("domain execution counts should sum to the total: %d", total)
+	}
+}
+
+func TestDomainOfDefaultMapping(t *testing.T) {
+	eng := NewEngine(4)
+	if eng.DomainOf(7) != 3 || eng.DomainOf(8) != 0 {
+		t.Fatalf("default component-to-domain mapping should be modulo")
+	}
+	eng.AssignComponent(7, 1)
+	if eng.DomainOf(7) != 1 {
+		t.Fatalf("explicit assignment should win")
+	}
+	if eng.DomainOf(-3) < 0 || eng.DomainOf(-3) >= 4 {
+		t.Fatalf("negative component IDs must still map to a valid domain")
+	}
+	// Engine with zero requested domains clamps to one.
+	one := NewEngine(0)
+	if one.NumDomains() != 1 {
+		t.Fatalf("engine should have at least one domain")
+	}
+}
+
+func TestNilExecFinishesInstantly(t *testing.T) {
+	eng := NewEngine(1)
+	s := NewSlab(4)
+	ev := s.Alloc()
+	ev.Comp = 0
+	ev.MinCycle = 42
+	eng.Enqueue(ev)
+	end := eng.Run()
+	if !ev.Finished() || ev.FinishCycle() != 42 || end != 42 {
+		t.Fatalf("nil-exec event should finish at its dispatch cycle: %d", ev.FinishCycle())
+	}
+}
+
+// Property: for random chains with random latencies and lower bounds, every
+// event executes exactly once, finish cycles are monotone along each chain,
+// and no event finishes before its lower bound.
+func TestEventChainProperties(t *testing.T) {
+	f := func(latsRaw []uint8, domainsRaw uint8) bool {
+		if len(latsRaw) == 0 {
+			return true
+		}
+		if len(latsRaw) > 64 {
+			latsRaw = latsRaw[:64]
+		}
+		nd := int(domainsRaw%6) + 1
+		eng := NewEngine(nd)
+		s := NewSlab(128)
+		var chain []*Event
+		var prev *Event
+		for i, l := range latsRaw {
+			ev := s.Alloc()
+			ev.Comp = i % (nd * 2)
+			ev.MinCycle = uint64(i)
+			lat := uint64(l % 50)
+			ev.Exec = func(c uint64) uint64 { return c + lat }
+			if prev == nil {
+				eng.Enqueue(ev)
+			} else {
+				prev.AddChild(ev)
+			}
+			chain = append(chain, ev)
+			prev = ev
+		}
+		eng.Run()
+		var last uint64
+		for _, ev := range chain {
+			if !ev.Finished() {
+				return false
+			}
+			if ev.FinishCycle() < ev.MinCycle {
+				return false
+			}
+			if ev.FinishCycle() < last {
+				return false
+			}
+			last = ev.FinishCycle()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

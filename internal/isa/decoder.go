@@ -1,0 +1,330 @@
+package isa
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DecodedBBL is the translation-time artifact the core timing models consume:
+// the µop expansion of a static basic block, plus everything about the block
+// that can be pre-computed once (frontend decode stalls, counts of loads,
+// stores, and branches, total instruction bytes). It corresponds to the
+// "Decoded BBL µops" table of Figure 1 in the paper.
+//
+// A DecodedBBL is immutable after creation and shared by every dynamic
+// execution of its static block, by every core, without locking.
+type DecodedBBL struct {
+	ID     uint64
+	Addr   uint64
+	Bytes  uint64
+	Instrs int   // number of x86 instructions (after macro-op fusion, FusedInstrs <= Instrs)
+	Uops   []Uop // µops in program order
+
+	// DecodeCycles is the number of frontend decode cycles the block needs on
+	// the modeled 4-1-1-1 decoder with a 16-byte/cycle length predecoder.
+	// It is pre-computed here so the OOO model's frontend only adds a constant.
+	DecodeCycles uint32
+
+	// Counts pre-computed for the timing models and statistics.
+	Loads    int
+	Stores   int
+	Branches int
+	// CondBranch is true if the block ends in a conditional branch (the only
+	// kind that consults the branch predictor's direction prediction).
+	CondBranch bool
+	// Approx is true if any instruction in the block used the generic,
+	// approximate decoding (OpComplex); the paper reports ~0.01% of dynamic
+	// instructions take this path.
+	Approx bool
+}
+
+// decodeOne expands a single instruction into µops, appending to out. It
+// returns the new slice. The expansions follow the µop fission rules of
+// Westmere-class cores: load-op instructions split into a load µop and an
+// exec µop; store instructions split into store-address and store-data µops;
+// read-modify-write instructions produce load + exec + StAddr + StData.
+func decodeOne(ins Instruction, memSlot *int8, out []Uop) []Uop {
+	nextMem := func() int8 {
+		s := *memSlot
+		*memSlot++
+		return s
+	}
+	switch ins.Op {
+	case OpNop, OpMagic:
+		// NOPs still occupy a decode and retire slot: a zero-latency exec µop
+		// with no dependencies.
+		out = append(out, Uop{Type: UopExec, Lat: 1, Ports: PortsALU, MemSlot: -1})
+	case OpMovRR, OpMovRI, OpLea:
+		out = append(out, Uop{Type: UopExec, Src1: ins.Src1, Dst1: ins.Dst, Lat: 1, Ports: PortsALU, MemSlot: -1})
+	case OpLoad:
+		out = append(out, Uop{Type: UopLoad, Src1: ins.Src1, Dst1: ins.Dst, Lat: 4, Ports: PortsLoad, MemSlot: nextMem()})
+	case OpFLoad:
+		out = append(out, Uop{Type: UopLoad, Src1: ins.Src1, Dst1: ins.Dst, Lat: 5, Ports: PortsLoad, MemSlot: nextMem()})
+	case OpStore, OpFStore:
+		slot := nextMem()
+		out = append(out,
+			Uop{Type: UopStAddr, Src1: ins.Src1, Lat: 1, Ports: PortsStAddr, MemSlot: slot},
+			Uop{Type: UopStData, Src1: ins.Dst, Lat: 0, Ports: PortsStData, MemSlot: slot})
+	case OpAdd:
+		out = append(out, Uop{Type: UopExec, Src1: ins.Src1, Src2: ins.Src2, Dst1: ins.Dst, Dst2: RFlags, Lat: 1, Ports: PortsALU, MemSlot: -1})
+	case OpAddMem:
+		slot := nextMem()
+		out = append(out,
+			Uop{Type: UopLoad, Src1: ins.Src2, Dst1: RegZero, Lat: 4, Ports: PortsLoad, MemSlot: slot},
+			Uop{Type: UopExec, Src1: ins.Src1, Dst1: ins.Dst, Dst2: RFlags, Lat: 1, Ports: PortsALU, MemSlot: -1})
+	case OpAddToMem:
+		slot := nextMem()
+		out = append(out,
+			Uop{Type: UopLoad, Src1: ins.Src1, Dst1: RegZero, Lat: 4, Ports: PortsLoad, MemSlot: slot},
+			Uop{Type: UopExec, Src1: ins.Src2, Dst1: RegZero, Dst2: RFlags, Lat: 1, Ports: PortsALU, MemSlot: -1},
+			Uop{Type: UopStAddr, Src1: ins.Src1, Lat: 1, Ports: PortsStAddr, MemSlot: slot},
+			Uop{Type: UopStData, Lat: 0, Ports: PortsStData, MemSlot: slot})
+	case OpMul:
+		out = append(out, Uop{Type: UopExec, Src1: ins.Src1, Src2: ins.Src2, Dst1: ins.Dst, Dst2: RFlags, Lat: 3, Ports: PortsFPMul, MemSlot: -1})
+	case OpDiv:
+		out = append(out, Uop{Type: UopExec, Src1: ins.Src1, Src2: ins.Src2, Dst1: ins.Dst, Dst2: RFlags, Lat: 21, Ports: PortsFPMul, MemSlot: -1})
+	case OpCmp, OpTest:
+		out = append(out, Uop{Type: UopExec, Src1: ins.Src1, Src2: ins.Src2, Dst1: RFlags, Lat: 1, Ports: PortsALU, MemSlot: -1})
+	case OpCmpMem:
+		out = append(out,
+			Uop{Type: UopLoad, Src1: ins.Src2, Dst1: RegZero, Lat: 4, Ports: PortsLoad, MemSlot: nextMem()},
+			Uop{Type: UopExec, Src1: ins.Src1, Dst1: RFlags, Lat: 1, Ports: PortsALU, MemSlot: -1})
+	case OpJcc:
+		out = append(out, Uop{Type: UopBranch, Src1: RFlags, Dst1: RIP, Lat: 1, Ports: PortsBranch, MemSlot: -1})
+	case OpJmp:
+		out = append(out, Uop{Type: UopBranch, Dst1: RIP, Lat: 1, Ports: PortsBranch, MemSlot: -1})
+	case OpCall:
+		slot := nextMem()
+		out = append(out,
+			Uop{Type: UopExec, Src1: RSP, Dst1: RSP, Lat: 1, Ports: PortsALU, MemSlot: -1},
+			Uop{Type: UopStAddr, Src1: RSP, Lat: 1, Ports: PortsStAddr, MemSlot: slot},
+			Uop{Type: UopStData, Src1: RIP, Lat: 0, Ports: PortsStData, MemSlot: slot},
+			Uop{Type: UopBranch, Dst1: RIP, Lat: 1, Ports: PortsBranch, MemSlot: -1})
+	case OpRet:
+		out = append(out,
+			Uop{Type: UopLoad, Src1: RSP, Dst1: RIP, Lat: 4, Ports: PortsLoad, MemSlot: nextMem()},
+			Uop{Type: UopExec, Src1: RSP, Dst1: RSP, Lat: 1, Ports: PortsALU, MemSlot: -1},
+			Uop{Type: UopBranch, Src1: RIP, Dst1: RIP, Lat: 1, Ports: PortsBranch, MemSlot: -1})
+	case OpPush:
+		slot := nextMem()
+		out = append(out,
+			Uop{Type: UopExec, Src1: RSP, Dst1: RSP, Lat: 1, Ports: PortsALU, MemSlot: -1},
+			Uop{Type: UopStAddr, Src1: RSP, Lat: 1, Ports: PortsStAddr, MemSlot: slot},
+			Uop{Type: UopStData, Src1: ins.Src1, Lat: 0, Ports: PortsStData, MemSlot: slot})
+	case OpPop:
+		out = append(out,
+			Uop{Type: UopLoad, Src1: RSP, Dst1: ins.Dst, Lat: 4, Ports: PortsLoad, MemSlot: nextMem()},
+			Uop{Type: UopExec, Src1: RSP, Dst1: RSP, Lat: 1, Ports: PortsALU, MemSlot: -1})
+	case OpFAdd:
+		out = append(out, Uop{Type: UopExec, Src1: ins.Src1, Src2: ins.Src2, Dst1: ins.Dst, Lat: 3, Ports: PortsFPAdd, MemSlot: -1})
+	case OpFMul:
+		out = append(out, Uop{Type: UopExec, Src1: ins.Src1, Src2: ins.Src2, Dst1: ins.Dst, Lat: 5, Ports: PortsFPMul, MemSlot: -1})
+	case OpFDiv:
+		out = append(out, Uop{Type: UopExec, Src1: ins.Src1, Src2: ins.Src2, Dst1: ins.Dst, Lat: 22, Ports: PortsFPMul, MemSlot: -1})
+	case OpFMA:
+		out = append(out, Uop{Type: UopExec, Src1: ins.Src1, Src2: ins.Src2, Dst1: ins.Dst, Lat: 5, Ports: PortsFPMul, MemSlot: -1})
+	case OpXchg:
+		slot := nextMem()
+		out = append(out,
+			Uop{Type: UopLoad, Src1: ins.Src1, Dst1: ins.Dst, Lat: 4, Ports: PortsLoad, MemSlot: slot},
+			Uop{Type: UopFence, Lat: 12, Ports: PortsALU, MemSlot: -1},
+			Uop{Type: UopStAddr, Src1: ins.Src1, Lat: 1, Ports: PortsStAddr, MemSlot: slot},
+			Uop{Type: UopStData, Src1: ins.Src2, Lat: 0, Ports: PortsStData, MemSlot: slot})
+	case OpCmpXchg:
+		slot := nextMem()
+		out = append(out,
+			Uop{Type: UopLoad, Src1: ins.Src1, Dst1: ins.Dst, Lat: 4, Ports: PortsLoad, MemSlot: slot},
+			Uop{Type: UopExec, Src1: ins.Dst, Src2: ins.Src2, Dst1: RFlags, Lat: 1, Ports: PortsALU, MemSlot: -1},
+			Uop{Type: UopFence, Lat: 12, Ports: PortsALU, MemSlot: -1},
+			Uop{Type: UopStAddr, Src1: ins.Src1, Lat: 1, Ports: PortsStAddr, MemSlot: slot},
+			Uop{Type: UopStData, Src1: ins.Src2, Lat: 0, Ports: PortsStData, MemSlot: slot})
+	case OpFence:
+		out = append(out, Uop{Type: UopFence, Lat: 20, Ports: PortsALU, MemSlot: -1})
+	case OpRdtsc:
+		out = append(out,
+			Uop{Type: UopExec, Dst1: RAX, Lat: 24, Ports: PortsFPMul, MemSlot: -1},
+			Uop{Type: UopExec, Dst1: RDX, Lat: 1, Ports: PortsALU, MemSlot: -1})
+	case OpComplex:
+		// Generic approximate decoding for rarely-used instructions: the
+		// paper produces an approximate dataflow decoding for these (0.01% of
+		// dynamic instructions). We model them as a medium-latency exec µop
+		// pair touching the given registers.
+		out = append(out,
+			Uop{Type: UopExec, Src1: ins.Src1, Src2: ins.Src2, Dst1: ins.Dst, Lat: 7, Ports: PortsFPMul, MemSlot: -1},
+			Uop{Type: UopExec, Src1: ins.Dst, Dst1: ins.Dst, Lat: 1, Ports: PortsALU, MemSlot: -1})
+	default:
+		out = append(out, Uop{Type: UopExec, Src1: ins.Src1, Src2: ins.Src2, Dst1: ins.Dst, Lat: 1, Ports: PortsALU, MemSlot: -1})
+	}
+	return out
+}
+
+// uopsFor returns the number of decoder µop slots an instruction occupies,
+// used by the 4-1-1-1 decode model: instructions that decode to one µop can
+// go to any of the four decoders, multi-µop instructions only to the first.
+func uopSlots(ins Instruction) int {
+	var memSlot int8
+	return len(decodeOne(ins, &memSlot, nil))
+}
+
+// frontendCycles computes the decode cycles for a block on a Westmere-like
+// frontend: a 16-byte-per-cycle instruction length predecoder feeding a
+// 4-1-1-1 decoder (one complex decoder handling multi-µop instructions, three
+// simple decoders handling single-µop instructions), macro-fused cmp+jcc
+// pairs counting as one instruction.
+func frontendCycles(instrs []Instruction, fused []bool) uint32 {
+	// Predecoder: total bytes / 16 per cycle.
+	var bytes uint64
+	for _, ins := range instrs {
+		bytes += uint64(ins.Bytes)
+	}
+	preCycles := (bytes + 15) / 16
+
+	// Decoder: walk instructions, packing up to 4 per cycle with the 4-1-1-1
+	// constraint.
+	var decCycles uint32
+	slotInCycle := 0
+	for i, ins := range instrs {
+		if fused[i] {
+			continue // fused into the previous instruction, free
+		}
+		slots := uopSlots(ins)
+		if slots > 1 {
+			// Complex instruction: needs the first decoder; start a new cycle
+			// unless we are already at the start of one.
+			if slotInCycle != 0 {
+				decCycles++
+				slotInCycle = 0
+			}
+			slotInCycle = 1
+		} else {
+			if slotInCycle == 4 {
+				decCycles++
+				slotInCycle = 0
+			}
+			slotInCycle++
+		}
+	}
+	if slotInCycle > 0 {
+		decCycles++
+	}
+	if uint32(preCycles) > decCycles {
+		return uint32(preCycles)
+	}
+	return decCycles
+}
+
+// Decode translates one static basic block into its DecodedBBL. Macro-op
+// fusion merges a flag-setting compare/test with an immediately following
+// conditional branch into a single µop, as Westmere does.
+func Decode(b *BasicBlock) *DecodedBBL {
+	d := &DecodedBBL{
+		ID:    b.ID,
+		Addr:  b.Addr,
+		Bytes: b.Bytes(),
+	}
+	fused := make([]bool, len(b.Instrs))
+	var memSlot int8
+	instrCount := 0
+	for i := 0; i < len(b.Instrs); i++ {
+		ins := b.Instrs[i]
+		instrCount++
+		// Macro-op fusion: cmp/test followed by jcc.
+		if (ins.Op == OpCmp || ins.Op == OpTest) && i+1 < len(b.Instrs) && b.Instrs[i+1].Op == OpJcc {
+			d.Uops = append(d.Uops, Uop{
+				Type: UopBranch, Src1: ins.Src1, Src2: ins.Src2, Dst1: RIP, Dst2: RFlags,
+				Lat: 1, Ports: PortsBranch, MemSlot: -1,
+			})
+			fused[i+1] = true
+			d.Branches++
+			d.CondBranch = true
+			instrCount++ // the fused jcc still counts as an instruction
+			i++
+			continue
+		}
+		start := len(d.Uops)
+		d.Uops = decodeOne(ins, &memSlot, d.Uops)
+		for _, u := range d.Uops[start:] {
+			switch u.Type {
+			case UopLoad:
+				d.Loads++
+			case UopStData:
+				d.Stores++
+			case UopBranch:
+				d.Branches++
+				if ins.Op.IsConditional() {
+					d.CondBranch = true
+				}
+			}
+		}
+		if ins.Op == OpComplex {
+			d.Approx = true
+		}
+	}
+	d.Instrs = instrCount
+	d.DecodeCycles = frontendCycles(b.Instrs, fused)
+	return d
+}
+
+// Decoder memoizes DecodedBBLs by static block ID, exactly as zsim caches
+// translated basic blocks in Pin's code cache. It is safe for concurrent use
+// by all simulated cores: the common case (hit) takes only a read lock.
+type Decoder struct {
+	mu    sync.RWMutex
+	cache map[uint64]*DecodedBBL
+
+	// hits and misses count cache performance for the ablation benchmarks
+	// that quantify the DBT-style speedup. They are updated atomically so the
+	// hot path (a hit) only needs the read lock.
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewDecoder returns an empty decoder cache.
+func NewDecoder() *Decoder {
+	return &Decoder{cache: make(map[uint64]*DecodedBBL)}
+}
+
+// Lookup returns the cached decoding for a block, decoding and caching it on
+// first use.
+func (d *Decoder) Lookup(b *BasicBlock) *DecodedBBL {
+	d.mu.RLock()
+	bbl, ok := d.cache[b.ID]
+	d.mu.RUnlock()
+	if ok {
+		d.hits.Add(1)
+		return bbl
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if bbl, ok := d.cache[b.ID]; ok {
+		d.hits.Add(1)
+		return bbl
+	}
+	bbl = Decode(b)
+	d.cache[b.ID] = bbl
+	d.misses.Add(1)
+	return bbl
+}
+
+// Hits returns the number of decode-cache hits so far.
+func (d *Decoder) HitCount() uint64 { return d.hits.Load() }
+
+// Misses returns the number of decode-cache misses (actual decodes) so far.
+func (d *Decoder) MissCount() uint64 { return d.misses.Load() }
+
+// Invalidate removes a block from the cache, mirroring zsim freeing
+// translated blocks when Pin invalidates a code trace (e.g., after JIT code
+// is rewritten by a managed runtime).
+func (d *Decoder) Invalidate(id uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.cache, id)
+}
+
+// Size returns the number of cached decoded blocks.
+func (d *Decoder) Size() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.cache)
+}

@@ -1,0 +1,145 @@
+// Package network provides the zero-load network-on-chip latency models used
+// by the bound phase: a ring (the validated 6-core Westmere uncore) and a 2D
+// mesh (the tiled thousand-core chip of Table 3). The paper argues that for
+// well-provisioned NoCs, zero-load latencies capture most of the performance
+// impact, and leaves weave-phase NoC contention models to future work; this
+// package therefore only models hop counts, per-hop latency and injection
+// latency.
+package network
+
+// Model returns the zero-load latency, in cycles, for a message from a source
+// core (or tile) to a destination node (an L3 bank, memory controller or
+// another tile).
+type Model interface {
+	// Latency returns the one-way zero-load latency in cycles from src to dst
+	// node indices.
+	Latency(src, dst int) uint32
+	// Name identifies the topology.
+	Name() string
+}
+
+// Ring models a unidirectional-traversal bidirectional ring: messages take
+// the shorter direction. The validated Westmere configuration uses a ring
+// with a 1-cycle hop latency and a 5-cycle injection latency.
+type Ring struct {
+	nodes     int
+	hopCycles uint32
+	injection uint32
+}
+
+// NewRing creates a ring with the given number of nodes, per-hop latency and
+// injection latency.
+func NewRing(nodes int, hopCycles, injection uint32) *Ring {
+	if nodes < 1 {
+		nodes = 1
+	}
+	return &Ring{nodes: nodes, hopCycles: hopCycles, injection: injection}
+}
+
+// Name returns "ring".
+func (r *Ring) Name() string { return "ring" }
+
+// Nodes returns the number of ring stops.
+func (r *Ring) Nodes() int { return r.nodes }
+
+// Latency returns injection + hops * hopCycles, taking the shorter direction
+// around the ring.
+func (r *Ring) Latency(src, dst int) uint32 {
+	src %= r.nodes
+	dst %= r.nodes
+	if src < 0 {
+		src += r.nodes
+	}
+	if dst < 0 {
+		dst += r.nodes
+	}
+	d := src - dst
+	if d < 0 {
+		d = -d
+	}
+	if other := r.nodes - d; other < d {
+		d = other
+	}
+	return r.injection + uint32(d)*r.hopCycles
+}
+
+// Mesh models a 2D mesh with dimension-ordered routing and multi-stage
+// routers: latency = injection + hops * (hopCycles + routerStages). Table 3's
+// tiled chip uses a mesh with one router per tile, 1-cycle hops and 2-stage
+// routers.
+type Mesh struct {
+	width        int
+	height       int
+	hopCycles    uint32
+	routerStages uint32
+	injection    uint32
+}
+
+// NewMesh creates a width x height mesh.
+func NewMesh(width, height int, hopCycles, routerStages, injection uint32) *Mesh {
+	if width < 1 {
+		width = 1
+	}
+	if height < 1 {
+		height = 1
+	}
+	return &Mesh{width: width, height: height, hopCycles: hopCycles, routerStages: routerStages, injection: injection}
+}
+
+// NewMeshForTiles creates a near-square mesh with at least n nodes, the shape
+// used for the tiled chips of Table 3 (4, 16 and 64 tiles give 2x2, 4x4 and
+// 8x8 meshes).
+func NewMeshForTiles(n int, hopCycles, routerStages, injection uint32) *Mesh {
+	w := 1
+	for w*w < n {
+		w++
+	}
+	h := (n + w - 1) / w
+	return NewMesh(w, h, hopCycles, routerStages, injection)
+}
+
+// Name returns "mesh".
+func (m *Mesh) Name() string { return "mesh" }
+
+// Nodes returns the number of mesh nodes.
+func (m *Mesh) Nodes() int { return m.width * m.height }
+
+// Width returns the mesh width.
+func (m *Mesh) Width() int { return m.width }
+
+// Latency returns the dimension-ordered-routing zero-load latency.
+func (m *Mesh) Latency(src, dst int) uint32 {
+	n := m.Nodes()
+	src %= n
+	dst %= n
+	if src < 0 {
+		src += n
+	}
+	if dst < 0 {
+		dst += n
+	}
+	sx, sy := src%m.width, src/m.width
+	dx, dy := dst%m.width, dst/m.width
+	hops := absInt(sx-dx) + absInt(sy-dy)
+	return m.injection + uint32(hops)*(m.hopCycles+m.routerStages)
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Flat is a topology-free model with a constant latency between any pair of
+// nodes, used by small configurations and unit tests.
+type Flat struct {
+	// Cycles is the constant one-way latency.
+	Cycles uint32
+}
+
+// Name returns "flat".
+func (f *Flat) Name() string { return "flat" }
+
+// Latency returns the constant latency.
+func (f *Flat) Latency(src, dst int) uint32 { return f.Cycles }

@@ -1,0 +1,334 @@
+// Package stats provides the statistics infrastructure used by every timing
+// model in the simulator: scalar counters, vector counters, histograms, and
+// hierarchical registries that can be exported as text or CSV.
+//
+// The original zsim exports statistics through HDF5; this implementation is
+// stdlib-only and exports through text and CSV writers, which is sufficient
+// for the experiment harness to regenerate every table and figure in the
+// paper.
+//
+// Counters are plain uint64 fields updated by a single goroutine (each core
+// or cache model is driven by exactly one host thread during the bound
+// phase), so they do not need atomic updates. Aggregation across components
+// happens at interval or simulation boundaries.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing scalar statistic.
+type Counter struct {
+	Name string
+	Desc string
+	V    uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.V++ }
+
+// Add adds n to the counter.
+func (c *Counter) Add(n uint64) { c.V += n }
+
+// Get returns the current value.
+func (c *Counter) Get() uint64 { return c.V }
+
+// Set overwrites the counter value. It is used when a model computes the
+// value externally (e.g., cycle counters owned by a core model).
+func (c *Counter) Set(v uint64) { c.V = v }
+
+// Gauge is a scalar statistic that may go up or down (e.g., occupancy).
+type Gauge struct {
+	Name string
+	Desc string
+	V    int64
+}
+
+// Add adds delta (possibly negative) to the gauge.
+func (g *Gauge) Add(delta int64) { g.V += delta }
+
+// Get returns the current value.
+func (g *Gauge) Get() int64 { return g.V }
+
+// VectorCounter is an indexed family of counters sharing one name, such as
+// per-bank access counts or per-port issue counts.
+type VectorCounter struct {
+	Name string
+	Desc string
+	Vals []uint64
+}
+
+// NewVectorCounter creates a vector counter with n entries.
+func NewVectorCounter(name, desc string, n int) *VectorCounter {
+	return &VectorCounter{Name: name, Desc: desc, Vals: make([]uint64, n)}
+}
+
+// Inc increments entry i.
+func (v *VectorCounter) Inc(i int) { v.Vals[i]++ }
+
+// Add adds n to entry i.
+func (v *VectorCounter) Add(i int, n uint64) { v.Vals[i] += n }
+
+// Get returns entry i.
+func (v *VectorCounter) Get(i int) uint64 { return v.Vals[i] }
+
+// Total returns the sum of all entries.
+func (v *VectorCounter) Total() uint64 {
+	var t uint64
+	for _, x := range v.Vals {
+		t += x
+	}
+	return t
+}
+
+// Histogram is a fixed-bucket histogram of non-negative samples, used for
+// latency distributions (e.g., memory access latency in the weave phase).
+type Histogram struct {
+	Name       string
+	Desc       string
+	BucketSize uint64
+	Buckets    []uint64
+	Overflow   uint64
+	Count      uint64
+	Sum        uint64
+	MaxSample  uint64
+}
+
+// NewHistogram creates a histogram with nBuckets buckets of width bucketSize.
+func NewHistogram(name, desc string, bucketSize uint64, nBuckets int) *Histogram {
+	if bucketSize == 0 {
+		bucketSize = 1
+	}
+	return &Histogram{
+		Name:       name,
+		Desc:       desc,
+		BucketSize: bucketSize,
+		Buckets:    make([]uint64, nBuckets),
+	}
+}
+
+// Sample records one sample.
+func (h *Histogram) Sample(v uint64) {
+	h.Count++
+	h.Sum += v
+	if v > h.MaxSample {
+		h.MaxSample = v
+	}
+	idx := v / h.BucketSize
+	if int(idx) >= len(h.Buckets) {
+		h.Overflow++
+		return
+	}
+	h.Buckets[idx]++
+}
+
+// Mean returns the mean of all samples, or 0 if there are none.
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Percentile returns an approximate percentile (0-100) using bucket midpoints.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := p / 100 * float64(h.Count)
+	var cum float64
+	for i, b := range h.Buckets {
+		cum += float64(b)
+		if cum >= target {
+			return (float64(i) + 0.5) * float64(h.BucketSize)
+		}
+	}
+	return float64(h.MaxSample)
+}
+
+// Registry is a named collection of statistics belonging to one simulated
+// component (a core, a cache, a memory controller). Registries nest to form
+// the stats tree of the whole simulated system.
+type Registry struct {
+	Name     string
+	counters []*Counter
+	gauges   []*Gauge
+	vectors  []*VectorCounter
+	hists    []*Histogram
+	children []*Registry
+}
+
+// NewRegistry creates an empty registry with the given component name.
+func NewRegistry(name string) *Registry {
+	return &Registry{Name: name}
+}
+
+// Counter creates, registers and returns a new counter.
+func (r *Registry) Counter(name, desc string) *Counter {
+	c := &Counter{Name: name, Desc: desc}
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// Gauge creates, registers and returns a new gauge.
+func (r *Registry) Gauge(name, desc string) *Gauge {
+	g := &Gauge{Name: name, Desc: desc}
+	r.gauges = append(r.gauges, g)
+	return g
+}
+
+// Vector creates, registers and returns a new vector counter with n entries.
+func (r *Registry) Vector(name, desc string, n int) *VectorCounter {
+	v := NewVectorCounter(name, desc, n)
+	r.vectors = append(r.vectors, v)
+	return v
+}
+
+// Histogram creates, registers and returns a new histogram.
+func (r *Registry) Histogram(name, desc string, bucketSize uint64, nBuckets int) *Histogram {
+	h := NewHistogram(name, desc, bucketSize, nBuckets)
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// Child creates, registers and returns a nested registry.
+func (r *Registry) Child(name string) *Registry {
+	c := NewRegistry(name)
+	r.children = append(r.children, c)
+	return c
+}
+
+// AddChild attaches an existing registry as a child.
+func (r *Registry) AddChild(c *Registry) {
+	r.children = append(r.children, c)
+}
+
+// Lookup returns the value of a counter addressed by a dotted path such as
+// "core-0.instrs". It returns false if the path does not resolve.
+func (r *Registry) Lookup(path string) (uint64, bool) {
+	parts := strings.Split(path, ".")
+	return r.lookup(parts)
+}
+
+func (r *Registry) lookup(parts []string) (uint64, bool) {
+	if len(parts) == 0 {
+		return 0, false
+	}
+	if len(parts) == 1 {
+		for _, c := range r.counters {
+			if c.Name == parts[0] {
+				return c.V, true
+			}
+		}
+		return 0, false
+	}
+	for _, ch := range r.children {
+		if ch.Name == parts[0] {
+			return ch.lookup(parts[1:])
+		}
+	}
+	return 0, false
+}
+
+// SumCounters returns the sum, over the whole subtree, of all counters with
+// the given name. This is how aggregate statistics (total instructions, total
+// L3 misses, ...) are derived.
+func (r *Registry) SumCounters(name string) uint64 {
+	var total uint64
+	for _, c := range r.counters {
+		if c.Name == name {
+			total += c.V
+		}
+	}
+	for _, ch := range r.children {
+		total += ch.SumCounters(name)
+	}
+	return total
+}
+
+// MaxCounter returns the maximum value, over the whole subtree, of all
+// counters with the given name (e.g., the final cycle count across cores).
+func (r *Registry) MaxCounter(name string) uint64 {
+	var max uint64
+	for _, c := range r.counters {
+		if c.Name == name && c.V > max {
+			max = c.V
+		}
+	}
+	for _, ch := range r.children {
+		if m := ch.MaxCounter(name); m > max {
+			max = m
+		}
+	}
+	return max
+}
+
+// WriteText writes a human-readable dump of the registry tree.
+func (r *Registry) WriteText(w io.Writer) error {
+	return r.writeText(w, 0)
+}
+
+func (r *Registry) writeText(w io.Writer, depth int) error {
+	indent := strings.Repeat("  ", depth)
+	if _, err := fmt.Fprintf(w, "%s%s:\n", indent, r.Name); err != nil {
+		return err
+	}
+	for _, c := range r.counters {
+		if _, err := fmt.Fprintf(w, "%s  %s: %d # %s\n", indent, c.Name, c.V, c.Desc); err != nil {
+			return err
+		}
+	}
+	for _, g := range r.gauges {
+		if _, err := fmt.Fprintf(w, "%s  %s: %d # %s\n", indent, g.Name, g.V, g.Desc); err != nil {
+			return err
+		}
+	}
+	for _, v := range r.vectors {
+		if _, err := fmt.Fprintf(w, "%s  %s: %v total=%d # %s\n", indent, v.Name, v.Vals, v.Total(), v.Desc); err != nil {
+			return err
+		}
+	}
+	for _, h := range r.hists {
+		if _, err := fmt.Fprintf(w, "%s  %s: count=%d mean=%.2f max=%d # %s\n",
+			indent, h.Name, h.Count, h.Mean(), h.MaxSample, h.Desc); err != nil {
+			return err
+		}
+	}
+	for _, ch := range r.children {
+		if err := ch.writeText(w, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes all counters in the subtree as "path,name,value" rows,
+// sorted by path, suitable for post-processing by the experiment harness.
+func (r *Registry) WriteCSV(w io.Writer) error {
+	rows := r.collectCSV("")
+	sort.Strings(rows)
+	for _, row := range rows {
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Registry) collectCSV(prefix string) []string {
+	path := r.Name
+	if prefix != "" {
+		path = prefix + "." + r.Name
+	}
+	var rows []string
+	for _, c := range r.counters {
+		rows = append(rows, fmt.Sprintf("%s,%s,%d", path, c.Name, c.V))
+	}
+	for _, ch := range r.children {
+		rows = append(rows, ch.collectCSV(path)...)
+	}
+	return rows
+}

@@ -1,0 +1,328 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry("core-0")
+	c := r.Counter("instrs", "instructions executed")
+	if c.Get() != 0 {
+		t.Fatalf("new counter should be zero, got %d", c.Get())
+	}
+	c.Inc()
+	c.Add(9)
+	if c.Get() != 10 {
+		t.Fatalf("expected 10, got %d", c.Get())
+	}
+	c.Set(5)
+	if c.Get() != 5 {
+		t.Fatalf("expected 5 after Set, got %d", c.Get())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry("q")
+	g := r.Gauge("occupancy", "queue occupancy")
+	g.Add(3)
+	g.Add(-1)
+	if g.Get() != 2 {
+		t.Fatalf("expected 2, got %d", g.Get())
+	}
+}
+
+func TestVectorCounter(t *testing.T) {
+	v := NewVectorCounter("ports", "per-port issues", 6)
+	v.Inc(0)
+	v.Add(5, 3)
+	v.Inc(5)
+	if v.Get(0) != 1 || v.Get(5) != 4 {
+		t.Fatalf("unexpected vector values: %v", v.Vals)
+	}
+	if v.Total() != 5 {
+		t.Fatalf("expected total 5, got %d", v.Total())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram("lat", "latency", 10, 10)
+	for i := uint64(0); i < 100; i++ {
+		h.Sample(i)
+	}
+	if h.Count != 100 {
+		t.Fatalf("expected 100 samples, got %d", h.Count)
+	}
+	if h.Overflow != 0 {
+		t.Fatalf("no sample should overflow, got %d", h.Overflow)
+	}
+	if got := h.Mean(); math.Abs(got-49.5) > 1e-9 {
+		t.Fatalf("expected mean 49.5, got %f", got)
+	}
+	h.Sample(1000)
+	if h.Overflow != 1 {
+		t.Fatalf("expected 1 overflow, got %d", h.Overflow)
+	}
+	if h.MaxSample != 1000 {
+		t.Fatalf("expected max 1000, got %d", h.MaxSample)
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram("lat", "latency", 1, 100)
+	for i := uint64(0); i < 100; i++ {
+		h.Sample(i)
+	}
+	p50 := h.Percentile(50)
+	if p50 < 45 || p50 > 55 {
+		t.Fatalf("p50 should be near 50, got %f", p50)
+	}
+	p99 := h.Percentile(99)
+	if p99 < 95 {
+		t.Fatalf("p99 should be >= 95, got %f", p99)
+	}
+}
+
+func TestHistogramZeroBucketSize(t *testing.T) {
+	h := NewHistogram("x", "", 0, 4)
+	if h.BucketSize != 1 {
+		t.Fatalf("bucket size 0 should be promoted to 1, got %d", h.BucketSize)
+	}
+	h.Sample(2)
+	if h.Buckets[2] != 1 {
+		t.Fatalf("sample should land in bucket 2")
+	}
+}
+
+func TestRegistryLookupAndSum(t *testing.T) {
+	root := NewRegistry("sim")
+	c0 := root.Child("core-0")
+	c1 := root.Child("core-1")
+	c0.Counter("instrs", "").Add(100)
+	c1.Counter("instrs", "").Add(250)
+	c0.Counter("cycles", "").Add(400)
+	c1.Counter("cycles", "").Add(500)
+
+	if v, ok := root.Lookup("core-1.instrs"); !ok || v != 250 {
+		t.Fatalf("lookup core-1.instrs: got %d, %v", v, ok)
+	}
+	if _, ok := root.Lookup("core-7.instrs"); ok {
+		t.Fatalf("lookup of missing child should fail")
+	}
+	if _, ok := root.Lookup("core-0.bogus"); ok {
+		t.Fatalf("lookup of missing counter should fail")
+	}
+	if _, ok := root.Lookup(""); ok {
+		t.Fatalf("lookup of empty path should fail")
+	}
+	if got := root.SumCounters("instrs"); got != 350 {
+		t.Fatalf("SumCounters: expected 350, got %d", got)
+	}
+	if got := root.MaxCounter("cycles"); got != 500 {
+		t.Fatalf("MaxCounter: expected 500, got %d", got)
+	}
+}
+
+func TestRegistryWriteText(t *testing.T) {
+	root := NewRegistry("sim")
+	c := root.Child("core-0")
+	c.Counter("instrs", "instructions").Add(42)
+	c.Vector("ports", "per port", 2).Inc(1)
+	c.Histogram("lat", "latency", 1, 4).Sample(3)
+	c.Gauge("occ", "occupancy").Add(7)
+	var buf bytes.Buffer
+	if err := root.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"sim:", "core-0:", "instrs: 42", "ports:", "lat:", "occ: 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryWriteCSV(t *testing.T) {
+	root := NewRegistry("sim")
+	root.Child("b").Counter("x", "").Add(2)
+	root.Child("a").Counter("x", "").Add(1)
+	var buf bytes.Buffer
+	if err := root.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("expected 2 rows, got %d: %v", len(lines), lines)
+	}
+	// Rows are sorted by path.
+	if !strings.HasPrefix(lines[0], "sim.a,") || !strings.HasPrefix(lines[1], "sim.b,") {
+		t.Fatalf("rows not sorted: %v", lines)
+	}
+}
+
+func TestMetricsFinalize(t *testing.T) {
+	m := &Metrics{
+		Workload:  "w",
+		Model:     "ooo",
+		Instrs:    2000,
+		Uops:      2400,
+		Cycles:    1000,
+		L1DMisses: 20,
+		L3Misses:  2,
+		HostNanos: 1e9,
+	}
+	m.Finalize()
+	if math.Abs(m.IPC-2.0) > 1e-9 {
+		t.Fatalf("IPC: expected 2.0, got %f", m.IPC)
+	}
+	if math.Abs(m.UPC-2.4) > 1e-9 {
+		t.Fatalf("UPC: expected 2.4, got %f", m.UPC)
+	}
+	if math.Abs(m.L1DMPKI-10.0) > 1e-9 {
+		t.Fatalf("L1D MPKI: expected 10, got %f", m.L1DMPKI)
+	}
+	if math.Abs(m.L3MPKI-1.0) > 1e-9 {
+		t.Fatalf("L3 MPKI: expected 1, got %f", m.L3MPKI)
+	}
+	if math.Abs(m.SimMIPS-0.002) > 1e-9 {
+		t.Fatalf("SimMIPS: expected 0.002, got %f", m.SimMIPS)
+	}
+}
+
+func TestMetricsFinalizeZeroSafe(t *testing.T) {
+	m := &Metrics{}
+	m.Finalize()
+	if m.IPC != 0 || m.L1DMPKI != 0 || m.SimMIPS != 0 {
+		t.Fatalf("zero metrics should remain zero: %+v", m)
+	}
+}
+
+func TestPerfError(t *testing.T) {
+	ref := &Metrics{Cycles: 1000}
+	fast := &Metrics{Cycles: 800} // finishes sooner -> higher perf
+	slow := &Metrics{Cycles: 1250}
+	if e := fast.PerfError(ref); math.Abs(e-0.25) > 1e-9 {
+		t.Fatalf("expected +0.25, got %f", e)
+	}
+	if e := slow.PerfError(ref); math.Abs(e-(-0.2)) > 1e-9 {
+		t.Fatalf("expected -0.2, got %f", e)
+	}
+	zero := &Metrics{}
+	if e := zero.PerfError(ref); e != 0 {
+		t.Fatalf("zero-cycle metrics should yield 0 error, got %f", e)
+	}
+}
+
+func TestMPKIError(t *testing.T) {
+	a := &Metrics{L1IMPKI: 1, L1DMPKI: 5, L2MPKI: 2, L3MPKI: 0.5, BranchMPKI: 3}
+	b := &Metrics{L1IMPKI: 2, L1DMPKI: 4, L2MPKI: 2, L3MPKI: 1.0, BranchMPKI: 1}
+	if e := a.MPKIError(b, "l1i"); math.Abs(e+1) > 1e-9 {
+		t.Fatalf("l1i error: expected -1, got %f", e)
+	}
+	if e := a.MPKIError(b, "l1d"); math.Abs(e-1) > 1e-9 {
+		t.Fatalf("l1d error: expected 1, got %f", e)
+	}
+	if e := a.MPKIError(b, "branch"); math.Abs(e-2) > 1e-9 {
+		t.Fatalf("branch error: expected 2, got %f", e)
+	}
+	if e := a.MPKIError(b, "bogus"); e != 0 {
+		t.Fatalf("unknown level should give 0, got %f", e)
+	}
+}
+
+func TestHMean(t *testing.T) {
+	if got := HMean([]float64{2, 2, 2}); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("hmean of equal values should equal them, got %f", got)
+	}
+	got := HMean([]float64{1, 4})
+	if math.Abs(got-1.6) > 1e-9 {
+		t.Fatalf("hmean(1,4) should be 1.6, got %f", got)
+	}
+	if got := HMean(nil); got != 0 {
+		t.Fatalf("hmean of empty should be 0, got %f", got)
+	}
+	if got := HMean([]float64{0, -1}); got != 0 {
+		t.Fatalf("hmean of non-positive values should be 0, got %f", got)
+	}
+}
+
+func TestMeanMedianGeoMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("mean: %f", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("mean of empty: %f", got)
+	}
+	if got := MeanAbs([]float64{-1, 1, -4}); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("meanabs: %f", got)
+	}
+	if got := MaxAbs([]float64{-3, 2}); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("maxabs: %f", got)
+	}
+	if got := Median([]float64{5, 1, 3}); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("median odd: %f", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("median even: %f", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Fatalf("median empty: %f", got)
+	}
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("geomean: %f", got)
+	}
+	if got := GeoMean([]float64{-1}); got != 0 {
+		t.Fatalf("geomean of non-positive: %f", got)
+	}
+}
+
+// Property: the harmonic mean is never larger than the arithmetic mean for
+// positive inputs, and both lie within [min, max].
+func TestHMeanPropertyAMGMHM(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var vals []float64
+		for _, r := range raw {
+			vals = append(vals, float64(r%1000)+1) // positive, bounded
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		am := Mean(vals)
+		hm := HMean(vals)
+		min, max := vals[0], vals[0]
+		for _, v := range vals {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		return hm <= am+1e-9 && hm >= min-1e-9 && am <= max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram Count always equals the number of samples, and the sum
+// of buckets plus overflow equals Count.
+func TestHistogramCountInvariant(t *testing.T) {
+	f := func(samples []uint16) bool {
+		h := NewHistogram("x", "", 7, 16)
+		for _, s := range samples {
+			h.Sample(uint64(s))
+		}
+		var inBuckets uint64
+		for _, b := range h.Buckets {
+			inBuckets += b
+		}
+		return h.Count == uint64(len(samples)) && inBuckets+h.Overflow == h.Count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

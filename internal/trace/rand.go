@@ -1,0 +1,39 @@
+package trace
+
+// rand64 is a small, fast, deterministic PRNG (xorshift64*) used by workload
+// generators. It sits on the simulator's hottest path (one or two draws per
+// simulated basic block), so it avoids math/rand's locking and interface
+// overhead. It is not safe for concurrent use; each thread generator owns its
+// own instance.
+type rand64 struct {
+	state uint64
+}
+
+// newRand seeds a generator; a zero seed is remapped to a fixed constant
+// because xorshift cannot leave the zero state.
+func newRand(seed uint64) *rand64 {
+	if seed == 0 {
+		seed = 0x853c49e6748fea9b
+	}
+	return &rand64{state: seed}
+}
+
+// next returns the next 64-bit pseudo-random value.
+func (r *rand64) next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// intn returns a value in [0, n). n must be positive.
+func (r *rand64) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// float returns a value in [0, 1).
+func (r *rand64) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}

@@ -1,0 +1,483 @@
+// Package virt implements the lightweight user-level virtualization layer
+// that is the paper's third contribution (Section 3.3): the machinery that
+// lets complex workloads — multiprocess applications, programs with more
+// threads than cores, client-server programs that block in the kernel, and
+// timing-sensitive code — run on a user-level simulator.
+//
+// It provides:
+//
+//   - a simulated process/thread model with a round-robin scheduler that
+//     supports per-process and per-thread core affinities and thread
+//     oversubscription (more software threads than simulated cores);
+//   - synchronization state (locks, workload barriers) resolved against
+//     simulated time, so lock contention and barrier waits shape the
+//     simulated schedule exactly as futexes shape a native run;
+//   - blocking-syscall handling: threads that enter a blocking system call
+//     leave the interval barrier and rejoin when the call completes, so the
+//     rest of the simulation keeps advancing (the paper's join/leave
+//     mechanism);
+//   - timing virtualization (a virtual rdtsc/time source tied to simulated
+//     cycles) and system-view virtualization (a virtualized CPUID/procfs
+//     description of the simulated machine);
+//   - per-process fast-forwarding and magic-op handling.
+package virt
+
+import (
+	"fmt"
+	"sort"
+
+	"zsim/internal/trace"
+)
+
+// ThreadState is the scheduling state of a simulated software thread.
+type ThreadState uint8
+
+// Thread states.
+const (
+	StateRunnable ThreadState = iota
+	StateRunning
+	StateBlockedLock
+	StateBlockedBarrier
+	StateBlockedSyscall
+	StateFastForward
+	StateDone
+)
+
+// String returns a short name for the state.
+func (s ThreadState) String() string {
+	switch s {
+	case StateRunnable:
+		return "runnable"
+	case StateRunning:
+		return "running"
+	case StateBlockedLock:
+		return "blocked-lock"
+	case StateBlockedBarrier:
+		return "blocked-barrier"
+	case StateBlockedSyscall:
+		return "blocked-syscall"
+	case StateFastForward:
+		return "fast-forward"
+	case StateDone:
+		return "done"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// Thread is one simulated software thread: an instruction stream plus
+// scheduling state. Threads belong to a Process.
+type Thread struct {
+	ID     int
+	Proc   int
+	Stream *trace.Thread
+	State  ThreadState
+	// Affinity restricts the cores this thread may run on (nil/empty = any).
+	Affinity []int
+	// Cycle is the thread's virtual time: the cycle of the core it last ran
+	// on when it was descheduled (or blocked).
+	Cycle uint64
+	// WakeCycle is when a syscall-blocked thread becomes runnable again.
+	WakeCycle uint64
+	// WaitLock is the lock the thread is blocked on (when StateBlockedLock).
+	WaitLock int
+	// FastForwardBlocks is the number of blocks to skip at near-native speed
+	// before detailed simulation starts for this thread.
+	FastForwardBlocks int
+}
+
+// Process is a simulated OS process: a group of threads sharing a virtual
+// system view. Multiprocess workloads (e.g. client-server) create several.
+type Process struct {
+	ID      int
+	Name    string
+	Threads []*Thread
+	// Affinity restricts all of the process's threads to a set of cores.
+	Affinity []int
+}
+
+// Scheduler is the user-level scheduler: it assigns runnable threads to
+// simulated cores each interval (round-robin, affinity-aware), tracks
+// synchronization state, and implements the blocking-syscall join/leave
+// protocol.
+type Scheduler struct {
+	numCores int
+	procs    []*Process
+	threads  []*Thread
+
+	// runQueue holds runnable thread IDs in round-robin order.
+	runQueue []int
+	// running[i] is the thread ID running on core i, or -1.
+	running []int
+
+	locks    map[int]*lockState
+	barriers map[barrierKey]*barrierState
+
+	// Statistics.
+	ContextSwitches uint64
+	LockBlocks      uint64
+	BarrierWaits    uint64
+	SyscallBlocks   uint64
+}
+
+type lockState struct {
+	held    bool
+	holder  int
+	waiters []int // thread IDs in FIFO order
+	// releaseCycle is the simulated cycle of the most recent release, used to
+	// time the hand-off to the next waiter.
+	releaseCycle uint64
+}
+
+// barrierKey identifies a barrier: workload barriers are per-process.
+type barrierKey struct {
+	proc int
+	id   int
+}
+
+type barrierState struct {
+	arrived  []int
+	maxCycle uint64
+}
+
+// NewScheduler creates a scheduler for a chip with numCores cores.
+func NewScheduler(numCores int) *Scheduler {
+	if numCores < 1 {
+		numCores = 1
+	}
+	s := &Scheduler{
+		numCores: numCores,
+		running:  make([]int, numCores),
+		locks:    make(map[int]*lockState),
+		barriers: make(map[barrierKey]*barrierState),
+	}
+	for i := range s.running {
+		s.running[i] = -1
+	}
+	return s
+}
+
+// NumCores returns the number of simulated cores.
+func (s *Scheduler) NumCores() int { return s.numCores }
+
+// AddProcess registers a process and its threads. Threads inherit the
+// process's affinity unless they have their own.
+func (s *Scheduler) AddProcess(p *Process) {
+	s.procs = append(s.procs, p)
+	for _, t := range p.Threads {
+		if len(t.Affinity) == 0 {
+			t.Affinity = p.Affinity
+		}
+		t.ID = len(s.threads)
+		t.Proc = p.ID
+		s.threads = append(s.threads, t)
+		if t.FastForwardBlocks > 0 {
+			t.State = StateFastForward
+		} else {
+			t.State = StateRunnable
+		}
+		s.runQueue = append(s.runQueue, t.ID)
+	}
+}
+
+// AddWorkload is a convenience that wraps a trace.Workload's threads into a
+// single process with no affinity restrictions.
+func (s *Scheduler) AddWorkload(w *trace.Workload) *Process {
+	p := &Process{ID: len(s.procs), Name: w.Name}
+	for i := 0; i < w.Threads; i++ {
+		p.Threads = append(p.Threads, &Thread{Stream: w.NewThread(i)})
+	}
+	s.AddProcess(p)
+	return p
+}
+
+// Thread returns the thread with the given ID.
+func (s *Scheduler) Thread(id int) *Thread { return s.threads[id] }
+
+// NumThreads returns the total number of software threads.
+func (s *Scheduler) NumThreads() int { return len(s.threads) }
+
+// LiveThreads returns the number of threads that are not Done.
+func (s *Scheduler) LiveThreads() int {
+	n := 0
+	for _, t := range s.threads {
+		if t.State != StateDone {
+			n++
+		}
+	}
+	return n
+}
+
+// allowedOn reports whether thread t may run on the given core.
+func allowedOn(t *Thread, core int) bool {
+	if len(t.Affinity) == 0 {
+		return true
+	}
+	for _, c := range t.Affinity {
+		if c == core {
+			return true
+		}
+	}
+	return false
+}
+
+// Assignment maps one core to the thread it runs this interval.
+type Assignment struct {
+	Core   int
+	Thread *Thread
+}
+
+// ScheduleInterval assigns runnable threads to cores for the next interval
+// and returns the assignments. Threads already running stay on their core
+// unless they blocked; free cores pull from the run queue round-robin,
+// honouring affinities. Oversubscribed threads take turns across intervals.
+func (s *Scheduler) ScheduleInterval(now uint64) []Assignment {
+	// Wake syscall-blocked and fast-forwarding threads whose time has come.
+	s.wake(now)
+
+	// Threads still marked running keep their cores.
+	var out []Assignment
+	freeCores := make([]int, 0, s.numCores)
+	for c := 0; c < s.numCores; c++ {
+		tid := s.running[c]
+		if tid >= 0 && s.threads[tid].State == StateRunning {
+			out = append(out, Assignment{Core: c, Thread: s.threads[tid]})
+		} else {
+			s.running[c] = -1
+			freeCores = append(freeCores, c)
+		}
+	}
+
+	// Fill free cores from the run queue (round-robin, affinity-aware).
+	if len(freeCores) > 0 {
+		for _, tid := range append([]int(nil), s.runQueue...) {
+			if len(freeCores) == 0 {
+				break
+			}
+			t := s.threads[tid]
+			if t.State != StateRunnable {
+				continue
+			}
+			for i, c := range freeCores {
+				if allowedOn(t, c) {
+					s.running[c] = tid
+					t.State = StateRunning
+					s.ContextSwitches++
+					out = append(out, Assignment{Core: c, Thread: t})
+					freeCores = append(freeCores[:i], freeCores[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	// Placed threads are now Running and are filtered out; the rest keep
+	// their queue order for the next interval.
+	s.runQueue = filterRunnable(s.runQueue, s.threads)
+
+	sort.Slice(out, func(i, j int) bool { return out[i].Core < out[j].Core })
+	return out
+}
+
+// filterRunnable drops queue entries that are no longer runnable.
+func filterRunnable(q []int, threads []*Thread) []int {
+	out := q[:0]
+	seen := make(map[int]bool, len(q))
+	for _, tid := range q {
+		if seen[tid] {
+			continue
+		}
+		seen[tid] = true
+		if threads[tid].State == StateRunnable {
+			out = append(out, tid)
+		}
+	}
+	return out
+}
+
+// wake transitions syscall-blocked threads whose wake time has passed and
+// fast-forwarding threads back to runnable.
+func (s *Scheduler) wake(now uint64) {
+	for _, t := range s.threads {
+		switch t.State {
+		case StateBlockedSyscall:
+			if t.WakeCycle <= now {
+				t.State = StateRunnable
+				if t.Cycle < t.WakeCycle {
+					t.Cycle = t.WakeCycle
+				}
+				s.runQueue = append(s.runQueue, t.ID)
+			}
+		case StateFastForward:
+			// Fast-forwarding threads skip their warmup blocks at near-native
+			// speed (no timing): consume them here, outside timed simulation.
+			for t.FastForwardBlocks > 0 {
+				b := t.Stream.NextBlock()
+				t.FastForwardBlocks--
+				if b.Sync == trace.SyncDone {
+					t.State = StateDone
+					break
+				}
+			}
+			if t.State != StateDone {
+				t.State = StateRunnable
+				s.runQueue = append(s.runQueue, t.ID)
+			}
+		}
+	}
+}
+
+// Deschedule removes a thread from its core (it keeps its runnable state and
+// goes to the back of the run queue) — used for time multiplexing when there
+// are more threads than cores.
+func (s *Scheduler) Deschedule(t *Thread, now uint64) {
+	t.Cycle = now
+	if t.State == StateRunning {
+		t.State = StateRunnable
+		s.runQueue = append(s.runQueue, t.ID)
+	}
+	s.clearCore(t.ID)
+}
+
+func (s *Scheduler) clearCore(tid int) {
+	for c, id := range s.running {
+		if id == tid {
+			s.running[c] = -1
+		}
+	}
+}
+
+// OnDone marks a thread as finished.
+func (s *Scheduler) OnDone(t *Thread, now uint64) {
+	t.Cycle = now
+	t.State = StateDone
+	s.clearCore(t.ID)
+	// A finishing thread behaves like a lock holder that never returns;
+	// release anything it held (defensive: well-formed workloads release
+	// before finishing).
+	for id, l := range s.locks {
+		if l.held && l.holder == t.ID {
+			s.releaseLock(id, now)
+		}
+	}
+	// Barriers it participated in must not wait for it.
+	s.checkBarriers(now)
+}
+
+// OnLockAcquire attempts to acquire the lock for the thread at the given
+// cycle. It returns true if the lock was acquired; otherwise the thread is
+// blocked (futex-style) and will be made runnable when the lock is released.
+func (s *Scheduler) OnLockAcquire(t *Thread, lockID int, now uint64) bool {
+	l := s.locks[lockID]
+	if l == nil {
+		l = &lockState{}
+		s.locks[lockID] = l
+	}
+	if !l.held {
+		l.held = true
+		l.holder = t.ID
+		return true
+	}
+	l.waiters = append(l.waiters, t.ID)
+	t.State = StateBlockedLock
+	t.WaitLock = lockID
+	t.Cycle = now
+	s.LockBlocks++
+	s.clearCore(t.ID)
+	return false
+}
+
+// OnLockRelease releases the lock at the given cycle, waking the oldest
+// waiter (which inherits the release cycle if it is later than its own).
+func (s *Scheduler) OnLockRelease(t *Thread, lockID int, now uint64) {
+	l := s.locks[lockID]
+	if l == nil || !l.held || l.holder != t.ID {
+		return // tolerate spurious releases
+	}
+	s.releaseLock(lockID, now)
+}
+
+func (s *Scheduler) releaseLock(lockID int, now uint64) {
+	l := s.locks[lockID]
+	l.held = false
+	l.releaseCycle = now
+	if len(l.waiters) == 0 {
+		return
+	}
+	next := l.waiters[0]
+	l.waiters = l.waiters[1:]
+	nt := s.threads[next]
+	l.held = true
+	l.holder = next
+	nt.State = StateRunnable
+	if nt.Cycle < now {
+		nt.Cycle = now
+	}
+	s.runQueue = append(s.runQueue, next)
+}
+
+// HoldsLock reports whether the thread currently holds the lock (test helper).
+func (s *Scheduler) HoldsLock(t *Thread, lockID int) bool {
+	l := s.locks[lockID]
+	return l != nil && l.held && l.holder == t.ID
+}
+
+// OnBarrier records the thread's arrival at a workload barrier. When every
+// live thread of the same process has arrived, all are released with their
+// cycles advanced to the latest arrival.
+func (s *Scheduler) OnBarrier(t *Thread, barrierID int, now uint64) {
+	key := barrierKey{proc: t.Proc, id: 0} // arrival-matched: any barrier id pairs up
+	_ = barrierID
+	b := s.barriers[key]
+	if b == nil {
+		b = &barrierState{}
+		s.barriers[key] = b
+	}
+	b.arrived = append(b.arrived, t.ID)
+	if now > b.maxCycle {
+		b.maxCycle = now
+	}
+	t.State = StateBlockedBarrier
+	t.Cycle = now
+	s.BarrierWaits++
+	s.clearCore(t.ID)
+	s.checkBarriers(now)
+}
+
+// checkBarriers releases any barrier at which every live thread of the
+// process has arrived.
+func (s *Scheduler) checkBarriers(now uint64) {
+	for key, b := range s.barriers {
+		live := 0
+		for _, t := range s.threads {
+			if t.Proc == key.proc && t.State != StateDone {
+				live++
+			}
+		}
+		if live == 0 || len(b.arrived) < live {
+			continue
+		}
+		for _, tid := range b.arrived {
+			t := s.threads[tid]
+			if t.State != StateBlockedBarrier {
+				continue
+			}
+			t.State = StateRunnable
+			if t.Cycle < b.maxCycle {
+				t.Cycle = b.maxCycle
+			}
+			s.runQueue = append(s.runQueue, tid)
+		}
+		delete(s.barriers, key)
+	}
+}
+
+// OnBlockedSyscall marks the thread as blocked in the kernel for the given
+// number of cycles; it leaves the interval barrier and rejoins when the
+// syscall completes.
+func (s *Scheduler) OnBlockedSyscall(t *Thread, now, durationCycles uint64) {
+	t.State = StateBlockedSyscall
+	t.Cycle = now
+	t.WakeCycle = now + durationCycles
+	s.SyscallBlocks++
+	s.clearCore(t.ID)
+}

@@ -1,0 +1,370 @@
+package virt
+
+import (
+	"strings"
+	"testing"
+
+	"zsim/internal/trace"
+)
+
+func testWorkload(threads int, blocks int) *trace.Workload {
+	p := trace.DefaultParams()
+	p.BlocksPerThread = blocks
+	return trace.New("virt-test", p, threads)
+}
+
+func TestThreadStateString(t *testing.T) {
+	states := []ThreadState{StateRunnable, StateRunning, StateBlockedLock, StateBlockedBarrier,
+		StateBlockedSyscall, StateFastForward, StateDone}
+	for _, st := range states {
+		if st.String() == "" || strings.HasPrefix(st.String(), "state(") {
+			t.Fatalf("state %d has no name", st)
+		}
+	}
+	if ThreadState(99).String() != "state(99)" {
+		t.Fatalf("unknown state fallback broken")
+	}
+}
+
+func TestSchedulerBasicAssignment(t *testing.T) {
+	s := NewScheduler(4)
+	if s.NumCores() != 4 {
+		t.Fatalf("cores: %d", s.NumCores())
+	}
+	w := testWorkload(3, 100)
+	s.AddWorkload(w)
+	if s.NumThreads() != 3 || s.LiveThreads() != 3 {
+		t.Fatalf("threads: %d live %d", s.NumThreads(), s.LiveThreads())
+	}
+	asg := s.ScheduleInterval(0)
+	if len(asg) != 3 {
+		t.Fatalf("3 threads on 4 cores should all be scheduled, got %d", len(asg))
+	}
+	seenCores := map[int]bool{}
+	for _, a := range asg {
+		if seenCores[a.Core] {
+			t.Fatalf("core %d assigned twice", a.Core)
+		}
+		seenCores[a.Core] = true
+		if a.Thread.State != StateRunning {
+			t.Fatalf("assigned thread should be running")
+		}
+	}
+	// Next interval: still running, same assignments.
+	asg2 := s.ScheduleInterval(1000)
+	if len(asg2) != 3 {
+		t.Fatalf("running threads should stay scheduled")
+	}
+}
+
+func TestSchedulerOversubscription(t *testing.T) {
+	// 8 software threads on 2 cores: every thread must eventually get CPU
+	// time via round-robin descheduling.
+	s := NewScheduler(2)
+	w := testWorkload(8, 50)
+	s.AddWorkload(w)
+	ran := make(map[int]int)
+	now := uint64(0)
+	for interval := 0; interval < 20; interval++ {
+		asg := s.ScheduleInterval(now)
+		if len(asg) > 2 {
+			t.Fatalf("cannot schedule more threads than cores")
+		}
+		for _, a := range asg {
+			ran[a.Thread.ID]++
+			// Simulate the thread being descheduled at the end of the interval
+			// (time multiplexing).
+			s.Deschedule(a.Thread, now+1000)
+		}
+		now += 1000
+	}
+	if len(ran) != 8 {
+		t.Fatalf("all 8 threads should have run, got %d: %v", len(ran), ran)
+	}
+	if s.ContextSwitches == 0 {
+		t.Fatalf("context switches should be counted")
+	}
+}
+
+func TestSchedulerAffinity(t *testing.T) {
+	s := NewScheduler(4)
+	w := testWorkload(2, 10)
+	p := &Process{ID: 0, Name: "pinned", Affinity: []int{2}}
+	for i := 0; i < 2; i++ {
+		p.Threads = append(p.Threads, &Thread{Stream: w.NewThread(i)})
+	}
+	s.AddProcess(p)
+	asg := s.ScheduleInterval(0)
+	if len(asg) != 1 {
+		t.Fatalf("only one thread fits on the single allowed core, got %d", len(asg))
+	}
+	if asg[0].Core != 2 {
+		t.Fatalf("affinity should pin the thread to core 2, got %d", asg[0].Core)
+	}
+	// Per-thread affinity overrides the process affinity.
+	s2 := NewScheduler(4)
+	p2 := &Process{ID: 0, Affinity: []int{0}}
+	p2.Threads = append(p2.Threads, &Thread{Stream: w.NewThread(0), Affinity: []int{3}})
+	s2.AddProcess(p2)
+	asg = s2.ScheduleInterval(0)
+	if len(asg) != 1 || asg[0].Core != 3 {
+		t.Fatalf("thread affinity should win: %+v", asg)
+	}
+}
+
+func TestLockBlockingAndHandoff(t *testing.T) {
+	s := NewScheduler(4)
+	w := testWorkload(2, 10)
+	s.AddWorkload(w)
+	t0, t1 := s.Thread(0), s.Thread(1)
+	s.ScheduleInterval(0)
+
+	if !s.OnLockAcquire(t0, 7, 100) {
+		t.Fatalf("uncontended lock should be acquired")
+	}
+	if !s.HoldsLock(t0, 7) {
+		t.Fatalf("holder not recorded")
+	}
+	if s.OnLockAcquire(t1, 7, 150) {
+		t.Fatalf("contended lock should block")
+	}
+	if t1.State != StateBlockedLock {
+		t.Fatalf("blocked thread state wrong: %v", t1.State)
+	}
+	if s.LockBlocks != 1 {
+		t.Fatalf("lock block should be counted")
+	}
+
+	// Release at cycle 500: t1 acquires and becomes runnable with its clock
+	// advanced to the release point.
+	s.OnLockRelease(t0, 7, 500)
+	if !s.HoldsLock(t1, 7) {
+		t.Fatalf("waiter should inherit the lock")
+	}
+	if t1.State != StateRunnable || t1.Cycle != 500 {
+		t.Fatalf("woken waiter should be runnable at the release cycle, got %v at %d", t1.State, t1.Cycle)
+	}
+	// Releasing a lock you don't hold is ignored.
+	s.OnLockRelease(t0, 7, 600)
+	if !s.HoldsLock(t1, 7) {
+		t.Fatalf("spurious release must not steal the lock")
+	}
+	// The woken thread gets scheduled again.
+	asg := s.ScheduleInterval(1000)
+	found := false
+	for _, a := range asg {
+		if a.Thread.ID == t1.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("woken thread should be scheduled")
+	}
+}
+
+func TestBarrierReleasesWhenAllArrive(t *testing.T) {
+	s := NewScheduler(4)
+	w := testWorkload(3, 10)
+	s.AddWorkload(w)
+	s.ScheduleInterval(0)
+	t0, t1, t2 := s.Thread(0), s.Thread(1), s.Thread(2)
+
+	s.OnBarrier(t0, 1, 100)
+	s.OnBarrier(t1, 1, 300)
+	if t0.State != StateBlockedBarrier || t1.State != StateBlockedBarrier {
+		t.Fatalf("threads should wait at the barrier")
+	}
+	s.OnBarrier(t2, 1, 200)
+	// All three arrived: all runnable, clocks advanced to the slowest (300).
+	for _, th := range []*Thread{t0, t1, t2} {
+		if th.State != StateRunnable {
+			t.Fatalf("barrier should release all threads, %d is %v", th.ID, th.State)
+		}
+		if th.Cycle != 300 {
+			t.Fatalf("released thread should sync to the latest arrival, got %d", th.Cycle)
+		}
+	}
+	if s.BarrierWaits != 3 {
+		t.Fatalf("barrier waits should be counted")
+	}
+}
+
+func TestBarrierIgnoresFinishedThreads(t *testing.T) {
+	s := NewScheduler(2)
+	w := testWorkload(2, 10)
+	s.AddWorkload(w)
+	s.ScheduleInterval(0)
+	t0, t1 := s.Thread(0), s.Thread(1)
+	// Thread 1 finishes; a barrier must then only require thread 0.
+	s.OnDone(t1, 50)
+	if s.LiveThreads() != 1 {
+		t.Fatalf("live threads: %d", s.LiveThreads())
+	}
+	s.OnBarrier(t0, 3, 100)
+	if t0.State != StateRunnable {
+		t.Fatalf("sole live thread should pass the barrier immediately, got %v", t0.State)
+	}
+}
+
+func TestDoneReleasesHeldLocks(t *testing.T) {
+	s := NewScheduler(2)
+	w := testWorkload(2, 10)
+	s.AddWorkload(w)
+	s.ScheduleInterval(0)
+	t0, t1 := s.Thread(0), s.Thread(1)
+	s.OnLockAcquire(t0, 1, 10)
+	s.OnLockAcquire(t1, 1, 20) // blocks
+	s.OnDone(t0, 100)
+	if t1.State != StateRunnable || !s.HoldsLock(t1, 1) {
+		t.Fatalf("finishing holder should hand the lock to the waiter")
+	}
+}
+
+func TestBlockedSyscallJoinLeave(t *testing.T) {
+	s := NewScheduler(2)
+	w := testWorkload(2, 10)
+	s.AddWorkload(w)
+	s.ScheduleInterval(0)
+	t0 := s.Thread(0)
+	s.OnBlockedSyscall(t0, 1000, 5000)
+	if t0.State != StateBlockedSyscall {
+		t.Fatalf("thread should be blocked in the kernel")
+	}
+	// Before the wake time it is not scheduled.
+	asg := s.ScheduleInterval(2000)
+	for _, a := range asg {
+		if a.Thread.ID == t0.ID {
+			t.Fatalf("blocked thread must not be scheduled")
+		}
+	}
+	// After the wake time it rejoins with its clock advanced.
+	asg = s.ScheduleInterval(7000)
+	found := false
+	for _, a := range asg {
+		if a.Thread.ID == t0.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("thread should rejoin after its syscall completes")
+	}
+	if t0.Cycle < 6000 {
+		t.Fatalf("woken thread's clock should reflect the blocked time, got %d", t0.Cycle)
+	}
+	if s.SyscallBlocks != 1 {
+		t.Fatalf("syscall blocks should be counted")
+	}
+}
+
+func TestFastForwardSkipsBlocks(t *testing.T) {
+	s := NewScheduler(1)
+	w := testWorkload(1, 100)
+	p := &Process{ID: 0}
+	p.Threads = append(p.Threads, &Thread{Stream: w.NewThread(0), FastForwardBlocks: 30})
+	s.AddProcess(p)
+	th := s.Thread(0)
+	if th.State != StateFastForward {
+		t.Fatalf("thread should start fast-forwarding")
+	}
+	asg := s.ScheduleInterval(0)
+	if len(asg) != 1 {
+		t.Fatalf("fast-forwarded thread should be schedulable afterwards")
+	}
+	if th.FastForwardBlocks != 0 {
+		t.Fatalf("fast-forward blocks should be consumed")
+	}
+}
+
+func TestMultiprocessScheduling(t *testing.T) {
+	// Two processes (client and server) share the chip; both get cores.
+	s := NewScheduler(4)
+	w1 := testWorkload(2, 50)
+	w2 := testWorkload(2, 50)
+	p1 := s.AddWorkload(w1)
+	p2 := &Process{ID: 1, Name: "server"}
+	for i := 0; i < 2; i++ {
+		p2.Threads = append(p2.Threads, &Thread{Stream: w2.NewThread(i)})
+	}
+	s.AddProcess(p2)
+	if p1.ID == p2.ID {
+		t.Fatalf("processes should have distinct IDs")
+	}
+	asg := s.ScheduleInterval(0)
+	procs := map[int]int{}
+	for _, a := range asg {
+		procs[a.Thread.Proc]++
+	}
+	if len(procs) != 2 {
+		t.Fatalf("both processes should be scheduled: %v", procs)
+	}
+	// Barriers are per-process: process 0's barrier does not wait for
+	// process 1's threads.
+	s.OnBarrier(s.Thread(0), 1, 10)
+	s.OnBarrier(s.Thread(1), 1, 20)
+	if s.Thread(0).State != StateRunnable {
+		t.Fatalf("process-0 barrier should release without process 1")
+	}
+}
+
+func TestTimeVirtualizer(t *testing.T) {
+	tv := NewTimeVirtualizer(2.0)
+	if tv.Rdtsc(12345) != 12345 {
+		t.Fatalf("rdtsc should return the simulated cycle")
+	}
+	n1 := tv.Nanos(0)
+	n2 := tv.Nanos(2_000_000_000) // 1 simulated second at 2 GHz
+	if n2-n1 != 1_000_000_000 {
+		t.Fatalf("1s of simulated cycles should advance virtual time by 1s, got %d", n2-n1)
+	}
+	if tv.SleepCycles(1000) != 2000 {
+		t.Fatalf("sleep conversion wrong: %d", tv.SleepCycles(1000))
+	}
+	if tv.RdtscReads != 1 || tv.TimeReads != 2 {
+		t.Fatalf("virtualization counters wrong")
+	}
+	// Degenerate frequency clamps.
+	if NewTimeVirtualizer(0).FreqGHz != 2.0 {
+		t.Fatalf("zero frequency should default")
+	}
+}
+
+func TestSystemView(t *testing.T) {
+	sv := NewSystemView(1024, 32, 256, 8192)
+	_, _, _, _ = sv.CPUID(0)
+	eax, _, _, _ := sv.CPUID(1)
+	if eax != 1024 {
+		t.Fatalf("CPUID leaf 1 should report the simulated core count, got %d", eax)
+	}
+	a, b, c, _ := sv.CPUID(4)
+	if a != 32 || b != 256 || c != 8192 {
+		t.Fatalf("CPUID leaf 4 should report simulated cache sizes")
+	}
+	if x, _, _, _ := sv.CPUID(99); x != 0 {
+		t.Fatalf("unknown leaves return zero")
+	}
+	if sv.GetCPU(5) != 5 || sv.GetCPU(-1) != 0 || sv.GetCPU(4000) != 0 {
+		t.Fatalf("GetCPU virtualization wrong")
+	}
+	info := sv.ProcCPUInfo()
+	if !strings.Contains(info, "processor\t: 1023") || !strings.Contains(info, "GenuineZsim") {
+		t.Fatalf("cpuinfo should describe the simulated machine")
+	}
+	if sv.CPUIDReads == 0 || sv.ProcReads == 0 {
+		t.Fatalf("virtualization counters should advance")
+	}
+}
+
+func TestMagicOps(t *testing.T) {
+	if DecodeMagic(0x5a5a0001) != MagicROIBegin || DecodeMagic(0x5a5a0002) != MagicROIEnd ||
+		DecodeMagic(0x5a5a0003) != MagicHeartbeat || DecodeMagic(42) != MagicNone {
+		t.Fatalf("magic op decoding wrong")
+	}
+	for _, m := range []MagicOp{MagicNone, MagicROIBegin, MagicROIEnd, MagicHeartbeat} {
+		if m.String() == "" {
+			t.Fatalf("magic op %d has no name", m)
+		}
+	}
+	if MagicOp(77).String() != "magic(77)" {
+		t.Fatalf("unknown magic fallback broken")
+	}
+}

@@ -1,0 +1,172 @@
+package virt
+
+import "fmt"
+
+// This file holds the timing-virtualization and system-virtualization pieces
+// of Section 3.3: the virtual time sources exposed to simulated code (rdtsc,
+// clock_gettime, sleeps and timeouts), the virtualized system view (CPUID,
+// /proc, /sys, getcpu), and magic-op decoding.
+
+// TimeVirtualizer translates simulated cycles into the time values the
+// simulated program observes, isolating it from host time: rdtsc returns the
+// simulated cycle count and wall-clock interfaces derive nanoseconds from the
+// simulated frequency. Self-profiling and timeout-based code therefore sees
+// time advance at simulated speed.
+type TimeVirtualizer struct {
+	// FreqGHz is the simulated core frequency used to convert cycles to
+	// nanoseconds.
+	FreqGHz float64
+	// BaseNanos is the virtual epoch (the value a zero-cycle read returns).
+	BaseNanos uint64
+
+	// RdtscReads and TimeReads count virtualized reads, mirroring zsim's
+	// virtualization counters.
+	RdtscReads uint64
+	TimeReads  uint64
+}
+
+// NewTimeVirtualizer creates a time virtualizer for the given frequency.
+func NewTimeVirtualizer(freqGHz float64) *TimeVirtualizer {
+	if freqGHz <= 0 {
+		freqGHz = 2.0
+	}
+	return &TimeVirtualizer{FreqGHz: freqGHz, BaseNanos: 1_600_000_000_000_000_000}
+}
+
+// Rdtsc returns the virtualized timestamp counter for a thread running at the
+// given simulated cycle.
+func (tv *TimeVirtualizer) Rdtsc(cycle uint64) uint64 {
+	tv.RdtscReads++
+	return cycle
+}
+
+// Nanos returns the virtualized wall-clock time in nanoseconds at the given
+// simulated cycle.
+func (tv *TimeVirtualizer) Nanos(cycle uint64) uint64 {
+	tv.TimeReads++
+	return tv.BaseNanos + uint64(float64(cycle)/tv.FreqGHz)
+}
+
+// SleepCycles converts a requested sleep duration in nanoseconds into the
+// simulated cycles the thread must remain blocked (used to virtualize sleep
+// and timeout syscalls).
+func (tv *TimeVirtualizer) SleepCycles(nanos uint64) uint64 {
+	return uint64(float64(nanos) * tv.FreqGHz)
+}
+
+// SystemView is the virtualized hardware description exposed to simulated
+// programs: the number of cores and cache sizes of the *simulated* chip, not
+// the host. Programs that self-tune (OpenMP runtimes, JVMs, math libraries)
+// read this instead of the host's CPUID//proc.
+type SystemView struct {
+	NumCores   int
+	NumSockets int
+	L1DKB      int
+	L2KB       int
+	L3KB       int
+	VendorID   string
+
+	// CPUIDReads and ProcReads count virtualized queries.
+	CPUIDReads uint64
+	ProcReads  uint64
+}
+
+// NewSystemView builds the virtualized view for a simulated chip.
+func NewSystemView(numCores, l1dKB, l2KB, l3KB int) *SystemView {
+	return &SystemView{
+		NumCores:   numCores,
+		NumSockets: 1,
+		L1DKB:      l1dKB,
+		L2KB:       l2KB,
+		L3KB:       l3KB,
+		VendorID:   "GenuineZsim",
+	}
+}
+
+// CPUID returns the virtualized processor description (a simplified leaf
+// model: leaf 0 returns the vendor, leaf 1 the core count, leaf 4 the cache
+// sizes).
+func (sv *SystemView) CPUID(leaf uint32) (eax, ebx, ecx, edx uint32) {
+	sv.CPUIDReads++
+	switch leaf {
+	case 0:
+		return 4, 0x7573696e, 0x5a65476e, 0x6d697365 // max leaf + packed vendor
+	case 1:
+		return uint32(sv.NumCores), uint32(sv.NumSockets), 0, 0
+	case 4:
+		return uint32(sv.L1DKB), uint32(sv.L2KB), uint32(sv.L3KB), 0
+	default:
+		return 0, 0, 0, 0
+	}
+}
+
+// GetCPU returns the core the thread currently runs on (the virtualized
+// getcpu/sched_getcpu syscall).
+func (sv *SystemView) GetCPU(core int) int {
+	sv.ProcReads++
+	if core < 0 || core >= sv.NumCores {
+		return 0
+	}
+	return core
+}
+
+// ProcCPUInfo renders a /proc/cpuinfo-style description of the simulated
+// machine, the analogue of zsim's pre-generated /proc tree that open()
+// redirection serves to the workload.
+func (sv *SystemView) ProcCPUInfo() string {
+	sv.ProcReads++
+	out := ""
+	for i := 0; i < sv.NumCores; i++ {
+		out += fmt.Sprintf("processor\t: %d\nvendor_id\t: %s\ncache size\t: %d KB\ncpu cores\t: %d\n\n",
+			i, sv.VendorID, sv.L3KB, sv.NumCores)
+	}
+	return out
+}
+
+// MagicOp identifies a simulator-control operation embedded in the simulated
+// program as a special NOP sequence (Section 3.3, "Fast-forwarding and
+// control"). Magic ops are identified at instrumentation (decode) time.
+type MagicOp uint8
+
+// Magic operations supported by the simulator.
+const (
+	// MagicNone means the instruction is not a magic op.
+	MagicNone MagicOp = iota
+	// MagicROIBegin marks the start of the region of interest: detailed
+	// simulation begins here (ends fast-forwarding).
+	MagicROIBegin
+	// MagicROIEnd marks the end of the region of interest.
+	MagicROIEnd
+	// MagicHeartbeat lets workloads report forward progress to the harness.
+	MagicHeartbeat
+)
+
+// String returns the magic op's name.
+func (m MagicOp) String() string {
+	switch m {
+	case MagicNone:
+		return "none"
+	case MagicROIBegin:
+		return "roi-begin"
+	case MagicROIEnd:
+		return "roi-end"
+	case MagicHeartbeat:
+		return "heartbeat"
+	default:
+		return fmt.Sprintf("magic(%d)", uint8(m))
+	}
+}
+
+// DecodeMagic interprets the immediate operand of a magic NOP.
+func DecodeMagic(imm uint64) MagicOp {
+	switch imm {
+	case 0x5a5a0001:
+		return MagicROIBegin
+	case 0x5a5a0002:
+		return MagicROIEnd
+	case 0x5a5a0003:
+		return MagicHeartbeat
+	default:
+		return MagicNone
+	}
+}

@@ -1,0 +1,234 @@
+// Package zsim is a fast, parallel, user-level microarchitectural simulator
+// for large multicore chips, reproducing "ZSim: Fast and Accurate
+// Microarchitectural Simulation of Thousand-Core Systems" (Sanchez &
+// Kozyrakis, ISCA 2013) as a pure-Go library.
+//
+// The simulator combines three techniques from the paper:
+//
+//   - instruction-driven core timing models (a simple IPC=1 core and a
+//     detailed Westmere-class out-of-order core) whose per-instruction decode
+//     work is done once per static basic block, the way zsim leverages
+//     dynamic binary translation;
+//   - the bound-weave two-phase parallelization algorithm, which simulates
+//     cores in parallel over small intervals with zero-load latencies (bound
+//     phase) and then replays the recorded accesses through detailed
+//     contention models across parallel event-driven domains (weave phase);
+//   - lightweight user-level virtualization: a thread scheduler with
+//     affinities and oversubscription, simulated-time synchronization (locks,
+//     barriers, blocking system calls), and timing/system virtualization.
+//
+// # Quick start
+//
+//	cfg := zsim.WestmereConfig()
+//	sim, _ := zsim.New(cfg)
+//	sim.AddNamedWorkload("blackscholes", 6)  // 6 threads of a PARSEC-like kernel
+//	res, _ := sim.Run()
+//	fmt.Println(res.Summary())
+//
+// Workloads are deterministic synthetic program models (package
+// internal/trace) parameterized to match the behavioural envelope of the
+// paper's benchmarks; see DESIGN.md for the substitution rationale.
+package zsim
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"zsim/internal/boundweave"
+	"zsim/internal/config"
+	"zsim/internal/stats"
+	"zsim/internal/trace"
+	"zsim/internal/virt"
+)
+
+// Config is the simulated-system description. It is an alias of the internal
+// configuration type so callers can construct or load configurations
+// directly.
+type Config = config.System
+
+// CoreModel selects the core timing model in a Config ("ooo" or "ipc1").
+type CoreModel = config.CoreModel
+
+// WorkloadParams are the behavioural parameters of a synthetic workload.
+type WorkloadParams = trace.Params
+
+// Metrics are the derived results of a run (IPC, MPKIs, simulation MIPS...).
+type Metrics = stats.Metrics
+
+// WestmereConfig returns the paper's Table 2 validation configuration: a
+// 6-core Westmere-class chip.
+func WestmereConfig() *Config { return config.WestmereValidation() }
+
+// TiledConfig returns the paper's Table 3 tiled-chip configuration with the
+// given number of 16-core tiles (4, 16 and 64 tiles give the 64, 256 and
+// 1024-core chips of the evaluation). model is "ooo" or "ipc1".
+func TiledConfig(tiles int, model string) *Config {
+	return config.TiledChip(tiles, config.CoreModel(model))
+}
+
+// SmallConfig returns a small 4-core configuration suitable for quick
+// experiments and examples.
+func SmallConfig() *Config { return config.SmallTest() }
+
+// LoadConfig reads a JSON configuration.
+func LoadConfig(r io.Reader) (*Config, error) { return config.Load(r) }
+
+// LoadConfigFile reads a JSON configuration from a file.
+func LoadConfigFile(path string) (*Config, error) { return config.LoadFile(path) }
+
+// DefaultWorkloadParams returns a moderate compute-leaning workload parameter
+// set that callers can adjust.
+func DefaultWorkloadParams() WorkloadParams { return trace.DefaultParams() }
+
+// NamedWorkloads returns the names of all registered workloads (the SPEC
+// CPU2006, PARSEC, SPLASH-2, SPEC OMP and STREAM stand-ins used by the
+// paper's evaluation).
+func NamedWorkloads() []string { return trace.AllNames() }
+
+// LookupWorkload returns the registered parameters for a named workload.
+func LookupWorkload(name string) (WorkloadParams, bool) { return trace.Lookup(name) }
+
+// Simulator is the public facade over the bound-weave engine: configure it,
+// add one or more workloads (processes), then Run.
+type Simulator struct {
+	cfg   *Config
+	sys   *boundweave.System
+	sched *virt.Scheduler
+
+	// Options.
+	maxInstrs   uint64
+	hostThreads int
+	seed        uint64
+
+	workloads int
+	ran       bool
+}
+
+// New builds a simulator for the given configuration.
+func New(cfg *Config) (*Simulator, error) {
+	sys, err := boundweave.BuildSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{
+		cfg:   cfg,
+		sys:   sys,
+		sched: virt.NewScheduler(cfg.NumCores),
+		seed:  1,
+	}, nil
+}
+
+// SetMaxInstructions bounds the run to approximately n simulated instructions
+// (0 = run every workload to completion).
+func (s *Simulator) SetMaxInstructions(n uint64) { s.maxInstrs = n }
+
+// SetHostThreads caps the number of host worker threads used by the bound
+// phase (0 = all host CPUs).
+func (s *Simulator) SetHostThreads(n int) { s.hostThreads = n }
+
+// SetSeed sets the seed used for the interval barrier's wake-up shuffling.
+func (s *Simulator) SetSeed(seed uint64) { s.seed = seed }
+
+// AddWorkload adds a process running the given synthetic workload with the
+// given number of software threads (which may exceed the number of simulated
+// cores; the round-robin scheduler time-multiplexes them). It returns the
+// process ID.
+func (s *Simulator) AddWorkload(name string, params WorkloadParams, threads int) int {
+	w := trace.New(name, params, threads)
+	p := s.sched.AddWorkload(w)
+	s.workloads++
+	return p.ID
+}
+
+// AddNamedWorkload adds a process running one of the registered named
+// workloads. It returns an error for unknown names.
+func (s *Simulator) AddNamedWorkload(name string, threads int) (int, error) {
+	params, ok := trace.Lookup(name)
+	if !ok {
+		return 0, fmt.Errorf("zsim: unknown workload %q (see NamedWorkloads)", name)
+	}
+	return s.AddWorkload(name, params, threads), nil
+}
+
+// AddPinnedWorkload adds a workload whose threads are restricted to the given
+// cores (the "groups of cores per application" usage model the paper
+// describes for multiprogrammed runs).
+func (s *Simulator) AddPinnedWorkload(name string, params WorkloadParams, threads int, cores []int) int {
+	w := trace.New(name, params, threads)
+	p := &virt.Process{ID: s.workloads, Name: name, Affinity: cores}
+	for i := 0; i < threads; i++ {
+		p.Threads = append(p.Threads, &virt.Thread{Stream: w.NewThread(i)})
+	}
+	s.sched.AddProcess(p)
+	s.workloads++
+	return p.ID
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	// Metrics holds the aggregate performance metrics of the run.
+	Metrics *Metrics
+	// Intervals is the number of bound-weave intervals executed.
+	Intervals uint64
+	// HostTime is the wall-clock time the simulation took.
+	HostTime time.Duration
+	// WeaveEvents is the number of weave-phase events simulated (0 when the
+	// configuration disables contention).
+	WeaveEvents uint64
+}
+
+// Summary returns a one-paragraph human-readable summary of the run.
+func (r *Result) Summary() string {
+	m := r.Metrics
+	return fmt.Sprintf(
+		"simulated %d instructions on %d cores in %d cycles (IPC %.2f) — "+
+			"L1D %.2f MPKI, L2 %.2f MPKI, L3 %.2f MPKI — "+
+			"host time %v, %.1f MIPS, %d intervals, %d weave events",
+		m.Instrs, m.Cores, m.Cycles, m.IPC,
+		m.L1DMPKI, m.L2MPKI, m.L3MPKI,
+		r.HostTime.Round(time.Millisecond), m.SimMIPS, r.Intervals, r.WeaveEvents)
+}
+
+// Run executes the simulation and returns its results. A simulator can only
+// be run once; build a new one for another run.
+func (s *Simulator) Run() (*Result, error) {
+	if s.ran {
+		return nil, fmt.Errorf("zsim: simulator already ran; create a new one")
+	}
+	if s.workloads == 0 {
+		return nil, fmt.Errorf("zsim: no workloads added")
+	}
+	s.ran = true
+	sim := boundweave.NewSimulator(s.sys, s.sched, boundweave.Options{
+		MaxInstrs:   s.maxInstrs,
+		HostThreads: s.hostThreads,
+		Seed:        s.seed,
+	})
+	start := time.Now()
+	sim.Run()
+	elapsed := time.Since(start)
+
+	m := s.sys.Metrics()
+	m.Model = string(s.cfg.CoreModel)
+	m.HostNanos = elapsed.Nanoseconds()
+	m.Finalize()
+	return &Result{
+		Metrics:     m,
+		Intervals:   sim.Intervals,
+		HostTime:    elapsed,
+		WeaveEvents: sim.WeaveEvents,
+	}, nil
+}
+
+// WriteStats dumps the full hierarchical statistics tree of the simulated
+// system (per-core, per-cache, per-controller counters) in text form. Call it
+// after Run.
+func (s *Simulator) WriteStats(w io.Writer) error {
+	return s.sys.Root.WriteText(w)
+}
+
+// WriteStatsCSV dumps the statistics tree as CSV rows.
+func (s *Simulator) WriteStatsCSV(w io.Writer) error {
+	return s.sys.Root.WriteCSV(w)
+}
