@@ -1,0 +1,3 @@
+module zsim
+
+go 1.24

@@ -169,11 +169,11 @@ func TestContentionSlowsMemoryBoundWorkload(t *testing.T) {
 func TestRecorderFiltersPrivateAccesses(t *testing.T) {
 	shared := map[int]bool{100: true}
 	r := NewRecorder(0, shared)
-	r.RecordAccess(0, 10, []cache.Hop{{Comp: 1, Kind: cache.HopMiss, Cycle: 10, Latency: 4}}) // private only
+	r.RecordAccess(0, 10, false, []cache.Hop{{Comp: 1, Kind: cache.HopMiss, Cycle: 10, Latency: 4}}) // private only
 	if r.Len() != 0 || r.Dropped != 1 {
 		t.Fatalf("private-only access should be dropped")
 	}
-	r.RecordAccess(0, 20, []cache.Hop{
+	r.RecordAccess(0, 20, false, []cache.Hop{
 		{Comp: 1, Kind: cache.HopMiss, Cycle: 20, Latency: 4},
 		{Comp: 100, Kind: cache.HopHit, Cycle: 30, Latency: 14},
 	})

@@ -7,9 +7,11 @@ import (
 )
 
 // accessRecord is one bound-phase memory access that left the private cache
-// levels: its zero-load issue cycle and the hops it performed.
+// levels: its zero-load issue cycle, whether it was a store, and the hops it
+// performed.
 type accessRecord struct {
 	issueCycle uint64
+	write      bool
 	hops       []cache.Hop
 }
 
@@ -18,10 +20,17 @@ type accessRecord struct {
 // ones that touch shared components (L3 banks, memory controllers), which are
 // the accesses the weave phase retimes. Each core has its own recorder and is
 // driven by one host thread, so no locking is needed.
+//
+// The recorder owns a freelist of hop buffers: RecordAccess takes ownership
+// of the consumed trace's buffer and hands a recycled one back to the core,
+// and Reset (called after each weave phase) returns every retained buffer to
+// the freelist. After the first few intervals the record path therefore
+// performs no heap allocation.
 type Recorder struct {
 	coreID int
-	shared map[int]bool
+	shared []bool // dense component-ID -> weave-retimed table
 	recs   []accessRecord
+	free   [][]cache.Hop
 	// Dropped counts accesses that stayed within the private levels and were
 	// therefore not recorded (contention there is dominated by the core
 	// itself and is modeled in the bound phase).
@@ -31,32 +40,57 @@ type Recorder struct {
 // NewRecorder creates a recorder for one core. shared is the set of component
 // IDs whose events are weave-simulated.
 func NewRecorder(coreID int, shared map[int]bool) *Recorder {
-	return &Recorder{coreID: coreID, shared: shared}
+	maxComp := -1
+	for comp := range shared {
+		if comp > maxComp {
+			maxComp = comp
+		}
+	}
+	sharedArr := make([]bool, maxComp+1)
+	for comp, v := range shared {
+		if comp >= 0 {
+			sharedArr[comp] = v
+		}
+	}
+	return &Recorder{coreID: coreID, shared: sharedArr}
 }
 
-// RecordAccess implements core.AccessRecorder.
-func (r *Recorder) RecordAccess(coreID int, issueCycle uint64, hops []cache.Hop) {
+// RecordAccess implements core.AccessRecorder. It keeps traces that touch a
+// shared component and returns a recycled hop buffer for the core's next
+// access.
+func (r *Recorder) RecordAccess(coreID int, issueCycle uint64, write bool, hops []cache.Hop) []cache.Hop {
 	touchesShared := false
-	for _, h := range hops {
-		if r.shared[h.Comp] {
+	for i := range hops {
+		if c := hops[i].Comp; c >= 0 && c < len(r.shared) && r.shared[c] {
 			touchesShared = true
 			break
 		}
 	}
 	if !touchesShared {
 		r.Dropped++
-		return
+		return hops[:0] // the caller keeps reusing its own buffer
 	}
-	// The hop slice is owned by the request that produced it and is not
-	// reused afterwards, so it can be retained without copying.
-	r.recs = append(r.recs, accessRecord{issueCycle: issueCycle, hops: hops})
+	r.recs = append(r.recs, accessRecord{issueCycle: issueCycle, write: write, hops: hops})
+	if n := len(r.free); n > 0 {
+		buf := r.free[n-1]
+		r.free = r.free[:n-1]
+		return buf
+	}
+	return nil
 }
 
 // Len returns the number of recorded accesses in the current interval.
 func (r *Recorder) Len() int { return len(r.recs) }
 
-// Reset clears the interval's records (called after the weave phase).
-func (r *Recorder) Reset() { r.recs = r.recs[:0] }
+// Reset clears the interval's records (called after the weave phase),
+// returning their hop buffers to the freelist for the next interval.
+func (r *Recorder) Reset() {
+	for i := range r.recs {
+		r.free = append(r.free, r.recs[i].hops[:0])
+		r.recs[i].hops = nil
+	}
+	r.recs = r.recs[:0]
+}
 
 // BankModel is the weave-phase contention model for a pipelined L3 bank: a
 // single address port accepts one access per cycle, and a limited number of
@@ -134,43 +168,82 @@ func (b *BankModel) Reset() {
 }
 
 // weaveModels bundles the per-component contention models used by the weave
-// phase of one Simulator.
+// phase of one Simulator, as dense component-ID-indexed tables.
 type weaveModels struct {
-	banks map[int]*BankModel              // by component ID
-	mems  map[int]memctrl.ContentionModel // by component ID
+	banks []*BankModel
+	mems  []memctrl.ContentionModel
+}
+
+func (m *weaveModels) bank(comp int) *BankModel {
+	if comp >= 0 && comp < len(m.banks) {
+		return m.banks[comp]
+	}
+	return nil
+}
+
+func (m *weaveModels) mem(comp int) memctrl.ContentionModel {
+	if comp >= 0 && comp < len(m.mems) {
+		return m.mems[comp]
+	}
+	return nil
+}
+
+// bankExec and memExec are the shared weave-event executors. The per-event
+// context lives in the event's Ctx/Arg/Flag fields, so building a chain never
+// allocates a closure.
+func bankExec(ev *event.Event, dispatch uint64) uint64 {
+	return ev.Ctx.(*BankModel).Schedule(dispatch, ev.Flag)
+}
+
+func memExec(ev *event.Event, dispatch uint64) uint64 {
+	return dispatch + ev.Ctx.(memctrl.ContentionModel).RequestLatency(ev.Arg, dispatch, ev.Flag)
 }
 
 // buildChain converts one recorded access into a weave event chain and
 // returns the chain's response event (at the core), whose finish-vs-bound
 // difference is the access's contention delay. Events are allocated from the
 // given slab.
-func buildChain(slab *event.Slab, rec accessRecord, coreComp int, models *weaveModels) *event.Event {
+//
+// prevResp, when non-nil, is the response event of the same core's most
+// recent recorded *load*: it becomes a parent of this chain's root,
+// serializing the core's later shared-level accesses behind the load the
+// core stalled on. A load delayed by contention therefore delays the core's
+// subsequent misses, cascading the contention delay through the access
+// stream exactly as the stalled bound-phase core would have experienced it.
+// Stores do not gate later accesses (the core does not stall on them).
+func buildChain(slab *event.Slab, rec *accessRecord, coreComp int, models *weaveModels, prevResp *event.Event) *event.Event {
 	// Root: the core issues the request at its bound-phase cycle.
 	root := slab.Alloc()
 	root.Comp = coreComp
 	root.MinCycle = rec.issueCycle
+	if prevResp != nil {
+		prevResp.AddChild(root)
+	}
 
 	prev := root
-	var lastZeroLoadDone uint64 = rec.issueCycle
-	for _, h := range rec.hops {
-		if bank, ok := models.banks[h.Comp]; ok {
+	lastZeroLoadDone := rec.issueCycle
+	for i := range rec.hops {
+		h := &rec.hops[i]
+		if bank := models.bank(h.Comp); bank != nil {
 			ev := slab.Alloc()
 			ev.Comp = h.Comp
 			ev.MinCycle = h.Cycle
-			isMiss := h.Kind == cache.HopMiss
-			ev.Exec = func(dispatch uint64) uint64 { return bank.Schedule(dispatch, isMiss) }
+			ev.Ctx = bank
+			ev.Flag = h.Kind == cache.HopMiss
+			ev.Exec = bankExec
 			prev.AddChild(ev)
 			prev = ev
 			lastZeroLoadDone = h.Cycle + uint64(h.Latency)
 			continue
 		}
-		if mem, ok := models.mems[h.Comp]; ok {
+		if mem := models.mem(h.Comp); mem != nil {
 			ev := slab.Alloc()
 			ev.Comp = h.Comp
 			ev.MinCycle = h.Cycle
-			line := h.Line
-			write := h.Kind == cache.HopWB
-			ev.Exec = func(dispatch uint64) uint64 { return dispatch + mem.RequestLatency(line, dispatch, write) }
+			ev.Ctx = mem
+			ev.Arg = h.Line
+			ev.Flag = h.Kind == cache.HopWB
+			ev.Exec = memExec
 			prev.AddChild(ev)
 			prev = ev
 			lastZeroLoadDone = h.Cycle + uint64(h.Latency)

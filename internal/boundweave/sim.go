@@ -44,10 +44,21 @@ type Simulator struct {
 	recorders []*Recorder
 	slabs     []*event.Slab
 	models    *weaveModels
+	// engine is the persistent weave engine: built once here, reused every
+	// interval, closed when Run finishes.
+	engine *event.Engine
+	// last is the per-core scratch used by runWeave to track each core's
+	// latest response event.
+	last []lastResp
 
 	schedMu     sync.Mutex
 	globalCycle uint64
 	rngState    uint64
+
+	// instrsTotal is the running total of simulated instructions, maintained
+	// by the bound-phase workers so the interval loop never rescans all
+	// cores.
+	instrsTotal atomic.Uint64
 
 	// Run statistics.
 	Intervals     uint64
@@ -55,6 +66,13 @@ type Simulator struct {
 	TotalFeedback uint64
 	BoundNanos    int64
 	WeaveNanos    int64
+}
+
+// lastResp remembers a core's latest weave response event and its zero-load
+// lower bound.
+type lastResp struct {
+	ev       *event.Event
+	minCycle uint64
 }
 
 // NewSimulator wires a built system, a populated scheduler and run options
@@ -79,9 +97,20 @@ func NewSimulator(sys *System, sched *virt.Scheduler, opts Options) *Simulator {
 	}
 
 	if s.contention {
+		maxComp := -1
+		for _, comp := range sys.BankComp {
+			if comp > maxComp {
+				maxComp = comp
+			}
+		}
+		for _, comp := range sys.MemComp {
+			if comp > maxComp {
+				maxComp = comp
+			}
+		}
 		s.models = &weaveModels{
-			banks: make(map[int]*BankModel),
-			mems:  make(map[int]memctrl.ContentionModel),
+			banks: make([]*BankModel, maxComp+1),
+			mems:  make([]memctrl.ContentionModel, maxComp+1),
 		}
 		for i, comp := range sys.BankComp {
 			s.models.banks[comp] = NewBankModel(sys.Banks[i].Latency(), sys.Banks[i].MSHRs(), uint64(cfg.MemLatency))
@@ -104,7 +133,15 @@ func NewSimulator(sys *System, sched *virt.Scheduler, opts Options) *Simulator {
 			c.SetRecorder(rec)
 			s.slabs = append(s.slabs, event.NewSlab(1024))
 		}
+		// The weave engine is persistent: its domains, queues and workers are
+		// built once and reused by every interval.
+		s.engine = event.NewEngine(sys.NumDomains)
+		for comp, dom := range sys.CompDomain {
+			s.engine.AssignComponent(comp, dom)
+		}
+		s.last = make([]lastResp, len(sys.Cores))
 	}
+	s.instrsTotal.Store(s.totalInstrs())
 	if opts.Profiler != nil {
 		for _, c := range sys.Cores {
 			c.SetObserver(opts.Profiler)
@@ -126,7 +163,9 @@ func (s *Simulator) nextRand() uint64 {
 	return x
 }
 
-// totalInstrs sums the simulated instructions over all cores.
+// totalInstrs sums the simulated instructions over all cores (slow path,
+// used to seed the running counter and by tests; the interval loop reads the
+// atomically maintained instrsTotal instead).
 func (s *Simulator) totalInstrs() uint64 {
 	var n uint64
 	for _, c := range s.Sys.Cores {
@@ -139,11 +178,14 @@ func (s *Simulator) totalInstrs() uint64 {
 // configured bound (instructions or intervals) is reached. It returns the
 // total number of simulated instructions.
 func (s *Simulator) Run() uint64 {
+	if s.engine != nil {
+		defer s.engine.Close()
+	}
 	for {
 		if s.Sched.LiveThreads() == 0 {
 			break
 		}
-		if s.opts.MaxInstrs > 0 && s.totalInstrs() >= s.opts.MaxInstrs {
+		if s.opts.MaxInstrs > 0 && s.instrsTotal.Load() >= s.opts.MaxInstrs {
 			break
 		}
 		if s.opts.MaxIntervals > 0 && s.Intervals >= s.opts.MaxIntervals {
@@ -151,7 +193,7 @@ func (s *Simulator) Run() uint64 {
 		}
 		s.runInterval()
 	}
-	return s.totalInstrs()
+	return s.instrsTotal.Load()
 }
 
 // runInterval executes one bound phase and (optionally) one weave phase.
@@ -215,6 +257,8 @@ func (s *Simulator) runInterval() {
 func (s *Simulator) runCoreInterval(a virt.Assignment, intervalEnd uint64) {
 	c := s.Sys.Cores[a.Core]
 	th := a.Thread
+	instrsBefore := c.Instrs()
+	defer func() { s.instrsTotal.Add(c.Instrs() - instrsBefore) }()
 
 	start := c.Cycle()
 	if s.globalCycle > start {
@@ -278,27 +322,30 @@ func (s *Simulator) runCoreInterval(a virt.Assignment, intervalEnd uint64) {
 }
 
 // runWeave builds the interval's event graph from the per-core recorders,
-// executes it across parallel domains, and feeds the contention delays back
-// into the core clocks.
+// executes it on the persistent engine across parallel domains, and feeds
+// the contention delays back into the core clocks. Once the slabs, queues
+// and hop freelists have warmed up, a steady-state weave interval performs
+// no heap allocation.
 func (s *Simulator) runWeave() {
-	engine := event.NewEngine(s.Sys.NumDomains)
-	for comp, dom := range s.Sys.CompDomain {
-		engine.AssignComponent(comp, dom)
-	}
+	engine := s.engine
 
 	// Build chains per core and remember each core's latest response event.
-	type lastResp struct {
-		ev       *event.Event
-		minCycle uint64
+	last := s.last
+	for i := range last {
+		last[i] = lastResp{}
 	}
-	last := make([]lastResp, len(s.Sys.Cores))
 	totalEvents := uint64(0)
 	for coreID, rec := range s.recorders {
 		slab := s.slabs[coreID]
 		slab.Reset()
 		coreComp := s.Sys.CoreComp[coreID]
-		for _, r := range rec.recs {
-			resp := buildChain(slab, r, coreComp, s.models)
+		var prevLoadResp *event.Event
+		for i := range rec.recs {
+			r := &rec.recs[i]
+			resp := buildChain(slab, r, coreComp, s.models, prevLoadResp)
+			if !r.write {
+				prevLoadResp = resp
+			}
 			totalEvents += uint64(len(r.hops)) + 2
 			if resp.MinCycle >= last[coreID].minCycle {
 				last[coreID] = lastResp{ev: resp, minCycle: resp.MinCycle}

@@ -50,23 +50,27 @@ func (*AlwaysTaken) Update(uint64, bool) {}
 // Name returns "always-taken".
 func (*AlwaysTaken) Name() string { return "always-taken" }
 
-// counter2 is a 2-bit saturating counter: 0,1 predict not-taken; 2,3 predict
-// taken.
+// counter2 is a 2-bit saturating counter stored in a biased encoding
+// (stored = actual ^ 2), chosen so the zero value decodes to "weakly taken"
+// — the usual initialization. Tables therefore need no init loop: a zeroed
+// allocation is already correctly initialized, which makes building
+// thousand-core chips (two predictors per core) measurably cheaper.
 type counter2 uint8
 
-func (c counter2) taken() bool { return c >= 2 }
+func (c counter2) actual() uint8 { return uint8(c) ^ 2 }
+
+func (c counter2) taken() bool { return c.actual() >= 2 }
 
 func (c counter2) update(taken bool) counter2 {
+	a := c.actual()
 	if taken {
-		if c < 3 {
-			return c + 1
+		if a < 3 {
+			a++
 		}
-		return c
+	} else if a > 0 {
+		a--
 	}
-	if c > 0 {
-		return c - 1
-	}
-	return c
+	return counter2(a ^ 2)
 }
 
 // Bimodal is a PC-indexed table of 2-bit saturating counters.
@@ -82,11 +86,9 @@ func NewBimodal(entries int) *Bimodal {
 	for n < entries {
 		n <<= 1
 	}
-	t := make([]counter2, n)
-	for i := range t {
-		t[i] = 2 // weakly taken, the usual initialization
-	}
-	return &Bimodal{table: t, mask: uint64(n - 1)}
+	// The biased counter2 encoding makes the zero value "weakly taken", so
+	// the freshly allocated table needs no initialization pass.
+	return &Bimodal{table: make([]counter2, n), mask: uint64(n - 1)}
 }
 
 func (b *Bimodal) index(pc uint64) uint64 { return (pc >> 2) & b.mask }
@@ -127,11 +129,7 @@ func NewTwoLevel(entries int, histBits uint) *TwoLevel {
 	if histBits > 32 {
 		histBits = 32
 	}
-	t := make([]counter2, n)
-	for i := range t {
-		t[i] = 2
-	}
-	return &TwoLevel{table: t, mask: uint64(n - 1), histBits: histBits}
+	return &TwoLevel{table: make([]counter2, n), mask: uint64(n - 1), histBits: histBits}
 }
 
 // NewDefault returns the predictor configuration used by the validated OOO

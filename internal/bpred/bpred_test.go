@@ -21,19 +21,22 @@ func TestAlwaysTaken(t *testing.T) {
 }
 
 func TestCounter2Saturation(t *testing.T) {
+	// The zero value decodes to weakly taken (the usual initialization).
 	c := counter2(0)
-	c = c.update(false)
-	if c != 0 {
-		t.Fatalf("counter should saturate at 0")
+	if c.actual() != 2 || !c.taken() {
+		t.Fatalf("zero value should decode to weakly taken, got %d", c.actual())
+	}
+	for i := 0; i < 10; i++ {
+		c = c.update(false)
+	}
+	if c.actual() != 0 || c.taken() {
+		t.Fatalf("counter should saturate at strongly not-taken, got %d", c.actual())
 	}
 	for i := 0; i < 10; i++ {
 		c = c.update(true)
 	}
-	if c != 3 {
-		t.Fatalf("counter should saturate at 3, got %d", c)
-	}
-	if !c.taken() {
-		t.Fatalf("saturated-taken counter should predict taken")
+	if c.actual() != 3 || !c.taken() {
+		t.Fatalf("counter should saturate at strongly taken, got %d", c.actual())
 	}
 }
 

@@ -16,6 +16,13 @@
 // therefore always parent-before-child and the scheme is deadlock-free. The
 // only race this admits is the one the paper accepts: two near-simultaneous
 // accesses to the same line may be serialized in either order.
+//
+// Within one cache, locking is striped by set: concurrent accesses to
+// different sets of a shared multi-bank cache proceed in parallel, and
+// statistics are kept in atomic counters so no global lock serializes the
+// hot path. Set arrays are allocated lazily, the first time a set is
+// touched, so building a thousand-core chip with hundreds of megabytes of
+// simulated cache costs memory only for the sets the workload actually uses.
 package cache
 
 import (
@@ -100,7 +107,12 @@ type Hop struct {
 }
 
 // Request is a memory access travelling up the hierarchy. Levels mutate Cycle
-// as the request progresses and append to Hops when tracing is enabled.
+// as the request progresses and append to Hops when tracing is enabled. A
+// single Request value travels the whole hierarchy: levels that forward it
+// upward (for fetches and writebacks) mutate it in place and restore their
+// caller's fields afterwards, so a full miss path performs no allocation.
+// Cores keep one reusable Request per core and one recycled hop buffer, which
+// makes the steady-state access path allocation-free.
 type Request struct {
 	LineAddr uint64
 	Write    bool
@@ -148,14 +160,29 @@ type Level interface {
 }
 
 // line is one cache line's tag, coherence state, directory info and
-// replacement metadata.
+// replacement metadata. The fields are packed so a line takes 32 bytes (two
+// lines per host cache line).
 type line struct {
 	tag      uint64 // line address
-	state    State
-	sharers  uint64 // bitmask of children holding the line (directory)
-	childMod bool   // some child may hold the line modified
 	lastUse  uint64 // replacement timestamp
+	sharers  uint64 // bitmask of children holding the line (directory)
+	state    State
+	childMod bool // some child may hold the line modified
 }
+
+// stripe is one lock stripe of a cache: a mutex protecting the sets
+// congruent to its index mod nStripes (set&stripeMask), plus the per-stripe
+// replacement clock and random-replacement state those sets use. Stripes are
+// padded to a host cache line so neighbouring stripes don't false-share.
+type stripe struct {
+	mu    sync.Mutex
+	useCt uint64 // replacement clock (compared within one set only)
+	rng   uint64 // xorshift state for random replacement
+	_     [40]byte
+}
+
+// maxStripes bounds the number of lock stripes per cache.
+const maxStripes = 64
 
 // Config describes one cache.
 type Config struct {
@@ -182,22 +209,23 @@ type Cache struct {
 	mshrs   int
 	random  bool
 
-	mu    sync.Mutex
-	array []line // sets*ways entries, set-major
-	useCt uint64 // replacement clock
-	rng   uint64 // xorshift state for random replacement
+	// setArr[s] holds set s's ways; nil until the set is first touched.
+	setArr     [][]line
+	stripes    []stripe
+	stripeMask int
 
 	parent   Level
 	children []*Cache // for directory-driven invalidations
 	childIdx int      // this cache's index within its parent's children
 
-	// Statistics (updated under mu).
-	Hits        *stats.Counter
-	Misses      *stats.Counter
-	Evictions   *stats.Counter
-	Writebacks  *stats.Counter
-	Invals      *stats.Counter
-	UpgradeMiss *stats.Counter
+	// Statistics (atomic: the striped hot path updates them from many host
+	// threads without a shared lock).
+	Hits        *stats.AtomicCounter
+	Misses      *stats.AtomicCounter
+	Evictions   *stats.AtomicCounter
+	Writebacks  *stats.AtomicCounter
+	Invals      *stats.AtomicCounter
+	UpgradeMiss *stats.AtomicCounter
 }
 
 // New creates a cache from the config, registering its statistics under the
@@ -215,23 +243,31 @@ func New(cfg Config, compID int, reg *stats.Registry) *Cache {
 	if reg == nil {
 		reg = stats.NewRegistry(cfg.Name)
 	}
+	nStripes := 1
+	for nStripes*2 <= sets && nStripes < maxStripes {
+		nStripes *= 2
+	}
 	c := &Cache{
-		name:    cfg.Name,
-		compID:  compID,
-		sets:    sets,
-		ways:    ways,
-		latency: cfg.Latency,
-		mshrs:   cfg.MSHRs,
-		random:  cfg.RandomRepl,
-		array:   make([]line, sets*ways),
-		rng:     uint64(compID)*0x9e3779b97f4a7c15 + 0xdeadbeef,
+		name:       cfg.Name,
+		compID:     compID,
+		sets:       sets,
+		ways:       ways,
+		latency:    cfg.Latency,
+		mshrs:      cfg.MSHRs,
+		random:     cfg.RandomRepl,
+		setArr:     make([][]line, sets),
+		stripes:    make([]stripe, nStripes),
+		stripeMask: nStripes - 1,
 
-		Hits:        reg.Counter("hits", "accesses that hit"),
-		Misses:      reg.Counter("misses", "accesses that missed"),
-		Evictions:   reg.Counter("evictions", "lines evicted"),
-		Writebacks:  reg.Counter("writebacks", "dirty lines written back"),
-		Invals:      reg.Counter("invalidations", "lines invalidated by coherence"),
-		UpgradeMiss: reg.Counter("upgradeMisses", "write hits to Shared lines requiring upgrade"),
+		Hits:        reg.Atomic("hits", "accesses that hit"),
+		Misses:      reg.Atomic("misses", "accesses that missed"),
+		Evictions:   reg.Atomic("evictions", "lines evicted"),
+		Writebacks:  reg.Atomic("writebacks", "dirty lines written back"),
+		Invals:      reg.Atomic("invalidations", "lines invalidated by coherence"),
+		UpgradeMiss: reg.Atomic("upgradeMisses", "write hits to Shared lines requiring upgrade"),
+	}
+	for i := range c.stripes {
+		c.stripes[i].rng = uint64(compID)*0x9e3779b97f4a7c15 + uint64(i)*0xbf58476d1ce4e5b9 + 0xdeadbeef
 	}
 	return c
 }
@@ -267,6 +303,9 @@ func (c *Cache) AddChild(child *Cache) int {
 // NumLines returns the cache's capacity in lines.
 func (c *Cache) NumLines() int { return c.sets * c.ways }
 
+// NumStripes returns the number of lock stripes (test/diagnostic helper).
+func (c *Cache) NumStripes() int { return len(c.stripes) }
+
 func (c *Cache) setOf(lineAddr uint64) int {
 	// Hash the line address so that strided accesses spread across sets even
 	// when the stride is a multiple of the set count (the "hashed" L3 in the
@@ -275,39 +314,50 @@ func (c *Cache) setOf(lineAddr uint64) int {
 	return int(h % uint64(c.sets))
 }
 
-// lookup returns the way index of lineAddr in its set, or -1.
-// Caller must hold mu.
-func (c *Cache) lookup(lineAddr uint64) (setBase, way int) {
-	set := c.setOf(lineAddr)
-	setBase = set * c.ways
-	for w := 0; w < c.ways; w++ {
-		l := &c.array[setBase+w]
-		if l.state != Invalid && l.tag == lineAddr {
-			return setBase, w
-		}
+// stripeOf returns the lock stripe covering the set.
+func (c *Cache) stripeOf(set int) *stripe { return &c.stripes[set&c.stripeMask] }
+
+// setLines returns set's way array, allocating it on first touch. Caller
+// must hold the set's stripe lock.
+func (c *Cache) setLines(set int) []line {
+	s := c.setArr[set]
+	if s == nil {
+		s = make([]line, c.ways)
+		c.setArr[set] = s
 	}
-	return setBase, -1
+	return s
 }
 
-// victimWay picks a victim way in the set. Caller must hold mu.
-func (c *Cache) victimWay(setBase int) int {
+// findWay returns the way index of tag in the set's lines, or -1. A nil
+// (never-touched) set reports -1.
+func findWay(lines []line, tag uint64) int {
+	for w := range lines {
+		if lines[w].state != Invalid && lines[w].tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// victimWay picks a victim way in the set. Caller must hold the stripe lock.
+func (c *Cache) victimWay(st *stripe, lines []line) int {
 	// Prefer an invalid way.
-	for w := 0; w < c.ways; w++ {
-		if c.array[setBase+w].state == Invalid {
+	for w := range lines {
+		if lines[w].state == Invalid {
 			return w
 		}
 	}
 	if c.random {
-		c.rng ^= c.rng << 13
-		c.rng ^= c.rng >> 7
-		c.rng ^= c.rng << 17
-		return int(c.rng % uint64(c.ways))
+		st.rng ^= st.rng << 13
+		st.rng ^= st.rng >> 7
+		st.rng ^= st.rng << 17
+		return int(st.rng % uint64(c.ways))
 	}
 	// LRU.
-	best, bestUse := 0, c.array[setBase].lastUse
-	for w := 1; w < c.ways; w++ {
-		if c.array[setBase+w].lastUse < bestUse {
-			best, bestUse = w, c.array[setBase+w].lastUse
+	best, bestUse := 0, lines[0].lastUse
+	for w := 1; w < len(lines); w++ {
+		if lines[w].lastUse < bestUse {
+			best, bestUse = w, lines[w].lastUse
 		}
 	}
 	return best
@@ -328,14 +378,17 @@ func (c *Cache) Access(req *Request) uint64 {
 		req.Prof = nil
 	}
 
-	c.mu.Lock()
-	c.useCt++
-	now := c.useCt
-	setBase, way := c.lookup(req.LineAddr)
+	set := c.setOf(req.LineAddr)
+	st := c.stripeOf(set)
+	st.mu.Lock()
+	st.useCt++
+	now := st.useCt
+	lines := c.setLines(set)
+	way := findWay(lines, req.LineAddr)
 	availCycle := req.Cycle + uint64(c.latency)
 
 	if way >= 0 {
-		l := &c.array[setBase+way]
+		l := &lines[way]
 		l.lastUse = now
 		if !req.Write || l.state == Exclusive || l.state == Modified {
 			// Plain hit.
@@ -369,81 +422,85 @@ func (c *Cache) Access(req *Request) uint64 {
 				}
 			}
 			c.markChild(l, req)
+			st.mu.Unlock()
 			c.Hits.Inc()
-			c.mu.Unlock()
 			req.addHop(c.compID, HopHit, req.Cycle, c.latency)
 			return availCycle
 		}
 		// Write hit on Shared: upgrade through the parent (invalidates other
 		// copies system-wide). Treated as a miss for timing purposes.
+		l.state = Invalid // re-installed below after the parent access
+		st.mu.Unlock()
 		c.UpgradeMiss.Inc()
 		c.Misses.Inc()
-		l.state = Invalid // re-installed below after the parent access
-		c.mu.Unlock()
 		return c.fetchAndInstall(req, availCycle)
 	}
 
 	// Miss: pick a victim and evict it, then fetch from the parent.
+	vw := c.victimWay(st, lines)
+	victim := lines[vw]
+	lines[vw].state = Invalid
+	st.mu.Unlock()
 	c.Misses.Inc()
-	vw := c.victimWay(setBase)
-	victim := c.array[setBase+vw]
-	c.array[setBase+vw].state = Invalid
-	if victim.state != Invalid {
-		c.Evictions.Inc()
-	}
-	c.mu.Unlock()
 
 	if victim.state != Invalid {
+		c.Evictions.Inc()
 		c.evictLine(req, victim)
 	}
 	return c.fetchAndInstall(req, availCycle)
 }
 
-// fetchAndInstall completes a miss: it forwards the request to the parent (without
-// holding our lock), then installs the line. It returns the zero-load cycle
-// at which the line is available to the requester.
+// fetchAndInstall completes a miss: it forwards the request to the parent
+// (without holding any of our locks), then installs the line. It returns the
+// zero-load cycle at which the line is available to the requester. The
+// request is forwarded in place — the parent mutates it — and the
+// caller-side fields are restored afterwards, so the miss path allocates
+// nothing.
 func (c *Cache) fetchAndInstall(req *Request, localAvail uint64) uint64 {
 	req.addHop(c.compID, HopMiss, req.Cycle, c.latency)
 	var fillCycle uint64
 	grant := Exclusive
 	if c.parent != nil {
-		parentReq := *req
-		parentReq.Cycle = localAvail // request leaves this level after its lookup latency
-		parentReq.Prof = nil
-		parentReq.childIdx = c.childIdx
-		parentReq.FillState = Exclusive
-		fillCycle = c.parent.Access(&parentReq)
-		req.Hops = parentReq.Hops // propagate recorded hops back
-		grant = parentReq.FillState
+		savedCycle, savedChild := req.Cycle, req.childIdx
+		req.Cycle = localAvail // request leaves this level after its lookup latency
+		req.childIdx = c.childIdx
+		req.FillState = Exclusive
+		fillCycle = c.parent.Access(req)
+		grant = req.FillState
+		req.Cycle, req.childIdx = savedCycle, savedChild
 	} else {
 		// No parent: act as if backed by an ideal memory with no extra delay.
 		fillCycle = localAvail
 	}
 
 	// Install the line.
-	c.mu.Lock()
-	c.useCt++
-	setBase, way := c.lookup(req.LineAddr)
+	set := c.setOf(req.LineAddr)
+	st := c.stripeOf(set)
+	st.mu.Lock()
+	st.useCt++
+	lines := c.setLines(set)
+	way := findWay(lines, req.LineAddr)
 	if way < 0 {
-		way = c.victimWay(setBase)
-		victim := c.array[setBase+way]
+		way = c.victimWay(st, lines)
+		victim := lines[way]
 		if victim.state != Invalid {
+			lines[way].state = Invalid
+			st.mu.Unlock()
 			c.Evictions.Inc()
-			c.array[setBase+way].state = Invalid
-			c.mu.Unlock()
 			c.evictLine(req, victim)
-			c.mu.Lock()
+			st.mu.Lock()
+			st.useCt++
 			// Re-lookup: the set may have changed while unlocked.
-			setBase, way = c.lookup(req.LineAddr)
+			way = findWay(lines, req.LineAddr)
 			if way < 0 {
-				way = c.victimWay(setBase)
-				c.array[setBase+way].state = Invalid
+				way = c.victimWay(st, lines)
+				lines[way].state = Invalid
 			}
 		}
 	}
-	l := &c.array[setBase+way]
+	l := &lines[way]
 	l.tag = req.LineAddr
-	l.lastUse = c.useCt
+	l.lastUse = st.useCt
 	l.sharers = 0
 	l.childMod = false
 	if req.Write {
@@ -453,13 +510,13 @@ func (c *Cache) fetchAndInstall(req *Request, localAvail uint64) uint64 {
 	}
 	req.FillState = l.state
 	c.markChild(l, req)
-	c.mu.Unlock()
+	st.mu.Unlock()
 	return fillCycle
 }
 
 // markChild records, in the directory, that the requesting child now holds
 // the line. For L1 caches (no children), the requester is the core and no
-// directory state is needed. Caller must hold mu.
+// directory state is needed. Caller must hold the set's stripe lock.
 func (c *Cache) markChild(l *line, req *Request) {
 	if len(c.children) == 0 {
 		return
@@ -476,7 +533,9 @@ func (c *Cache) markChild(l *line, req *Request) {
 }
 
 // evictLine handles the eviction of a victim line: invalidate it in children
-// (inclusive hierarchy) and write it back to the parent if dirty.
+// (inclusive hierarchy) and write it back to the parent if dirty. The
+// writeback reuses the in-flight request (mutate, forward, restore) instead
+// of allocating a new one.
 func (c *Cache) evictLine(req *Request, victim line) {
 	// Invalidate children copies.
 	if victim.sharers != 0 {
@@ -489,18 +548,14 @@ func (c *Cache) evictLine(req *Request, victim line) {
 		c.Writebacks.Inc()
 		req.addHop(c.compID, HopWB, req.Cycle, 0)
 		if c.parent != nil {
-			wb := &Request{
-				LineAddr:   victim.tag,
-				Write:      true,
-				CoreID:     req.CoreID,
-				Cycle:      req.Cycle,
-				RecordHops: req.RecordHops,
-				childIdx:   c.childIdx,
-			}
-			c.parent.Access(wb)
-			if req.RecordHops {
-				req.Hops = append(req.Hops, wb.Hops...)
-			}
+			savedLine, savedWrite := req.LineAddr, req.Write
+			savedFill, savedChild := req.FillState, req.childIdx
+			req.LineAddr = victim.tag
+			req.Write = true
+			req.childIdx = c.childIdx
+			c.parent.Access(req)
+			req.LineAddr, req.Write = savedLine, savedWrite
+			req.FillState, req.childIdx = savedFill, savedChild
 		}
 	}
 }
@@ -521,9 +576,9 @@ func (c *Cache) invalidateChildren(lineAddr uint64, sharers uint64) bool {
 }
 
 // invalidateChildrenLocked is used on a write hit to invalidate other
-// sharers. Caller holds c.mu; child locks are acquired inside Invalidate
-// (parent-before-child ordering, no deadlock). The requester's own copy is
-// preserved by clearing its bit afterwards.
+// sharers. Caller holds the set's stripe lock; child locks are acquired
+// inside Invalidate (parent-before-child ordering, no deadlock). The
+// requester's own copy is preserved by clearing its bit afterwards.
 func (c *Cache) invalidateChildrenLocked(req *Request, lineAddr uint64, l *line) {
 	sharers := l.sharers
 	if req.childIdx >= 0 && len(c.children) > 0 {
@@ -544,7 +599,8 @@ func (c *Cache) invalidateChildrenLocked(req *Request, lineAddr uint64, l *line)
 }
 
 // downgradeChildrenLocked downgrades the given children sharers to Shared and
-// reports whether any of them held the line modified. Caller holds c.mu.
+// reports whether any of them held the line modified. Caller holds the set's
+// stripe lock.
 func (c *Cache) downgradeChildrenLocked(req *Request, lineAddr uint64, sharers uint64) bool {
 	dirty := false
 	for i, ch := range c.children {
@@ -563,13 +619,16 @@ func (c *Cache) downgradeChildrenLocked(req *Request, lineAddr uint64, sharers u
 // returning true if any copy was Modified (i.e., a writeback of fresh data is
 // implied).
 func (c *Cache) Downgrade(lineAddr uint64) bool {
-	c.mu.Lock()
-	setBase, way := c.lookup(lineAddr)
+	set := c.setOf(lineAddr)
+	st := c.stripeOf(set)
+	st.mu.Lock()
+	lines := c.setArr[set]
+	way := findWay(lines, lineAddr)
 	if way < 0 {
-		c.mu.Unlock()
+		st.mu.Unlock()
 		return false
 	}
-	l := &c.array[setBase+way]
+	l := &lines[way]
 	dirty := l.state == Modified
 	if l.state == Modified || l.state == Exclusive {
 		l.state = Shared
@@ -577,7 +636,7 @@ func (c *Cache) Downgrade(lineAddr uint64) bool {
 	sharers := l.sharers
 	childMod := l.childMod
 	l.childMod = false
-	c.mu.Unlock()
+	st.mu.Unlock()
 
 	if childMod && sharers != 0 {
 		for i, ch := range c.children {
@@ -596,16 +655,19 @@ func (c *Cache) Downgrade(lineAddr uint64) bool {
 // children), returning true if the line (or any child copy) was modified.
 // It is the downward path of the coherence protocol.
 func (c *Cache) Invalidate(lineAddr uint64) bool {
-	c.mu.Lock()
-	setBase, way := c.lookup(lineAddr)
+	set := c.setOf(lineAddr)
+	st := c.stripeOf(set)
+	st.mu.Lock()
+	lines := c.setArr[set]
+	way := findWay(lines, lineAddr)
 	if way < 0 {
-		c.mu.Unlock()
+		st.mu.Unlock()
 		return false
 	}
-	l := c.array[setBase+way]
-	c.array[setBase+way].state = Invalid
+	l := lines[way]
+	lines[way].state = Invalid
+	st.mu.Unlock()
 	c.Invals.Inc()
-	c.mu.Unlock()
 
 	dirty := l.state == Modified
 	if l.sharers != 0 {
@@ -618,19 +680,23 @@ func (c *Cache) Invalidate(lineAddr uint64) bool {
 
 // Contains reports whether the cache currently holds the line (test helper).
 func (c *Cache) Contains(lineAddr uint64) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, way := c.lookup(lineAddr)
-	return way >= 0
+	set := c.setOf(lineAddr)
+	st := c.stripeOf(set)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return findWay(c.setArr[set], lineAddr) >= 0
 }
 
 // StateOf returns the MESI state of the line (Invalid if absent).
 func (c *Cache) StateOf(lineAddr uint64) State {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	setBase, way := c.lookup(lineAddr)
+	set := c.setOf(lineAddr)
+	st := c.stripeOf(set)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	lines := c.setArr[set]
+	way := findWay(lines, lineAddr)
 	if way < 0 {
 		return Invalid
 	}
-	return c.array[setBase+way].state
+	return lines[way].state
 }

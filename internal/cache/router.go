@@ -49,18 +49,19 @@ func (b *Banked) BankOf(lineAddr uint64) int {
 	return int(h % uint64(len(b.banks)))
 }
 
-// Access routes the request to the owning bank, adding network latency.
+// Access routes the request to the owning bank, adding network latency. The
+// request is forwarded in place (mutate Cycle, restore afterwards) so routing
+// does not allocate.
 func (b *Banked) Access(req *Request) uint64 {
 	bank := b.BankOf(req.LineAddr)
 	lat := b.netLatency
 	if b.distanceFn != nil {
 		lat = b.distanceFn(req.CoreID, bank)
 	}
-	bankReq := *req
-	bankReq.Cycle = req.Cycle + uint64(lat)
-	avail := b.banks[bank].Access(&bankReq)
-	req.Hops = bankReq.Hops
-	req.FillState = bankReq.FillState
+	savedCycle := req.Cycle
+	req.Cycle += uint64(lat)
+	avail := b.banks[bank].Access(req)
+	req.Cycle = savedCycle
 	// The response also crosses the network.
 	return avail + uint64(lat)
 }
@@ -93,13 +94,13 @@ func (m *MemRouter) CtrlOf(lineAddr uint64) int {
 	return int(h % uint64(len(m.ctrls)))
 }
 
-// Access routes the request to the owning memory controller.
+// Access routes the request to the owning memory controller, forwarding the
+// request in place.
 func (m *MemRouter) Access(req *Request) uint64 {
 	idx := m.CtrlOf(req.LineAddr)
-	ctrlReq := *req
-	ctrlReq.Cycle = req.Cycle + uint64(m.netLatency)
-	avail := m.ctrls[idx].Access(&ctrlReq)
-	req.Hops = ctrlReq.Hops
-	req.FillState = ctrlReq.FillState
+	savedCycle := req.Cycle
+	req.Cycle += uint64(m.netLatency)
+	avail := m.ctrls[idx].Access(req)
+	req.Cycle = savedCycle
 	return avail + uint64(m.netLatency)
 }

@@ -57,14 +57,73 @@ type Core interface {
 // recording is enabled, the zero-load issue cycle and the hierarchy hops the
 // access performed. The bound-weave driver uses it to build weave events for
 // accesses that miss beyond the private levels.
+//
+// RecordAccess takes ownership of the hops slice and returns a replacement
+// hop buffer (length 0, possibly nil) for the core's next access. Recorders
+// recycle the buffers of consumed traces back to their core, which makes the
+// steady-state record path allocation-free. write distinguishes stores (which
+// do not stall the core) from loads, so the weave phase can serialize a
+// core's access stream behind its loads only.
 type AccessRecorder interface {
-	RecordAccess(coreID int, issueCycle uint64, hops []cache.Hop)
+	RecordAccess(coreID int, issueCycle uint64, write bool, hops []cache.Hop) []cache.Hop
 }
 
 // MemPorts bundles the cache ports a core issues accesses to.
 type MemPorts struct {
 	L1I cache.Level
 	L1D cache.Level
+}
+
+// memUnit is the access machinery shared by the core models: the cache
+// ports, the installed recorder and observer, and the pooled request plus
+// recycled hop buffer that make the steady-state access path
+// allocation-free. Core models embed it and issue every hierarchy access
+// through its access method.
+type memUnit struct {
+	id    int
+	ports MemPorts
+	rec   AccessRecorder
+	obs   cache.AccessObserver
+
+	// req is the core's reusable request (one access is in flight at a time)
+	// and hopBuf the recycled hop buffer for the next traced access.
+	req    cache.Request
+	hopBuf []cache.Hop
+}
+
+// ID returns the core's index.
+func (m *memUnit) ID() int { return m.id }
+
+// SetRecorder installs the access recorder.
+func (m *memUnit) SetRecorder(rec AccessRecorder) { m.rec = rec }
+
+// SetObserver installs the line-access observer.
+func (m *memUnit) SetObserver(obs cache.AccessObserver) { m.obs = obs }
+
+// access issues one request to a cache port, recording hops when a recorder
+// is installed. The request struct and the hop buffer are reused across
+// accesses, so the steady-state access path allocates nothing.
+func (m *memUnit) access(port cache.Level, lineAddr uint64, write bool, cycle uint64) uint64 {
+	if port == nil {
+		return cycle
+	}
+	m.req = cache.Request{
+		LineAddr:   lineAddr,
+		Write:      write,
+		CoreID:     m.id,
+		Cycle:      cycle,
+		Hops:       m.hopBuf[:0],
+		RecordHops: m.rec != nil,
+		Prof:       m.obs,
+	}
+	avail := port.Access(&m.req)
+	if m.rec != nil && len(m.req.Hops) > 0 {
+		m.hopBuf = m.rec.RecordAccess(m.id, cycle, write, m.req.Hops)
+	} else {
+		m.hopBuf = m.req.Hops
+	}
+	m.req.Hops = nil
+	return avail
 }
 
 // Counters groups the statistic counters every core model maintains.
@@ -101,11 +160,8 @@ func newCounters(reg *stats.Registry) Counters {
 // instruction-fetch stalls. It is the model architects use for quick cache
 // studies, and the "IPC1" configuration of the paper's evaluation.
 type IPC1 struct {
-	id    int
-	ports MemPorts
-	cnt   Counters
-	rec   AccessRecorder
-	obs   cache.AccessObserver
+	memUnit
+	cnt Counters
 
 	cycle     uint64
 	lastFetch uint64 // line address of the last fetched I-cache line
@@ -115,15 +171,11 @@ type IPC1 struct {
 // NewIPC1 creates a simple core.
 func NewIPC1(id int, ports MemPorts, reg *stats.Registry) *IPC1 {
 	return &IPC1{
-		id:    id,
-		ports: ports,
-		cnt:   newCounters(reg),
-		pred:  bpred.NewStats(bpred.NewDefault()),
+		memUnit: memUnit{id: id, ports: ports},
+		cnt:     newCounters(reg),
+		pred:    bpred.NewStats(bpred.NewDefault()),
 	}
 }
-
-// ID returns the core index.
-func (c *IPC1) ID() int { return c.id }
 
 // Name returns "ipc1".
 func (c *IPC1) Name() string { return "ipc1" }
@@ -153,12 +205,6 @@ func (c *IPC1) SetCycle(cycle uint64) {
 		c.cnt.Cycles.Set(c.cycle)
 	}
 }
-
-// SetRecorder installs the access recorder.
-func (c *IPC1) SetRecorder(rec AccessRecorder) { c.rec = rec }
-
-// SetObserver installs the line-access observer.
-func (c *IPC1) SetObserver(obs cache.AccessObserver) { c.obs = obs }
 
 // SimulateBlock simulates one dynamic block on the simple core.
 func (c *IPC1) SimulateBlock(b *trace.DynBlock) {
@@ -216,27 +262,6 @@ func (c *IPC1) SimulateBlock(b *trace.DynBlock) {
 		}
 	}
 	c.cnt.Cycles.Set(c.cycle)
-}
-
-// access issues one request to a cache port, recording hops when a recorder
-// is installed.
-func (c *IPC1) access(port cache.Level, lineAddr uint64, write bool, cycle uint64) uint64 {
-	if port == nil {
-		return cycle
-	}
-	req := cache.Request{
-		LineAddr:   lineAddr,
-		Write:      write,
-		CoreID:     c.id,
-		Cycle:      cycle,
-		RecordHops: c.rec != nil,
-		Prof:       c.obs,
-	}
-	avail := port.Access(&req)
-	if c.rec != nil && len(req.Hops) > 0 {
-		c.rec.RecordAccess(c.id, cycle, req.Hops)
-	}
-	return avail
 }
 
 // lineHitLatency returns the hit latency of a cache.Level if it is a *cache.Cache.

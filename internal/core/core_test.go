@@ -338,9 +338,10 @@ type recordingSink struct {
 	hops     int
 }
 
-func (r *recordingSink) RecordAccess(coreID int, issueCycle uint64, hops []cache.Hop) {
+func (r *recordingSink) RecordAccess(coreID int, issueCycle uint64, write bool, hops []cache.Hop) []cache.Hop {
 	r.accesses++
 	r.hops += len(hops)
+	return nil
 }
 
 func TestAccessRecorderReceivesHops(t *testing.T) {

@@ -65,13 +65,10 @@ type storeEntry struct {
 // scoreboard, port-occupancy window, ROB, load/store queues), exactly as
 // described in Section 3.1 and Figure 1 of the paper.
 type OOO struct {
-	id    int
-	cfg   OOOConfig
-	ports MemPorts
-	cnt   Counters
-	rec   AccessRecorder
-	obs   cache.AccessObserver
-	pred  *bpred.Stats
+	memUnit
+	cfg  OOOConfig
+	cnt  Counters
+	pred *bpred.Stats
 
 	// Per-stage clocks.
 	fetchClock  uint64
@@ -147,9 +144,8 @@ func NewOOO(id int, cfg OOOConfig, ports MemPorts, reg *stats.Registry) *OOO {
 		cfg.PredictorHistBits = 12
 	}
 	c := &OOO{
-		id:       id,
+		memUnit:  memUnit{id: id, ports: ports},
 		cfg:      cfg,
-		ports:    ports,
 		cnt:      newCounters(reg),
 		pred:     bpred.NewStats(bpred.NewTwoLevel(cfg.PredictorEntries, cfg.PredictorHistBits)),
 		portBusy: make([][isa.NumPorts]bool, cfg.SchedWindowCycles),
@@ -157,9 +153,6 @@ func NewOOO(id int, cfg OOOConfig, ports MemPorts, reg *stats.Registry) *OOO {
 	}
 	return c
 }
-
-// ID returns the core index.
-func (c *OOO) ID() int { return c.id }
 
 // Name returns "ooo".
 func (c *OOO) Name() string { return "ooo" }
@@ -176,12 +169,6 @@ func (c *OOO) Uops() uint64 { return c.cnt.Uops.Get() }
 // BranchStats returns (predictions, mispredictions).
 func (c *OOO) BranchStats() (uint64, uint64) { return c.pred.Predictions, c.pred.Mispredicts }
 
-// SetRecorder installs the access recorder.
-func (c *OOO) SetRecorder(rec AccessRecorder) { c.rec = rec }
-
-// SetObserver installs the line-access observer.
-func (c *OOO) SetObserver(obs cache.AccessObserver) { c.obs = obs }
-
 // AddDelay applies weave-phase feedback by advancing every stage clock.
 func (c *OOO) AddDelay(cycles uint64) {
 	c.fetchClock += cycles
@@ -197,26 +184,6 @@ func (c *OOO) SetCycle(cycle uint64) {
 		delta := cycle - c.retireClock
 		c.AddDelay(delta)
 	}
-}
-
-// access issues a request to a cache port, recording hops when enabled.
-func (c *OOO) access(port cache.Level, lineAddr uint64, write bool, cycle uint64) uint64 {
-	if port == nil {
-		return cycle
-	}
-	req := cache.Request{
-		LineAddr:   lineAddr,
-		Write:      write,
-		CoreID:     c.id,
-		Cycle:      cycle,
-		RecordHops: c.rec != nil,
-		Prof:       c.obs,
-	}
-	avail := port.Access(&req)
-	if c.rec != nil && len(req.Hops) > 0 {
-		c.rec.RecordAccess(c.id, cycle, req.Hops)
-	}
-	return avail
 }
 
 // SimulateBlock simulates one dynamic basic block: the instruction fetch

@@ -10,18 +10,24 @@
 //
 // Components (cache banks, memory controllers, cores) are statically
 // partitioned into domains. Each domain owns a priority queue of events and
-// is driven by its own goroutine. When a parent and child live in different
-// domains, a domain-crossing event is enqueued in the child's domain; it polls
-// the parent's completion, re-enqueueing itself at the parent domain's
-// current cycle plus the parent-to-child delay until the parent has finished
-// — exactly the scheme of Figure 4. Because every event has a lower bound,
-// crossings never have to wait for a cycle that could precede their final
-// execution cycle, which is what makes this accurate without conventional
-// PDES synchronization.
+// is driven by its own worker goroutine. When a parent and child live in
+// different domains, the child is handed to its domain when its last parent
+// finishes; because every event has a lower bound, the handoff can enqueue
+// the child directly at its final ready cycle — exactly the scheme of
+// Figure 4 — which is what makes this accurate without conventional PDES
+// synchronization.
+//
+// The engine is persistent: its worker goroutines are spawned once (on the
+// first Run) and parked on a per-domain channel between intervals, so the
+// steady-state interval loop performs no goroutine spawning and no heap
+// allocation. Domains that run out of work mid-interval spin briefly and
+// then park until a cross-domain handoff or the interval's completion wakes
+// them. When effective host parallelism is one (a single domain or
+// GOMAXPROCS=1), Run executes the interval inline on the caller, picking the
+// globally earliest pending event each step, and never touches the workers.
 package event
 
 import (
-	"container/heap"
 	"math"
 	"runtime"
 	"sync"
@@ -29,9 +35,12 @@ import (
 )
 
 // Executor is the contention-model callback attached to an event: it receives
-// the cycle at which the event is dispatched and returns the cycle at which
-// the event finishes (>= the dispatch cycle).
-type Executor func(dispatchCycle uint64) (finishCycle uint64)
+// the event itself (whose Ctx/Arg/Flag fields carry the model context) and
+// the cycle at which the event is dispatched, and returns the cycle at which
+// the event finishes (>= the dispatch cycle). Executors are typically shared
+// package-level functions rather than per-event closures, so that building an
+// interval's event graph allocates nothing.
+type Executor func(ev *Event, dispatchCycle uint64) (finishCycle uint64)
 
 // Event is one weave-phase event: an access hitting a component, a memory
 // read, a writeback, or a core-side marker. Events are created during the
@@ -46,6 +55,14 @@ type Event struct {
 	// Exec computes the event's finish cycle given its dispatch cycle. A nil
 	// Exec means the event finishes instantly at its dispatch cycle.
 	Exec Executor
+	// Ctx carries the executor's context (e.g. a *BankModel or a memory
+	// contention model). Storing a pointer in an interface does not allocate,
+	// so a shared Executor plus Ctx/Arg/Flag replaces a per-event closure.
+	Ctx any
+	// Arg is an executor-defined scalar (e.g. the access's line address).
+	Arg uint64
+	// Flag is an executor-defined boolean (e.g. miss-vs-hit or write-vs-read).
+	Flag bool
 
 	// Delay is the fixed parent-to-child delay: the event cannot be
 	// dispatched before parentFinish + Delay (for each parent).
@@ -104,8 +121,10 @@ func NewSlab(n int) *Slab {
 	return &Slab{chunks: [][]Event{make([]Event, n)}, chunkSize: n}
 }
 
-// Alloc returns a zeroed event from the slab, growing it by whole chunks as
-// needed.
+// Alloc returns a cleared event from the slab, growing it by whole chunks as
+// needed. The recycled event's children slice keeps its capacity, so graphs
+// rebuilt interval after interval stop allocating once the slab has warmed
+// up.
 func (s *Slab) Alloc() *Event {
 	if s.next == s.chunkSize {
 		s.cur++
@@ -117,7 +136,7 @@ func (s *Slab) Alloc() *Event {
 	e := &s.chunks[s.cur][s.next]
 	s.next++
 	s.inUse++
-	*e = Event{}
+	*e = Event{children: e.children[:0]}
 	return e
 }
 
@@ -142,36 +161,77 @@ type queueItem struct {
 	cycle uint64
 }
 
+// eventPQ is a typed binary min-heap over dispatch cycles. It replaces
+// container/heap so pushes and pops move concrete queueItems instead of
+// boxing them through interface{}.
 type eventPQ []queueItem
 
-func (q eventPQ) Len() int            { return len(q) }
-func (q eventPQ) Less(i, j int) bool  { return q[i].cycle < q[j].cycle }
-func (q eventPQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventPQ) Push(x interface{}) { *q = append(*q, x.(queueItem)) }
-func (q *eventPQ) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+func (q *eventPQ) push(it queueItem) {
+	*q = append(*q, it)
+	s := *q
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].cycle <= s[i].cycle {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
 }
 
-// Domain is one weave-phase domain: a set of components, a priority queue of
-// their events, and a logical clock. Domains are driven concurrently by the
-// Engine.
+func (q *eventPQ) pop() (queueItem, bool) {
+	s := *q
+	n := len(s)
+	if n == 0 {
+		return queueItem{}, false
+	}
+	top := s[0]
+	n--
+	s[0] = s[n]
+	*q = s[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s[r].cycle < s[l].cycle {
+			m = r
+		}
+		if s[i].cycle <= s[m].cycle {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top, true
+}
+
+// Domain is one weave-phase domain: a set of components and a priority queue
+// of their events. Domains are driven concurrently by the Engine's persistent
+// workers. (With lower-bounded events, handoffs enqueue children directly at
+// their final ready cycle, so domains no longer expose a clock for crossings
+// to poll.)
 type Domain struct {
 	id int
 
 	mu sync.Mutex
 	pq eventPQ
 
-	// cycle is the domain's current cycle, read by crossings from other
-	// domains (updated atomically).
-	cycle atomic.Uint64
+	// parked is set while the domain's worker is blocked on wakeCh; producers
+	// pushing into an empty domain check it to deliver a wakeup.
+	parked atomic.Bool
+	// wakeCh carries wakeups to a parked worker (capacity 1: a buffered token
+	// can never be lost, and spurious tokens just cause a re-check).
+	wakeCh chan struct{}
+	// startCh signals the worker to begin an interval.
+	startCh chan struct{}
 
 	// Executed counts events executed in this domain (stats / load balance).
 	Executed uint64
-	// CrossRetries counts crossing re-enqueues (synchronization overhead
+	// CrossRetries counts inter-domain handoffs (synchronization overhead
 	// indicator).
 	CrossRetries uint64
 }
@@ -179,43 +239,70 @@ type Domain struct {
 // ID returns the domain's index.
 func (d *Domain) ID() int { return d.id }
 
-// Cycle returns the domain's current cycle.
-func (d *Domain) Cycle() uint64 { return d.cycle.Load() }
-
 func (d *Domain) push(ev *Event, cycle uint64) {
 	d.mu.Lock()
-	heap.Push(&d.pq, queueItem{ev: ev, cycle: cycle})
+	d.pq.push(queueItem{ev: ev, cycle: cycle})
 	d.mu.Unlock()
 }
 
 func (d *Domain) pop() (queueItem, bool) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	if len(d.pq) == 0 {
-		return queueItem{}, false
+	it, ok := d.pq.pop()
+	d.mu.Unlock()
+	return it, ok
+}
+
+// wake delivers a non-blocking wakeup token to the domain's worker.
+func (d *Domain) wake() {
+	select {
+	case d.wakeCh <- struct{}{}:
+	default:
 	}
-	return heap.Pop(&d.pq).(queueItem), true
 }
 
 // Engine coordinates the weave phase: it owns the domains, maps components to
 // domains, accepts the root events of each interval, and runs all domains in
-// parallel until every event has executed.
+// parallel until every event has executed. Engines are persistent: one engine
+// serves every interval of a simulation, reusing its worker goroutines,
+// queues and scratch buffers.
 type Engine struct {
-	domains    []*Domain
-	compDomain map[int]int
+	domains []*Domain
+	// compDomain is a dense component-to-domain table (-1 = unassigned, fall
+	// back to comp mod nDomains). Component IDs are small sequential integers
+	// assigned by the system builder, so a slice beats a map on the hot path.
+	compDomain []int32
 	// remaining counts events enqueued but not yet finished across all
-	// domains (crossings excluded: they are bookkeeping, not real events).
+	// domains.
 	remaining atomic.Int64
+	maxFinish atomic.Uint64
+
+	// roots collects the events enqueued since the last Run, so Run can
+	// register their descendants without scanning (and copying) the domain
+	// queues.
+	roots []*Event
+	// stack is the reusable scratch stack for iterative descendant
+	// registration.
+	stack []*Event
+
+	wg        sync.WaitGroup
+	workersUp bool
+	quit      chan struct{}
+	closeOnce sync.Once
 }
 
-// NewEngine creates an engine with n domains.
+// NewEngine creates an engine with n domains. Workers are spawned lazily on
+// the first Run, so an engine that is built but never run costs nothing.
 func NewEngine(nDomains int) *Engine {
 	if nDomains < 1 {
 		nDomains = 1
 	}
-	e := &Engine{compDomain: make(map[int]int)}
+	e := &Engine{quit: make(chan struct{})}
 	for i := 0; i < nDomains; i++ {
-		e.domains = append(e.domains, &Domain{id: i})
+		e.domains = append(e.domains, &Domain{
+			id:      i,
+			wakeCh:  make(chan struct{}, 1),
+			startCh: make(chan struct{}),
+		})
 	}
 	return e
 }
@@ -229,13 +316,21 @@ func (e *Engine) Domain(i int) *Domain { return e.domains[i] }
 // AssignComponent maps a component ID to a domain. Components not assigned
 // explicitly default to domain (comp mod nDomains).
 func (e *Engine) AssignComponent(comp, domain int) {
-	e.compDomain[comp] = domain % len(e.domains)
+	if comp < 0 {
+		return
+	}
+	for comp >= len(e.compDomain) {
+		e.compDomain = append(e.compDomain, -1)
+	}
+	e.compDomain[comp] = int32(domain % len(e.domains))
 }
 
 // DomainOf returns the domain index owning the component.
 func (e *Engine) DomainOf(comp int) int {
-	if d, ok := e.compDomain[comp]; ok {
-		return d
+	if comp >= 0 && comp < len(e.compDomain) {
+		if d := e.compDomain[comp]; d >= 0 {
+			return int(d)
+		}
 	}
 	d := comp % len(e.domains)
 	if d < 0 {
@@ -253,102 +348,211 @@ func (e *Engine) Enqueue(ev *Event) {
 	e.remaining.Add(1)
 	d := e.domains[e.DomainOf(ev.Comp)]
 	d.push(ev, ev.MinCycle)
+	e.roots = append(e.roots, ev)
 }
 
-// countEvents walks the dependency graph from the roots and adds every
-// not-yet-enqueued descendant to the remaining counter, so Run knows when the
-// graph is fully executed.
-func (e *Engine) registerDescendants(ev *Event) {
-	for _, ch := range ev.children {
-		if !ch.enqueued {
-			ch.enqueued = true
-			e.remaining.Add(1)
-			e.registerDescendants(ch)
+// registerDescendants walks the dependency graph from the roots enqueued
+// since the last Run and adds every not-yet-enqueued descendant to the
+// remaining counter, so Run knows when the graph is fully executed. The walk
+// is iterative over a reusable stack: no recursion, no per-Run allocation.
+func (e *Engine) registerDescendants() {
+	stack := append(e.stack[:0], e.roots...)
+	for len(stack) > 0 {
+		ev := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ch := range ev.children {
+			if !ch.enqueued {
+				ch.enqueued = true
+				e.remaining.Add(1)
+				stack = append(stack, ch)
+			}
 		}
+	}
+	e.stack = stack[:0]
+	e.roots = e.roots[:0]
+}
+
+// Close shuts down the engine's worker goroutines. Close is idempotent and
+// safe to call on an engine that never ran. A closed engine can still Run:
+// it falls back to the inline single-threaded path instead of the (now gone)
+// workers.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() { close(e.quit) })
+}
+
+// isClosed reports whether Close has been called.
+func (e *Engine) isClosed() bool {
+	select {
+	case <-e.quit:
+		return true
+	default:
+		return false
 	}
 }
 
-// Run executes all enqueued events (and their descendants) to completion,
-// driving each domain with its own goroutine. It returns the largest finish
-// cycle observed (the interval's actual end).
+// ensureWorkers spawns the persistent per-domain workers on first use.
+func (e *Engine) ensureWorkers() {
+	if e.workersUp {
+		return
+	}
+	e.workersUp = true
+	for _, d := range e.domains {
+		go e.worker(d)
+	}
+}
+
+// worker is the persistent per-domain goroutine: it parks on startCh between
+// intervals and drains the domain when signalled.
+func (e *Engine) worker(d *Domain) {
+	for {
+		select {
+		case <-d.startCh:
+		case <-e.quit:
+			return
+		}
+		e.runDomain(d)
+		e.wg.Done()
+	}
+}
+
+// Run executes all enqueued events (and their descendants) to completion.
+// It returns the largest finish cycle observed (the interval's actual end).
 func (e *Engine) Run() uint64 {
 	// Register all descendants so the termination condition is exact.
-	for _, d := range e.domains {
-		d.mu.Lock()
-		items := append([]queueItem(nil), d.pq...)
-		d.mu.Unlock()
-		for _, it := range items {
-			e.registerDescendants(it.ev)
-		}
+	e.registerDescendants()
+	e.maxFinish.Store(0)
+	if e.remaining.Load() == 0 {
+		return 0
 	}
 
-	var wg sync.WaitGroup
-	var maxFinish atomic.Uint64
-	for _, d := range e.domains {
-		wg.Add(1)
-		go func(dom *Domain) {
-			defer wg.Done()
-			e.runDomain(dom, &maxFinish)
-		}(d)
+	if len(e.domains) == 1 || runtime.GOMAXPROCS(0) == 1 || e.isClosed() {
+		// Effective host parallelism is one (or the workers have been shut
+		// down): execute inline, globally earliest-first, without waking any
+		// workers.
+		e.runInline()
+	} else {
+		e.ensureWorkers()
+		e.wg.Add(len(e.domains))
+		for _, d := range e.domains {
+			// Drain any stale wakeup left over from the previous interval's
+			// termination broadcast, then start the worker.
+			select {
+			case <-d.wakeCh:
+			default:
+			}
+			d.startCh <- struct{}{}
+		}
+		e.wg.Wait()
 	}
-	wg.Wait()
-	// Reset domain clocks for the next interval.
-	for _, d := range e.domains {
-		d.cycle.Store(0)
+	return e.maxFinish.Load()
+}
+
+// runInline drains all domains on the caller's goroutine, executing the
+// globally earliest pending event each step.
+func (e *Engine) runInline() {
+	var localMax uint64
+	for e.remaining.Load() > 0 {
+		var best *Domain
+		bestCycle := uint64(math.MaxUint64)
+		for _, d := range e.domains {
+			if len(d.pq) > 0 && d.pq[0].cycle < bestCycle {
+				best, bestCycle = d, d.pq[0].cycle
+			}
+		}
+		if best == nil {
+			break // unreachable: remaining > 0 implies a non-empty queue
+		}
+		it, _ := best.pop()
+		if f := e.execute(best, it); f > localMax {
+			localMax = f
+		}
 	}
-	return maxFinish.Load()
+	e.mergeMaxFinish(localMax)
 }
 
 // runDomain drains one domain's queue, executing events in dispatch-cycle
-// order and handing finished events' children to their domains.
-func (e *Engine) runDomain(dom *Domain, maxFinish *atomic.Uint64) {
+// order and handing finished events' children to their domains. An idle
+// domain spins briefly (other domains may hand it events at any moment) and
+// then parks on its wake channel.
+func (e *Engine) runDomain(dom *Domain) {
+	var localMax uint64
 	idleSpins := 0
 	for {
 		item, ok := dom.pop()
 		if !ok {
 			if e.remaining.Load() == 0 {
-				return
-			}
-			// The domain is idle but other domains still have work that may
-			// hand events to us; advance our clock to infinity so crossings
-			// waiting on us don't throttle, then yield.
-			dom.cycle.Store(math.MaxUint64)
-			idleSpins++
-			if idleSpins > 64 {
-				runtime.Gosched()
-			}
-			continue
-		}
-		idleSpins = 0
-		ev := item.ev
-		dispatch := item.cycle
-		if dispatch < ev.readyCycle {
-			dispatch = ev.readyCycle
-		}
-		dom.cycle.Store(dispatch)
-
-		finish := dispatch
-		if ev.Exec != nil {
-			finish = ev.Exec(dispatch)
-			if finish < dispatch {
-				finish = dispatch
-			}
-		}
-		ev.finishCycle = finish
-		ev.done.Store(true)
-		dom.Executed++
-		e.remaining.Add(-1)
-
-		for {
-			cur := maxFinish.Load()
-			if finish <= cur || maxFinish.CompareAndSwap(cur, finish) {
 				break
 			}
+			// The domain is idle but other domains still have work that may
+			// hand events to us at any moment.
+			idleSpins++
+			if idleSpins <= 8 {
+				runtime.Gosched()
+				continue
+			}
+			// Bounded parking: publish that we are parked, re-check for work
+			// and for termination (both producers observe parked after their
+			// push / final decrement, so a wakeup cannot be lost), then block.
+			dom.parked.Store(true)
+			if item, ok = dom.pop(); ok {
+				dom.parked.Store(false)
+			} else if e.remaining.Load() == 0 {
+				dom.parked.Store(false)
+				break
+			} else {
+				<-dom.wakeCh
+				dom.parked.Store(false)
+				idleSpins = 0
+				continue
+			}
 		}
+		idleSpins = 0
+		if f := e.execute(dom, item); f > localMax {
+			localMax = f
+		}
+	}
+	e.mergeMaxFinish(localMax)
+}
 
-		// Release children.
-		for _, ch := range ev.children {
-			e.childReady(dom, ch, finish)
+// execute dispatches one event, releases its children and returns its finish
+// cycle.
+func (e *Engine) execute(dom *Domain, item queueItem) uint64 {
+	ev := item.ev
+	dispatch := item.cycle
+	if dispatch < ev.readyCycle {
+		dispatch = ev.readyCycle
+	}
+
+	finish := dispatch
+	if ev.Exec != nil {
+		if f := ev.Exec(ev, dispatch); f > finish {
+			finish = f
+		}
+	}
+	ev.finishCycle = finish
+	ev.done.Store(true)
+	dom.Executed++
+
+	// Release children before the final decrement so the termination
+	// broadcast can only fire once every event is queued or done.
+	for _, ch := range ev.children {
+		e.childReady(dom, ch, finish)
+	}
+	if e.remaining.Add(-1) == 0 {
+		for _, od := range e.domains {
+			if od != dom && od.parked.Load() {
+				od.wake()
+			}
+		}
+	}
+	return finish
+}
+
+func (e *Engine) mergeMaxFinish(v uint64) {
+	for {
+		cur := e.maxFinish.Load()
+		if v <= cur || e.maxFinish.CompareAndSwap(cur, v) {
+			return
 		}
 	}
 }
@@ -372,11 +576,15 @@ func (e *Engine) childReady(parentDom *Domain, ch *Event, parentFinish uint64) {
 		ch.readyCycle = ch.MinCycle
 	}
 	ch.pendingParents--
-	if ch.pendingParents == 0 {
-		heap.Push(&chDom.pq, queueItem{ev: ch, cycle: ch.readyCycle})
+	last := ch.pendingParents == 0
+	if last {
+		chDom.pq.push(queueItem{ev: ch, cycle: ch.readyCycle})
 		if chDom != parentDom {
 			parentDom.CrossRetries++ // count inter-domain handoffs
 		}
 	}
 	chDom.mu.Unlock()
+	if last && chDom != parentDom && chDom.parked.Load() {
+		chDom.wake()
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestSlabAllocAndReset(t *testing.T) {
@@ -38,8 +39,65 @@ func TestSlabAllocAndReset(t *testing.T) {
 	}
 }
 
+func TestSlabRecyclesChildCapacity(t *testing.T) {
+	s := NewSlab(16)
+	parent := s.Alloc()
+	child := s.Alloc()
+	parent.AddChild(child)
+	if parent.NumChildren() != 1 {
+		t.Fatalf("child not registered")
+	}
+	s.Reset()
+	p2 := s.Alloc()
+	if p2 != parent {
+		t.Fatalf("reset should recycle the same slots in order")
+	}
+	if p2.NumChildren() != 0 {
+		t.Fatalf("recycled event must not keep stale children")
+	}
+	// Appending a child to the recycled event must not allocate: the child
+	// slice keeps its capacity across Reset.
+	c2 := s.Alloc()
+	allocs := testing.AllocsPerRun(1, func() {
+		p2.children = p2.children[:0]
+		p2.AddChild(c2)
+	})
+	if allocs != 0 {
+		t.Fatalf("AddChild on a recycled event should not allocate, got %v allocs", allocs)
+	}
+}
+
+func TestEventPQOrdering(t *testing.T) {
+	var q eventPQ
+	cycles := []uint64{9, 3, 7, 1, 8, 2, 6, 0, 5, 4}
+	evs := make([]Event, len(cycles))
+	for i, c := range cycles {
+		q.push(queueItem{ev: &evs[i], cycle: c})
+	}
+	var got []uint64
+	for {
+		it, ok := q.pop()
+		if !ok {
+			break
+		}
+		got = append(got, it.cycle)
+	}
+	if len(got) != len(cycles) {
+		t.Fatalf("expected %d pops, got %d", len(cycles), len(got))
+	}
+	for i, c := range got {
+		if uint64(i) != c {
+			t.Fatalf("pops out of order: %v", got)
+		}
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatalf("empty queue should report !ok")
+	}
+}
+
 func TestSingleEventExecution(t *testing.T) {
 	eng := NewEngine(2)
+	defer eng.Close()
 	if eng.NumDomains() != 2 {
 		t.Fatalf("domains: %d", eng.NumDomains())
 	}
@@ -48,7 +106,7 @@ func TestSingleEventExecution(t *testing.T) {
 	ev.Comp = 0
 	ev.MinCycle = 100
 	var got uint64
-	ev.Exec = func(c uint64) uint64 { got = c; return c + 25 }
+	ev.Exec = func(_ *Event, c uint64) uint64 { got = c; return c + 25 }
 	eng.Enqueue(ev)
 	end := eng.Run()
 	if !ev.Finished() {
@@ -64,18 +122,19 @@ func TestSingleEventExecution(t *testing.T) {
 
 func TestParentChildDelayPropagation(t *testing.T) {
 	eng := NewEngine(1)
+	defer eng.Close()
 	s := NewSlab(16)
 	parent := s.Alloc()
 	parent.Comp = 0
 	parent.MinCycle = 10
-	parent.Exec = func(c uint64) uint64 { return c + 40 } // finishes at 50
+	parent.Exec = func(_ *Event, c uint64) uint64 { return c + 40 } // finishes at 50
 
 	child := s.Alloc()
 	child.Comp = 0
 	child.MinCycle = 20 // lower bound is far below the real dispatch
 	child.Delay = 5
 	var childDispatch uint64
-	child.Exec = func(c uint64) uint64 { childDispatch = c; return c }
+	child.Exec = func(_ *Event, c uint64) uint64 { childDispatch = c; return c }
 	parent.AddChild(child)
 	if parent.NumChildren() != 1 {
 		t.Fatalf("child not registered")
@@ -93,20 +152,21 @@ func TestParentChildDelayPropagation(t *testing.T) {
 
 func TestMultipleParentsWaitForAll(t *testing.T) {
 	eng := NewEngine(2)
+	defer eng.Close()
 	s := NewSlab(16)
 	p1 := s.Alloc()
 	p1.Comp = 0
 	p1.MinCycle = 0
-	p1.Exec = func(c uint64) uint64 { return c + 10 }
+	p1.Exec = func(_ *Event, c uint64) uint64 { return c + 10 }
 	p2 := s.Alloc()
 	p2.Comp = 1 // different domain
 	p2.MinCycle = 0
-	p2.Exec = func(c uint64) uint64 { return c + 90 }
+	p2.Exec = func(_ *Event, c uint64) uint64 { return c + 90 }
 
 	child := s.Alloc()
 	child.Comp = 0
 	var dispatch uint64
-	child.Exec = func(c uint64) uint64 { dispatch = c; return c }
+	child.Exec = func(_ *Event, c uint64) uint64 { dispatch = c; return c }
 	p1.AddChild(child)
 	p2.AddChild(child)
 
@@ -125,6 +185,7 @@ func TestCrossDomainChain(t *testing.T) {
 	// A chain alternating between domains: core -> L3 bank -> memory ->
 	// core, like Figure 4's request-response traffic.
 	eng := NewEngine(4)
+	defer eng.Close()
 	eng.AssignComponent(100, 0) // core
 	eng.AssignComponent(200, 1) // L3 bank
 	eng.AssignComponent(300, 3) // memory controller
@@ -134,7 +195,8 @@ func TestCrossDomainChain(t *testing.T) {
 		e := s.Alloc()
 		e.Comp = comp
 		e.MinCycle = min
-		e.Exec = func(c uint64) uint64 { return c + lat }
+		e.Arg = lat
+		e.Exec = func(ev *Event, c uint64) uint64 { return c + ev.Arg }
 		return e
 	}
 	core := mk(100, 30, 0)
@@ -170,15 +232,16 @@ func TestLowerBoundRespected(t *testing.T) {
 	// A child whose MinCycle exceeds parentFinish+Delay dispatches at its
 	// MinCycle (bound phase already guarantees it cannot be earlier).
 	eng := NewEngine(1)
+	defer eng.Close()
 	s := NewSlab(4)
 	p := s.Alloc()
 	p.Comp = 0
-	p.Exec = func(c uint64) uint64 { return c + 1 }
+	p.Exec = func(_ *Event, c uint64) uint64 { return c + 1 }
 	ch := s.Alloc()
 	ch.Comp = 0
 	ch.MinCycle = 500
 	var dispatch uint64
-	ch.Exec = func(c uint64) uint64 { dispatch = c; return c }
+	ch.Exec = func(_ *Event, c uint64) uint64 { dispatch = c; return c }
 	p.AddChild(ch)
 	eng.Enqueue(p)
 	eng.Run()
@@ -191,15 +254,16 @@ func TestEngineOrderWithinDomain(t *testing.T) {
 	// Events in one domain must execute in dispatch-cycle order (full order
 	// within a domain is what gives the weave phase its accuracy).
 	eng := NewEngine(1)
+	defer eng.Close()
 	s := NewSlab(64)
 	var order []uint64
 	for i := 10; i > 0; i-- {
 		ev := s.Alloc()
 		ev.Comp = 0
 		ev.MinCycle = uint64(i * 10)
-		cyc := uint64(i * 10)
-		ev.Exec = func(c uint64) uint64 {
-			order = append(order, cyc)
+		ev.Arg = uint64(i * 10)
+		ev.Exec = func(e *Event, c uint64) uint64 {
+			order = append(order, e.Arg)
 			return c
 		}
 		eng.Enqueue(ev)
@@ -219,6 +283,7 @@ func TestManyEventsAcrossDomainsParallel(t *testing.T) {
 	// A larger stress test: per-core chains touching shared components,
 	// executed across 4 domains. Every event must execute exactly once.
 	eng := NewEngine(4)
+	defer eng.Close()
 	s := NewSlab(1024)
 	var executed atomic.Int64
 	const cores = 16
@@ -229,7 +294,7 @@ func TestManyEventsAcrossDomainsParallel(t *testing.T) {
 			ev := s.Alloc()
 			ev.Comp = (c + i) % 8 // spread over 8 components -> 4 domains
 			ev.MinCycle = uint64(i * 10)
-			ev.Exec = func(cy uint64) uint64 {
+			ev.Exec = func(_ *Event, cy uint64) uint64 {
 				executed.Add(1)
 				return cy + 3
 			}
@@ -255,8 +320,126 @@ func TestManyEventsAcrossDomainsParallel(t *testing.T) {
 	}
 }
 
+func TestEnginePersistentAcrossIntervals(t *testing.T) {
+	// One engine must serve many intervals back to back, exactly like the
+	// bound-weave loop uses it: build graph, Run, reset slab, repeat.
+	eng := NewEngine(3)
+	defer eng.Close()
+	s := NewSlab(64)
+	var executed atomic.Int64
+	for interval := 0; interval < 50; interval++ {
+		s.Reset()
+		var prev *Event
+		for i := 0; i < 12; i++ {
+			ev := s.Alloc()
+			ev.Comp = i % 5
+			ev.MinCycle = uint64(interval*1000 + i*10)
+			ev.Exec = func(_ *Event, c uint64) uint64 {
+				executed.Add(1)
+				return c + 2
+			}
+			if prev == nil {
+				eng.Enqueue(ev)
+			} else {
+				prev.AddChild(ev)
+			}
+			prev = ev
+		}
+		end := eng.Run()
+		if end < uint64(interval*1000) {
+			t.Fatalf("interval %d: end cycle %d below interval base", interval, end)
+		}
+	}
+	if executed.Load() != 50*12 {
+		t.Fatalf("every interval's events must run: got %d", executed.Load())
+	}
+}
+
+// TestRunAfterClose guards against a deadlock: once Close has torn down the
+// workers, Run must fall back to the inline path instead of signalling
+// goroutines that no longer exist (the worker path is only taken at
+// GOMAXPROCS>1, so this hang would be invisible on single-CPU hosts).
+func TestRunAfterClose(t *testing.T) {
+	eng := NewEngine(4)
+	s := NewSlab(16)
+	ev := s.Alloc()
+	ev.Comp = 0
+	ev.MinCycle = 7
+	eng.Enqueue(ev)
+	if end := eng.Run(); end != 7 {
+		t.Fatalf("first run: %d", end)
+	}
+	eng.Close()
+	eng.Close() // idempotent
+	s.Reset()
+	ev = s.Alloc()
+	ev.Comp = 1
+	ev.MinCycle = 11
+	eng.Enqueue(ev)
+	done := make(chan uint64, 1)
+	go func() { done <- eng.Run() }()
+	select {
+	case end := <-done:
+		if end != 11 || !ev.Finished() {
+			t.Fatalf("run after close should still execute events, got %d", end)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("Run after Close deadlocked")
+	}
+}
+
+func TestRunWithNoEvents(t *testing.T) {
+	eng := NewEngine(2)
+	defer eng.Close()
+	if end := eng.Run(); end != 0 {
+		t.Fatalf("empty run should return 0, got %d", end)
+	}
+}
+
+// TestEngineRunSteadyStateAllocs is the allocation-regression guard for the
+// weave hot path: once the slab and the engine's internal buffers have warmed
+// up, building and running an interval's event graph must not allocate.
+func TestEngineRunSteadyStateAllocs(t *testing.T) {
+	eng := NewEngine(2)
+	defer eng.Close()
+	s := NewSlab(256)
+	buildAndRun := func() {
+		s.Reset()
+		for c := 0; c < 4; c++ {
+			var prev *Event
+			for i := 0; i < 16; i++ {
+				ev := s.Alloc()
+				ev.Comp = (c + i) % 4
+				ev.MinCycle = uint64(i * 10)
+				ev.Arg = 3
+				ev.Exec = sharedExec
+				if prev == nil {
+					eng.Enqueue(ev)
+				} else {
+					prev.AddChild(ev)
+				}
+				prev = ev
+			}
+		}
+		eng.Run()
+	}
+	// Warm up the slab, queues and scratch buffers.
+	for i := 0; i < 3; i++ {
+		buildAndRun()
+	}
+	allocs := testing.AllocsPerRun(20, buildAndRun)
+	// The interval loop must be O(1) allocations; in practice it is zero once
+	// warm, but allow a little headroom for runtime-internal noise.
+	if allocs > 2 {
+		t.Fatalf("steady-state interval should be allocation-free, got %v allocs/run", allocs)
+	}
+}
+
+func sharedExec(ev *Event, c uint64) uint64 { return c + ev.Arg }
+
 func TestDomainOfDefaultMapping(t *testing.T) {
 	eng := NewEngine(4)
+	defer eng.Close()
 	if eng.DomainOf(7) != 3 || eng.DomainOf(8) != 0 {
 		t.Fatalf("default component-to-domain mapping should be modulo")
 	}
@@ -264,11 +447,17 @@ func TestDomainOfDefaultMapping(t *testing.T) {
 	if eng.DomainOf(7) != 1 {
 		t.Fatalf("explicit assignment should win")
 	}
+	// Sparse assignment leaves the gap components on the default mapping.
+	eng.AssignComponent(3, 2)
+	if eng.DomainOf(3) != 2 || eng.DomainOf(5) != 1 || eng.DomainOf(6) != 2 {
+		t.Fatalf("unassigned components should keep the modulo mapping")
+	}
 	if eng.DomainOf(-3) < 0 || eng.DomainOf(-3) >= 4 {
 		t.Fatalf("negative component IDs must still map to a valid domain")
 	}
 	// Engine with zero requested domains clamps to one.
 	one := NewEngine(0)
+	defer one.Close()
 	if one.NumDomains() != 1 {
 		t.Fatalf("engine should have at least one domain")
 	}
@@ -276,6 +465,7 @@ func TestDomainOfDefaultMapping(t *testing.T) {
 
 func TestNilExecFinishesInstantly(t *testing.T) {
 	eng := NewEngine(1)
+	defer eng.Close()
 	s := NewSlab(4)
 	ev := s.Alloc()
 	ev.Comp = 0
@@ -300,6 +490,7 @@ func TestEventChainProperties(t *testing.T) {
 		}
 		nd := int(domainsRaw%6) + 1
 		eng := NewEngine(nd)
+		defer eng.Close()
 		s := NewSlab(128)
 		var chain []*Event
 		var prev *Event
@@ -307,8 +498,8 @@ func TestEventChainProperties(t *testing.T) {
 			ev := s.Alloc()
 			ev.Comp = i % (nd * 2)
 			ev.MinCycle = uint64(i)
-			lat := uint64(l % 50)
-			ev.Exec = func(c uint64) uint64 { return c + lat }
+			ev.Arg = uint64(l % 50)
+			ev.Exec = sharedExec
 			if prev == nil {
 				eng.Enqueue(ev)
 			} else {

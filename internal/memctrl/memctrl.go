@@ -51,7 +51,9 @@ type ContentionModel interface {
 }
 
 // Simple is a fixed-latency memory controller: every access takes the
-// zero-load latency. It is the terminal level used by the bound phase.
+// zero-load latency. It is the terminal level used by the bound phase. Its
+// counters are atomic, so concurrent accesses from many bound-phase host
+// threads never serialize on a lock.
 type Simple struct {
 	name   string
 	compID int
@@ -59,9 +61,8 @@ type Simple struct {
 	// transfer, no queuing).
 	latency uint32
 
-	mu     sync.Mutex
-	reads  *stats.Counter
-	writes *stats.Counter
+	reads  *stats.AtomicCounter
+	writes *stats.AtomicCounter
 }
 
 // NewSimple creates a fixed-latency controller.
@@ -73,8 +74,8 @@ func NewSimple(name string, compID int, latency uint32, reg *stats.Registry) *Si
 		name:    name,
 		compID:  compID,
 		latency: latency,
-		reads:   reg.Counter("reads", "read requests served"),
-		writes:  reg.Counter("writes", "write requests served"),
+		reads:   reg.Atomic("reads", "read requests served"),
+		writes:  reg.Atomic("writes", "write requests served"),
 	}
 }
 
@@ -88,20 +89,18 @@ func (s *Simple) CompID() int { return s.compID }
 func (s *Simple) Latency() uint32 { return s.latency }
 
 // Reads returns the number of reads served.
-func (s *Simple) Reads() uint64 { s.mu.Lock(); defer s.mu.Unlock(); return s.reads.Get() }
+func (s *Simple) Reads() uint64 { return s.reads.Get() }
 
 // Writes returns the number of writes served.
-func (s *Simple) Writes() uint64 { s.mu.Lock(); defer s.mu.Unlock(); return s.writes.Get() }
+func (s *Simple) Writes() uint64 { return s.writes.Get() }
 
 // Access serves a request with the fixed zero-load latency.
 func (s *Simple) Access(req *cache.Request) uint64 {
-	s.mu.Lock()
 	if req.Write {
 		s.writes.Inc()
 	} else {
 		s.reads.Inc()
 	}
-	s.mu.Unlock()
 	if req.RecordHops {
 		req.Hops = append(req.Hops, cache.Hop{Comp: s.compID, Kind: cache.HopMem, Line: req.LineAddr, Cycle: req.Cycle, Latency: s.latency})
 	}

@@ -18,6 +18,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Counter is a monotonically increasing scalar statistic.
@@ -39,6 +40,29 @@ func (c *Counter) Get() uint64 { return c.V }
 // Set overwrites the counter value. It is used when a model computes the
 // value externally (e.g., cycle counters owned by a core model).
 func (c *Counter) Set(v uint64) { c.V = v }
+
+// AtomicCounter is a monotonically increasing scalar statistic updated by
+// several host threads at once. Components whose hot path is sharded across
+// threads (shared caches with striped locking, memory controllers) use it
+// instead of Counter, trading a lock-free atomic add for the single-writer
+// assumption.
+type AtomicCounter struct {
+	Name string
+	Desc string
+	v    atomic.Uint64
+}
+
+// Inc adds one to the counter.
+func (c *AtomicCounter) Inc() { c.v.Add(1) }
+
+// Add adds n to the counter.
+func (c *AtomicCounter) Add(n uint64) { c.v.Add(n) }
+
+// Get returns the current value.
+func (c *AtomicCounter) Get() uint64 { return c.v.Load() }
+
+// Set overwrites the counter value.
+func (c *AtomicCounter) Set(v uint64) { c.v.Store(v) }
 
 // Gauge is a scalar statistic that may go up or down (e.g., occupancy).
 type Gauge struct {
@@ -155,6 +179,7 @@ func (h *Histogram) Percentile(p float64) float64 {
 type Registry struct {
 	Name     string
 	counters []*Counter
+	atomics  []*AtomicCounter
 	gauges   []*Gauge
 	vectors  []*VectorCounter
 	hists    []*Histogram
@@ -170,6 +195,13 @@ func NewRegistry(name string) *Registry {
 func (r *Registry) Counter(name, desc string) *Counter {
 	c := &Counter{Name: name, Desc: desc}
 	r.counters = append(r.counters, c)
+	return c
+}
+
+// Atomic creates, registers and returns a new atomic counter.
+func (r *Registry) Atomic(name, desc string) *AtomicCounter {
+	c := &AtomicCounter{Name: name, Desc: desc}
+	r.atomics = append(r.atomics, c)
 	return c
 }
 
@@ -223,6 +255,11 @@ func (r *Registry) lookup(parts []string) (uint64, bool) {
 				return c.V, true
 			}
 		}
+		for _, c := range r.atomics {
+			if c.Name == parts[0] {
+				return c.Get(), true
+			}
+		}
 		return 0, false
 	}
 	for _, ch := range r.children {
@@ -243,6 +280,11 @@ func (r *Registry) SumCounters(name string) uint64 {
 			total += c.V
 		}
 	}
+	for _, c := range r.atomics {
+		if c.Name == name {
+			total += c.Get()
+		}
+	}
 	for _, ch := range r.children {
 		total += ch.SumCounters(name)
 	}
@@ -256,6 +298,11 @@ func (r *Registry) MaxCounter(name string) uint64 {
 	for _, c := range r.counters {
 		if c.Name == name && c.V > max {
 			max = c.V
+		}
+	}
+	for _, c := range r.atomics {
+		if c.Name == name && c.Get() > max {
+			max = c.Get()
 		}
 	}
 	for _, ch := range r.children {
@@ -278,6 +325,11 @@ func (r *Registry) writeText(w io.Writer, depth int) error {
 	}
 	for _, c := range r.counters {
 		if _, err := fmt.Fprintf(w, "%s  %s: %d # %s\n", indent, c.Name, c.V, c.Desc); err != nil {
+			return err
+		}
+	}
+	for _, c := range r.atomics {
+		if _, err := fmt.Fprintf(w, "%s  %s: %d # %s\n", indent, c.Name, c.Get(), c.Desc); err != nil {
 			return err
 		}
 	}
@@ -326,6 +378,9 @@ func (r *Registry) collectCSV(prefix string) []string {
 	var rows []string
 	for _, c := range r.counters {
 		rows = append(rows, fmt.Sprintf("%s,%s,%d", path, c.Name, c.V))
+	}
+	for _, c := range r.atomics {
+		rows = append(rows, fmt.Sprintf("%s,%s,%d", path, c.Name, c.Get()))
 	}
 	for _, ch := range r.children {
 		rows = append(rows, ch.collectCSV(path)...)
