@@ -287,3 +287,19 @@ func BenchmarkGoldenReference(b *testing.B) {
 		_ = res
 	}
 }
+
+// BenchmarkOversubscribedClientServer measures the Section 3.3 usage model
+// the mid-interval scheduler exists for: an oversubscribed client-server
+// workload (20 software threads on 8 cores) whose server threads block in
+// request waits and contend on request-queue locks. Wall-clock here tracks
+// how well freed cores are refilled inside intervals.
+func BenchmarkOversubscribedClientServer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.OversubscribedClientServer(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Metrics.SimMIPS, "sim-MIPS")
+		b.ReportMetric(float64(res.MidIntervalJoins), "mid-interval-joins")
+	}
+}

@@ -59,4 +59,10 @@ func main() {
 	fmt.Println(res.Summary())
 	fmt.Printf("8 software threads were multiplexed onto %d cores; blocking syscalls and lock\n"+
 		"contention shaped the schedule in simulated time.\n", cfg.NumCores)
+	fmt.Printf("scheduler: %d context switches, %d mid-interval joins (threads pulled onto a\n"+
+		"core freed by a blocking thread without waiting for the next interval barrier),\n"+
+		"%d lock blocks, %d barrier waits, %d blocking syscalls, %d bound rounds over %d intervals.\n",
+		res.Sched.ContextSwitches, res.Sched.MidIntervalJoins,
+		res.Sched.LockBlocks, res.Sched.BarrierWaits, res.Sched.SyscallBlocks,
+		res.BoundRounds, res.Intervals)
 }

@@ -113,3 +113,40 @@ func TestRecorderRecyclesBuffers(t *testing.T) {
 		t.Fatalf("dropped trace should return the caller's own buffer truncated")
 	}
 }
+
+// TestBoundPhaseSteadyStateAllocs covers the bound phase's half of the
+// allocation contract: a steady-state interval — scheduling, round
+// execution on the persistent pool, mid-interval arbitration and time
+// multiplexing — must not allocate once queues, pending-op buffers and
+// assignment slices have warmed up. (Goroutine spawns would show up here
+// too: `go` allocates.)
+func TestBoundPhaseSteadyStateAllocs(t *testing.T) {
+	cfg := config.SmallTest()
+	cfg.NumCores = 4
+	cfg.Contention = false
+	sys, err := BuildSystem(cfg)
+	if err != nil {
+		t.Fatalf("BuildSystem: %v", err)
+	}
+	sched := virt.NewScheduler(cfg.NumCores)
+	p := trace.DefaultParams()
+	p.BlocksPerThread = 1 << 30 // effectively endless: intervals keep running
+	p.WorkingSet = 16 << 10
+	p.LockEvery = 24 // lock arbitration rounds
+	p.NumLocks = 2
+	p.LockHoldBlocks = 2
+	p.BlockedSyscallEvery = 40 // syscall leave/join rounds
+	p.BlockedSyscallCycles = 1500
+	sched.AddWorkload(trace.New("alloc-bound", p, 6)) // oversubscribed: 6 threads, 4 cores
+	sim := NewSimulator(sys, sched, Options{HostThreads: 2, Seed: 3})
+	iteration := func() { sim.runInterval() }
+	// Long warmup: beyond queues and slabs, the lazily allocated cache set
+	// arrays must all have been touched before measuring.
+	for i := 0; i < 400; i++ {
+		iteration()
+	}
+	allocs := testing.AllocsPerRun(50, iteration)
+	if allocs > 2 {
+		t.Fatalf("steady-state bound interval should be allocation-free, got %v allocs/run", allocs)
+	}
+}

@@ -379,8 +379,8 @@ func TestOversubscription(t *testing.T) {
 	if sched.LiveThreads() != 0 {
 		t.Fatalf("all oversubscribed threads should finish, %d left", sched.LiveThreads())
 	}
-	if sched.ContextSwitches < 12 {
-		t.Fatalf("round-robin scheduling should context switch, got %d", sched.ContextSwitches)
+	if sched.ContextSwitches.Load() < 12 {
+		t.Fatalf("round-robin scheduling should context switch, got %d", sched.ContextSwitches.Load())
 	}
 	if sys.Metrics().Instrs == 0 {
 		t.Fatalf("work should have been executed")
@@ -406,7 +406,7 @@ func TestBlockedSyscallsDoNotDeadlock(t *testing.T) {
 	if sched.LiveThreads() != 0 {
 		t.Fatalf("syscall-heavy workload should finish")
 	}
-	if sched.SyscallBlocks == 0 {
+	if sched.SyscallBlocks.Load() == 0 {
 		t.Fatalf("blocking syscalls should have been taken")
 	}
 	// Blocked time is reflected in simulated time: the run must span more
@@ -437,5 +437,100 @@ func TestWeaveEventsGeneratedUnderContention(t *testing.T) {
 	}
 	if sim.BoundNanos == 0 || sim.WeaveNanos == 0 {
 		t.Fatalf("phase timing should be measured")
+	}
+}
+
+func TestMidIntervalReschedulingKeepsCoresBusy(t *testing.T) {
+	// Oversubscribed, blocking-heavy workload: when a thread blocks on a
+	// lock or syscall mid-interval, the freed core must immediately pull the
+	// next runnable thread instead of idling until the interval barrier.
+	cfg := config.SmallTest()
+	cfg.NumCores = 4
+	p := trace.DefaultParams()
+	p.BlocksPerThread = 400
+	p.LockEvery = 20
+	p.NumLocks = 2
+	p.LockHoldBlocks = 4
+	p.BlockedSyscallEvery = 50
+	p.BlockedSyscallCycles = 2500
+	w := trace.New("busy", p, 10) // 10 software threads on 4 cores
+	sys, err := BuildSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := virt.NewScheduler(cfg.NumCores)
+	sched.AddWorkload(w)
+	sim := NewSimulator(sys, sched, Options{HostThreads: 2, Seed: 6})
+	sim.Run()
+	if sched.LiveThreads() != 0 {
+		t.Fatalf("all threads should finish, %d left", sched.LiveThreads())
+	}
+	if sched.MidIntervalJoins.Load() == 0 {
+		t.Fatalf("blocking threads should trigger mid-interval joins")
+	}
+	if sim.BoundRounds <= sim.Intervals {
+		t.Fatalf("mid-interval rescheduling should add rounds: %d rounds over %d intervals",
+			sim.BoundRounds, sim.Intervals)
+	}
+}
+
+func TestIdleIntervalFastForward(t *testing.T) {
+	// When every thread is blocked in long syscalls, the driver must jump
+	// simulated time straight to the next wake instead of stepping empty
+	// intervals one by one.
+	cfg := config.SmallTest()
+	cfg.NumCores = 2
+	p := trace.DefaultParams()
+	p.BlocksPerThread = 30
+	p.BlockedSyscallEvery = 10
+	p.BlockedSyscallCycles = 200000 // 200 interval lengths
+	w := trace.New("sleepy", p, 2)
+	sys, err := BuildSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := virt.NewScheduler(cfg.NumCores)
+	sched.AddWorkload(w)
+	sim := NewSimulator(sys, sched, Options{HostThreads: 2, Seed: 8})
+	sim.Run()
+	if sched.LiveThreads() != 0 {
+		t.Fatalf("workload should finish")
+	}
+	cycles := sys.Metrics().Cycles
+	if cycles < 400000 {
+		t.Fatalf("blocked time should advance simulated time, got %d cycles", cycles)
+	}
+	naiveIntervals := cycles / cfg.IntervalCycles
+	if sim.Intervals*5 > naiveIntervals {
+		t.Fatalf("idle intervals should be fast-forwarded: %d intervals for %d cycles (naive: %d)",
+			sim.Intervals, cycles, naiveIntervals)
+	}
+}
+
+func TestStalledWorkloadTerminates(t *testing.T) {
+	// A genuinely deadlocked workload (a barrier waiter holding the lock a
+	// second thread needs) must stop the run with Stalled=true instead of
+	// advancing simulated time forever.
+	cfg := config.SmallTest()
+	cfg.NumCores = 2
+	sys, err := BuildSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := virt.NewScheduler(cfg.NumCores)
+	sched.AddWorkload(smallWorkload("deadlock", 2, 100))
+	t0, t1 := sched.Thread(0), sched.Thread(1)
+	sched.ScheduleInterval(0)
+	if !sched.OnLockAcquire(t0, 1, 0) {
+		t.Fatal("free lock should be granted")
+	}
+	sched.OnBarrier(t0, 1, 0)          // t0 waits for t1, holding lock 1
+	if sched.OnLockAcquire(t1, 1, 0) { // t1 blocks on t0's lock
+		t.Fatal("held lock should block")
+	}
+	sim := NewSimulator(sys, sched, Options{Seed: 1})
+	sim.Run()
+	if !sim.Stalled {
+		t.Fatalf("deadlocked workload should be reported as stalled")
 	}
 }

@@ -1,0 +1,129 @@
+package boundweave
+
+// Determinism tests for the sharded mid-interval scheduler: because every
+// scheduling decision (lock arbitration, barrier release, syscall join/leave,
+// mid-interval core refill) is resolved in simulated-time order at round
+// boundaries, a fixed seed must produce identical results no matter how the
+// Go runtime schedules the host workers (GOMAXPROCS=1, 2, 8).
+//
+// The workload is built so the timing itself is host-order independent:
+// every process lives in a disjoint simulated address-space slice
+// (trace.Params.AddrSpace) with no shared data, and every process is pinned
+// to one core, so concurrent bound workers never interleave on the same
+// cache lines. Pinning matters: a *migrating* thread leaves line copies in
+// its old core's private hierarchy, and the directory's cross-core
+// downgrades then race with that core's local evictions (an order-coupled
+// interaction of the same kind as data sharing). For data-sharing or
+// migrating workloads the bound phase's intra-interval reordering is
+// path-altering by design — Figure 2 of the paper — and bit-identical
+// results across hosts are neither possible nor claimed; the *schedule* is
+// still deterministic.
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"zsim/internal/config"
+	"zsim/internal/trace"
+	"zsim/internal/virt"
+)
+
+// deterministicRun executes a fixed oversubscribed multiprocess workload
+// (8 single-thread processes on 4 cores, with locks, barriers and blocking
+// syscalls) at the given GOMAXPROCS and returns a signature of everything
+// that must be reproducible.
+func deterministicRun(t *testing.T, gomaxprocs, hostThreads int, contention bool) string {
+	t.Helper()
+	old := runtime.GOMAXPROCS(gomaxprocs)
+	defer runtime.GOMAXPROCS(old)
+
+	cfg := config.SmallTest()
+	cfg.NumCores = 4
+	cfg.CoreModel = config.CoreIPC1
+	cfg.Contention = contention
+	// A single weave domain keeps the weave phase's event order exact; the
+	// bound phase still runs on 4 host workers.
+	cfg.WeaveDomains = 1
+	// Generous associativity so the disjoint footprints never force an
+	// eviction whose victim choice could depend on arrival order.
+	cfg.L3.SizeKB = 4096
+	cfg.L3.Ways = 32
+	sys, err := BuildSystem(cfg)
+	if err != nil {
+		t.Fatalf("BuildSystem: %v", err)
+	}
+
+	sched := virt.NewScheduler(cfg.NumCores)
+	for i := 0; i < 8; i++ {
+		p := trace.DefaultParams()
+		p.Seed = uint64(1000 + 17*i)
+		p.AddrSpace = uint64(i + 1) // disjoint address-space slices
+		p.SharedFraction = 0
+		p.WorkingSet = 8 << 10
+		p.StaticBlocks = 16
+		p.BlocksPerThread = 300
+		p.LockEvery = 16
+		p.NumLocks = 2
+		p.LockHoldBlocks = 3
+		p.BlockedSyscallEvery = 48
+		p.BlockedSyscallCycles = 2500
+		w := trace.New(fmt.Sprintf("proc-%d", i), p, 1)
+		proc := &virt.Process{ID: i, Name: w.Name}
+		// Pin two processes per core: oversubscription and mid-interval
+		// joins still happen (on the pinned core), but threads never
+		// migrate, so no line ever lives in two private hierarchies.
+		proc.Affinity = []int{i % cfg.NumCores}
+		proc.Threads = append(proc.Threads, &virt.Thread{Stream: w.NewThread(0)})
+		sched.AddProcess(proc)
+	}
+
+	sim := NewSimulator(sys, sched, Options{HostThreads: hostThreads, Seed: 99})
+	sim.Run()
+
+	var sb strings.Builder
+	for _, c := range sys.Cores {
+		fmt.Fprintf(&sb, "core(cyc=%d instr=%d) ", c.Cycle(), c.Instrs())
+	}
+	m := sys.Metrics()
+	fmt.Fprintf(&sb,
+		"| cycles=%d instrs=%d l1d=%d l2=%d l3=%d memrd=%d | intervals=%d rounds=%d weave=%d feedback=%d"+
+			" | cs=%d joins=%d lockblk=%d sysblk=%d barrier=%d",
+		m.Cycles, m.Instrs, m.L1DMisses, m.L2Misses, m.L3Misses, m.MemReads,
+		sim.Intervals, sim.BoundRounds, sim.WeaveEvents, sim.TotalFeedback,
+		sched.ContextSwitches.Load(), sched.MidIntervalJoins.Load(),
+		sched.LockBlocks.Load(), sched.SyscallBlocks.Load(), sched.BarrierWaits.Load())
+	return sb.String()
+}
+
+func TestDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	for _, contention := range []bool{false, true} {
+		name := "bound-only"
+		if contention {
+			name = "bound-weave"
+		}
+		t.Run(name, func(t *testing.T) {
+			base := deterministicRun(t, 1, 4, contention)
+			for _, gm := range []int{2, 8} {
+				if got := deterministicRun(t, gm, 4, contention); got != base {
+					t.Fatalf("results differ between GOMAXPROCS=1 and %d:\n  1: %s\n  %d: %s",
+						gm, base, gm, got)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterministicAcrossHostThreads pins GOMAXPROCS and varies the bound
+// worker count instead: the host parallelism knob must not change results
+// either.
+func TestDeterministicAcrossHostThreads(t *testing.T) {
+	base := deterministicRun(t, 8, 1, false)
+	for _, host := range []int{2, 4, 16} {
+		if got := deterministicRun(t, 8, host, false); got != base {
+			t.Fatalf("results differ between HostThreads=1 and %d:\n  1: %s\n  %d: %s",
+				host, base, host, got)
+		}
+	}
+}

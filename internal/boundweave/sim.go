@@ -2,11 +2,11 @@ package boundweave
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"zsim/internal/config"
+	"zsim/internal/engine"
 	"zsim/internal/event"
 	"zsim/internal/memctrl"
 	"zsim/internal/trace"
@@ -31,7 +31,10 @@ type Options struct {
 }
 
 // Simulator drives the bound-weave loop over a built System and a scheduler
-// full of workload threads.
+// full of workload threads. Both phases execute on one persistent worker
+// pool: bound workers draw core assignments from a shared atomic counter,
+// and the weave engine drives its event domains with the same parked
+// goroutines, so steady-state intervals spawn no goroutines at all.
 type Simulator struct {
 	Sys   *System
 	Sched *virt.Scheduler
@@ -44,16 +47,33 @@ type Simulator struct {
 	recorders []*Recorder
 	slabs     []*event.Slab
 	models    *weaveModels
-	// engine is the persistent weave engine: built once here, reused every
-	// interval, closed when Run finishes.
+	// pool is the unified persistent worker pool shared by the bound phase
+	// and the weave engine; it is sized max(hostThreads, weave domains).
+	pool *engine.Pool
+	// engine is the persistent weave engine: built once here on the shared
+	// pool, reused every interval, closed when Run finishes.
 	engine *event.Engine
 	// last is the per-core scratch used by runWeave to track each core's
 	// latest response event.
 	last []lastResp
 
-	schedMu     sync.Mutex
 	globalCycle uint64
 	rngState    uint64
+
+	// Bound-round execution state: curAsg is the round's assignment list and
+	// nextAsg the shared draw counter; boundTask is the pre-bound worker
+	// body (no per-interval closures). asgA/asgB are the reusable
+	// double-buffered assignment slices and coreCycles the per-round core
+	// clock snapshot handed to the scheduler.
+	curAsg      []virt.Assignment
+	nextAsg     atomic.Int64
+	intervalEnd uint64
+	boundTask   func(int)
+	asgA, asgB  []virt.Assignment
+	coreCycles  []uint64
+	// lastTid tracks the last software thread each core ran, to charge
+	// context-switch micro-state invalidation on thread changes.
+	lastTid []int32
 
 	// instrsTotal is the running total of simulated instructions, maintained
 	// by the bound-phase workers so the interval loop never rescans all
@@ -62,10 +82,15 @@ type Simulator struct {
 
 	// Run statistics.
 	Intervals     uint64
+	BoundRounds   uint64
 	WeaveEvents   uint64
 	TotalFeedback uint64
 	BoundNanos    int64
 	WeaveNanos    int64
+	// Stalled reports that the run ended because no thread was runnable and
+	// no blocked thread could ever be woken by the passage of simulated time
+	// (a deadlocked workload); previously this spun forever.
+	Stalled bool
 }
 
 // lastResp remembers a core's latest weave response event and its zero-load
@@ -95,6 +120,20 @@ func NewSimulator(sys *System, sched *virt.Scheduler, opts Options) *Simulator {
 		contention:  cfg.Contention,
 		rngState:    opts.Seed*6364136223846793005 + 1442695040888963407,
 	}
+	s.boundTask = s.boundWorker
+	s.coreCycles = make([]uint64, len(sys.Cores))
+	s.lastTid = make([]int32, len(sys.Cores))
+	for i := range s.lastTid {
+		s.lastTid[i] = -1
+	}
+
+	// One persistent pool serves both phases: the bound phase wakes up to
+	// hostThreads workers, the weave phase needs one worker per domain.
+	poolSize := host
+	if s.contention && sys.NumDomains > poolSize {
+		poolSize = sys.NumDomains
+	}
+	s.pool = engine.NewPool(poolSize)
 
 	if s.contention {
 		maxComp := -1
@@ -133,9 +172,10 @@ func NewSimulator(sys *System, sched *virt.Scheduler, opts Options) *Simulator {
 			c.SetRecorder(rec)
 			s.slabs = append(s.slabs, event.NewSlab(1024))
 		}
-		// The weave engine is persistent: its domains, queues and workers are
-		// built once and reused by every interval.
-		s.engine = event.NewEngine(sys.NumDomains)
+		// The weave engine is persistent and shares the bound phase's worker
+		// pool: its domains, queues and workers are built once and reused by
+		// every interval.
+		s.engine = event.NewEngineOnPool(sys.NumDomains, s.pool)
 		for comp, dom := range sys.CompDomain {
 			s.engine.AssignComponent(comp, dom)
 		}
@@ -181,6 +221,7 @@ func (s *Simulator) Run() uint64 {
 	if s.engine != nil {
 		defer s.engine.Close()
 	}
+	defer s.pool.Close()
 	for {
 		if s.Sched.LiveThreads() == 0 {
 			break
@@ -191,55 +232,77 @@ func (s *Simulator) Run() uint64 {
 		if s.opts.MaxIntervals > 0 && s.Intervals >= s.opts.MaxIntervals {
 			break
 		}
-		s.runInterval()
+		if !s.runInterval() {
+			break
+		}
 	}
 	return s.instrsTotal.Load()
 }
 
-// runInterval executes one bound phase and (optionally) one weave phase.
-func (s *Simulator) runInterval() {
+// runInterval executes one bound phase (as a sequence of mid-interval
+// rounds) and (optionally) one weave phase. It returns false when the
+// simulation can make no further progress.
+func (s *Simulator) runInterval() bool {
 	s.Intervals++
-	assignments := s.Sched.ScheduleInterval(s.globalCycle)
+	asg := s.Sched.ScheduleIntervalInto(s.globalCycle, s.asgA[:0])
 	intervalEnd := s.globalCycle + s.intervalLen
-	if len(assignments) == 0 {
-		// Everything is blocked (barriers resolve instantly, so this means
-		// syscalls): let simulated time advance so wake-ups can fire.
-		s.globalCycle = intervalEnd
-		return
+	if len(asg) == 0 {
+		s.asgA = asg
+		// Everything is blocked. Only syscall completions are driven by the
+		// passage of simulated time, so fast-forward the clock straight to
+		// the earliest wake instead of stepping empty intervals one by one.
+		wake, ok := s.Sched.NextSyscallWake()
+		if !ok {
+			// Nothing runnable and nothing time can wake: the workload is
+			// deadlocked (e.g. a barrier no one else will reach). Stop
+			// instead of spinning forever.
+			s.Stalled = true
+			return false
+		}
+		if wake > intervalEnd {
+			s.globalCycle = wake
+		} else {
+			s.globalCycle = intervalEnd
+		}
+		return true
 	}
 
 	// Shuffle the wake-up order to avoid systematic bias (the interval
-	// barrier's third role in Section 3.2.1).
-	for i := len(assignments) - 1; i > 0; i-- {
+	// barrier's third role in Section 3.2.1). The shuffle is seeded, so it
+	// does not perturb determinism.
+	for i := len(asg) - 1; i > 0; i-- {
 		j := int(s.nextRand() % uint64(i+1))
-		assignments[i], assignments[j] = assignments[j], assignments[i]
+		asg[i], asg[j] = asg[j], asg[i]
 	}
 
-	// Bound phase: a pool of hostThreads workers draws assignments; at most
-	// hostThreads simulated cores run concurrently, and when one finishes its
-	// interval the next waiting core is woken — the barrier's "moderate
-	// parallelism" role.
+	// Bound phase: each round, up to hostThreads pool workers draw
+	// assignments from a shared counter; at most hostThreads simulated cores
+	// run concurrently, and when one finishes its slice the next waiting
+	// core is taken up — the barrier's "moderate parallelism" role. Between
+	// rounds the scheduler arbitrates the recorded synchronization
+	// operations in deterministic simulated-time order and immediately
+	// refills cores freed by blocking threads (mid-interval join/leave).
 	boundStart := time.Now()
-	var next atomic.Int64
-	workers := s.hostThreads
-	if workers > len(assignments) {
-		workers = len(assignments)
+	s.intervalEnd = intervalEnd
+	cur, spare := asg, s.asgB
+	for len(cur) > 0 {
+		s.BoundRounds++
+		s.curAsg = cur
+		s.nextAsg.Store(0)
+		workers := s.hostThreads
+		if workers > len(cur) {
+			workers = len(cur)
+		}
+		s.pool.Run(workers, s.boundTask)
+		for i, c := range s.Sys.Cores {
+			s.coreCycles[i] = c.Cycle()
+		}
+		next := s.Sched.ResolveRound(cur, s.globalCycle, intervalEnd, s.coreCycles, spare[:0])
+		cur, spare = next, cur
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				idx := int(next.Add(1)) - 1
-				if idx >= len(assignments) {
-					return
-				}
-				s.runCoreInterval(assignments[idx], intervalEnd)
-			}
-		}()
-	}
-	wg.Wait()
+	s.asgA, s.asgB = cur, spare
+	s.curAsg = nil
+	s.Sched.EndInterval(intervalEnd)
 	s.BoundNanos += time.Since(boundStart).Nanoseconds()
 
 	// Weave phase: retime the recorded accesses with contention models.
@@ -250,15 +313,34 @@ func (s *Simulator) runInterval() {
 	}
 
 	s.globalCycle = intervalEnd
+	return true
 }
 
-// runCoreInterval simulates one core until it reaches the interval end or its
-// thread blocks/finishes.
-func (s *Simulator) runCoreInterval(a virt.Assignment, intervalEnd uint64) {
+// boundWorker is the persistent bound-phase worker body: it draws core
+// assignments from the shared counter until the round's list is drained.
+func (s *Simulator) boundWorker(_ int) {
+	for {
+		idx := int(s.nextAsg.Add(1)) - 1
+		if idx >= len(s.curAsg) {
+			return
+		}
+		s.runCoreRound(s.curAsg[idx])
+	}
+}
+
+// runCoreRound simulates one core until it reaches the interval end, its
+// thread blocks or finishes, or the thread pauses for lock arbitration.
+// Synchronization operations are recorded thread-locally and resolved by the
+// scheduler at the round boundary — the per-block hot path takes no locks.
+func (s *Simulator) runCoreRound(a virt.Assignment) {
 	c := s.Sys.Cores[a.Core]
 	th := a.Thread
 	instrsBefore := c.Instrs()
-	defer func() { s.instrsTotal.Add(c.Instrs() - instrsBefore) }()
+
+	if s.lastTid[a.Core] != int32(th.ID) {
+		s.lastTid[a.Core] = int32(th.ID)
+		c.ContextSwitch()
+	}
 
 	start := c.Cycle()
 	if s.globalCycle > start {
@@ -269,56 +351,44 @@ func (s *Simulator) runCoreInterval(a virt.Assignment, intervalEnd uint64) {
 	}
 	c.SetCycle(start)
 
+	intervalEnd := s.intervalEnd
+loop:
 	for c.Cycle() < intervalEnd {
 		blk := th.Stream.NextBlock()
 		switch blk.Sync {
 		case trace.SyncDone:
-			s.schedMu.Lock()
-			s.Sched.OnDone(th, c.Cycle())
-			s.schedMu.Unlock()
-			return
+			th.Record(virt.OpDone, 0, c.Cycle(), 0)
+			break loop
 		case trace.SyncBarrier:
 			c.SimulateBlock(blk)
 			th.Cycle = c.Cycle()
-			s.schedMu.Lock()
-			s.Sched.OnBarrier(th, blk.SyncID, c.Cycle())
-			s.schedMu.Unlock()
-			return
+			th.Record(virt.OpBarrier, blk.SyncID, c.Cycle(), 0)
+			break loop
 		case trace.SyncBlocked:
 			c.SimulateBlock(blk)
 			th.Cycle = c.Cycle()
-			s.schedMu.Lock()
-			s.Sched.OnBlockedSyscall(th, c.Cycle(), blk.SyncArg)
-			s.schedMu.Unlock()
-			return
+			th.Record(virt.OpSyscall, 0, c.Cycle(), blk.SyncArg)
+			break loop
 		case trace.SyncLockAcquire:
 			c.SimulateBlock(blk)
 			th.Cycle = c.Cycle()
-			s.schedMu.Lock()
-			acquired := s.Sched.OnLockAcquire(th, blk.SyncID, c.Cycle())
-			s.schedMu.Unlock()
-			if !acquired {
-				return
-			}
+			// Pause for deterministic arbitration: granted acquires resume
+			// on this core next round at this same cycle, contended ones
+			// free the core for another thread.
+			th.Record(virt.OpLockAcquire, blk.SyncID, c.Cycle(), 0)
+			break loop
 		case trace.SyncLockRelease:
 			c.SimulateBlock(blk)
-			s.schedMu.Lock()
-			s.Sched.OnLockRelease(th, blk.SyncID, c.Cycle())
-			s.schedMu.Unlock()
+			th.Cycle = c.Cycle()
+			th.Record(virt.OpLockRelease, blk.SyncID, c.Cycle(), 0)
 		default:
 			c.SimulateBlock(blk)
 		}
 	}
-	th.Cycle = c.Cycle()
-
-	// Oversubscription: when there are more runnable software threads than
-	// cores, the round-robin scheduler time-multiplexes them interval by
-	// interval.
-	s.schedMu.Lock()
-	if s.Sched.LiveThreads() > s.Sched.NumCores() {
-		s.Sched.Deschedule(th, c.Cycle())
+	if c.Cycle() > th.Cycle {
+		th.Cycle = c.Cycle()
 	}
-	s.schedMu.Unlock()
+	s.instrsTotal.Add(c.Instrs() - instrsBefore)
 }
 
 // runWeave builds the interval's event graph from the per-core recorders,

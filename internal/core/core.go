@@ -39,6 +39,12 @@ type Core interface {
 	// (used when a descheduled thread is rescheduled onto the core, and at
 	// interval joins).
 	SetCycle(cycle uint64)
+	// ContextSwitch notifies the core that a different software thread is
+	// about to run on it (mid-interval rescheduling or time multiplexing):
+	// transient micro-state tied to the outgoing thread's instruction stream
+	// (e.g. the last-fetched I-cache line) is invalidated so the incoming
+	// thread pays its own first fetch.
+	ContextSwitch()
 	// SetRecorder installs the bound-phase access recorder used to build
 	// weave events; a nil recorder (the default) disables recording.
 	SetRecorder(rec AccessRecorder)
@@ -205,6 +211,11 @@ func (c *IPC1) SetCycle(cycle uint64) {
 		c.cnt.Cycles.Set(c.cycle)
 	}
 }
+
+// ContextSwitch invalidates the fetch micro-state when a different software
+// thread is placed on the core, so the incoming thread refetches its first
+// I-cache line instead of inheriting the outgoing thread's.
+func (c *IPC1) ContextSwitch() { c.lastFetch = ^uint64(0) }
 
 // SimulateBlock simulates one dynamic block on the simple core.
 func (c *IPC1) SimulateBlock(b *trace.DynBlock) {

@@ -186,6 +186,11 @@ func (c *OOO) SetCycle(cycle uint64) {
 	}
 }
 
+// ContextSwitch invalidates the fetch micro-state when a different software
+// thread is placed on the core, so the incoming thread refetches its first
+// I-cache line instead of inheriting the outgoing thread's.
+func (c *OOO) ContextSwitch() { c.lastFetchLine = ^uint64(0) }
+
 // SimulateBlock simulates one dynamic basic block: the instruction fetch
 // (including branch prediction and I-cache access), the frontend decode
 // stalls, and every µop's dispatch, port scheduling, execution and

@@ -1,0 +1,129 @@
+// Package engine provides the persistent execution engine that underpins
+// both phases of the bound-weave loop (Section 3.2 of the paper): a fixed set
+// of worker goroutines, spawned at most once per simulation, that park on
+// per-worker channels between phases and are handed work by the orchestrating
+// goroutine.
+//
+// The bound phase uses the pool to drive per-core simulation (workers draw
+// core assignments from a shared atomic counter), and the weave phase uses
+// the same workers to drive its event domains. Steady-state intervals
+// therefore spawn zero goroutines and churn no WaitGroups: the only
+// per-phase cost is one channel send per woken worker and one Wait on the
+// pool's reusable WaitGroup.
+package engine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a fixed-size set of persistent, parked worker goroutines. A Pool is
+// driven by a single orchestrating goroutine: Run hands every woken worker
+// the same task function and blocks until all invocations return. Run must
+// not be called concurrently with itself or with Close.
+type Pool struct {
+	size int
+
+	// fn is the task of the in-flight Run. Workers read it after receiving a
+	// start token, so the channel send establishes the happens-before edge.
+	fn func(worker int)
+	wg sync.WaitGroup
+
+	// start carries per-worker wakeups; the channels are unbuffered so a
+	// completed Run leaves no stale tokens behind.
+	start []chan struct{}
+
+	quit      chan struct{}
+	spawned   bool
+	closeOnce sync.Once
+}
+
+// NewPool creates a pool of n workers (n < 1 is clamped to 1). The worker
+// goroutines are spawned lazily on the first parallel Run, so a pool that
+// only ever runs serially (GOMAXPROCS=1, single-task phases) costs nothing.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{size: n, quit: make(chan struct{})}
+	p.start = make([]chan struct{}, n)
+	for i := range p.start {
+		p.start[i] = make(chan struct{})
+	}
+	return p
+}
+
+// Size returns the number of workers in the pool.
+func (p *Pool) Size() int { return p.size }
+
+// Run invokes fn(w) for every worker index w in [0, n) and returns once all
+// invocations have finished. n is clamped to the pool size. When effective
+// host parallelism is one (n == 1 or GOMAXPROCS == 1) or the pool is closed,
+// the invocations run serially on the caller; tasks must therefore not
+// depend on running concurrently with each other. Callers that need true
+// concurrency (e.g. tasks that block on each other) must check those
+// conditions themselves and fall back to a serial algorithm.
+func (p *Pool) Run(n int, fn func(worker int)) {
+	if n > p.size {
+		n = p.size
+	}
+	if n <= 0 {
+		return
+	}
+	if n == 1 || p.Closed() || runtime.GOMAXPROCS(0) == 1 {
+		for w := 0; w < n; w++ {
+			fn(w)
+		}
+		return
+	}
+	p.ensureWorkers()
+	p.fn = fn
+	p.wg.Add(n)
+	for w := 0; w < n; w++ {
+		p.start[w] <- struct{}{}
+	}
+	p.wg.Wait()
+	p.fn = nil
+}
+
+// Closed reports whether Close has been called.
+func (p *Pool) Closed() bool {
+	select {
+	case <-p.quit:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close shuts down the pool's worker goroutines. Close is idempotent and must
+// not overlap a Run; a closed pool still accepts Run calls and executes them
+// serially on the caller.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() { close(p.quit) })
+}
+
+// ensureWorkers spawns the persistent workers on first parallel use.
+func (p *Pool) ensureWorkers() {
+	if p.spawned {
+		return
+	}
+	p.spawned = true
+	for i := 0; i < p.size; i++ {
+		go p.worker(i)
+	}
+}
+
+// worker is the persistent goroutine body: park on the start channel, run the
+// current task, repeat.
+func (p *Pool) worker(id int) {
+	for {
+		select {
+		case <-p.start[id]:
+		case <-p.quit:
+			return
+		}
+		p.fn(id)
+		p.wg.Done()
+	}
+}

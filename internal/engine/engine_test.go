@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsAllTasks(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var seen [4]atomic.Bool
+	var calls atomic.Int64
+	p.Run(4, func(w int) {
+		seen[w].Store(true)
+		calls.Add(1)
+	})
+	if calls.Load() != 4 {
+		t.Fatalf("expected 4 invocations, got %d", calls.Load())
+	}
+	for i := range seen {
+		if !seen[i].Load() {
+			t.Fatalf("worker %d never ran", i)
+		}
+	}
+}
+
+func TestPoolReusableAcrossRuns(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var total atomic.Int64
+	for iter := 0; iter < 50; iter++ {
+		p.Run(3, func(w int) { total.Add(1) })
+	}
+	if total.Load() != 150 {
+		t.Fatalf("expected 150 invocations, got %d", total.Load())
+	}
+}
+
+func TestPoolClampsToSize(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var calls atomic.Int64
+	p.Run(10, func(w int) {
+		if w >= 2 {
+			t.Errorf("worker index %d out of range", w)
+		}
+		calls.Add(1)
+	})
+	if calls.Load() != 2 {
+		t.Fatalf("expected 2 invocations, got %d", calls.Load())
+	}
+	p.Run(0, func(w int) { t.Error("n=0 must not run") })
+}
+
+func TestPoolClosedRunsSerially(t *testing.T) {
+	p := NewPool(4)
+	p.Close()
+	if !p.Closed() {
+		t.Fatalf("pool should report closed")
+	}
+	order := make([]int, 0, 4)
+	p.Run(4, func(w int) { order = append(order, w) })
+	if len(order) != 4 {
+		t.Fatalf("closed pool should still run tasks, got %v", order)
+	}
+	for i, w := range order {
+		if w != i {
+			t.Fatalf("closed pool should run in order, got %v", order)
+		}
+	}
+	p.Close() // idempotent
+}
+
+func TestPoolSerialWhenSingleTask(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	ran := false
+	// n == 1 runs inline on the caller: mutating local state without
+	// synchronization is safe.
+	p.Run(1, func(w int) { ran = w == 0 })
+	if !ran {
+		t.Fatalf("single-task run should execute inline as worker 0")
+	}
+}
+
+func TestPoolSteadyStateAllocs(t *testing.T) {
+	if runtime.GOMAXPROCS(0) == 1 {
+		t.Skip("parallel path needs GOMAXPROCS > 1")
+	}
+	p := NewPool(4)
+	defer p.Close()
+	var sink atomic.Int64
+	task := func(w int) { sink.Add(int64(w)) }
+	p.Run(4, task) // spawn workers
+	allocs := testing.AllocsPerRun(50, func() { p.Run(4, task) })
+	if allocs != 0 {
+		t.Fatalf("steady-state Run should not allocate, got %v allocs/run", allocs)
+	}
+}

@@ -17,14 +17,16 @@
 // Figure 4 — which is what makes this accurate without conventional PDES
 // synchronization.
 //
-// The engine is persistent: its worker goroutines are spawned once (on the
-// first Run) and parked on a per-domain channel between intervals, so the
-// steady-state interval loop performs no goroutine spawning and no heap
-// allocation. Domains that run out of work mid-interval spin briefly and
-// then park until a cross-domain handoff or the interval's completion wakes
-// them. When effective host parallelism is one (a single domain or
-// GOMAXPROCS=1), Run executes the interval inline on the caller, picking the
-// globally earliest pending event each step, and never touches the workers.
+// The engine is persistent and rides on the shared worker pool of package
+// internal/engine: the pool's workers are spawned once per simulation and
+// parked between phases, so the steady-state interval loop performs no
+// goroutine spawning and no heap allocation. During a weave phase each
+// domain is driven by one pool worker; domains that run out of work
+// mid-interval spin briefly and then park until a cross-domain handoff or
+// the interval's completion wakes them. When effective host parallelism is
+// one (a single domain or GOMAXPROCS=1), Run executes the interval inline on
+// the caller, picking the globally earliest pending event each step, and
+// never touches the workers.
 package event
 
 import (
@@ -32,6 +34,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"zsim/internal/engine"
 )
 
 // Executor is the contention-model callback attached to an event: it receives
@@ -226,8 +230,6 @@ type Domain struct {
 	// wakeCh carries wakeups to a parked worker (capacity 1: a buffered token
 	// can never be lost, and spurious tokens just cause a re-check).
 	wakeCh chan struct{}
-	// startCh signals the worker to begin an interval.
-	startCh chan struct{}
 
 	// Executed counts events executed in this domain (stats / load balance).
 	Executed uint64
@@ -263,8 +265,8 @@ func (d *Domain) wake() {
 // Engine coordinates the weave phase: it owns the domains, maps components to
 // domains, accepts the root events of each interval, and runs all domains in
 // parallel until every event has executed. Engines are persistent: one engine
-// serves every interval of a simulation, reusing its worker goroutines,
-// queues and scratch buffers.
+// serves every interval of a simulation, reusing the worker pool, queues and
+// scratch buffers.
 type Engine struct {
 	domains []*Domain
 	// compDomain is a dense component-to-domain table (-1 = unassigned, fall
@@ -284,26 +286,45 @@ type Engine struct {
 	// registration.
 	stack []*Event
 
-	wg        sync.WaitGroup
-	workersUp bool
-	quit      chan struct{}
-	closeOnce sync.Once
+	// pool is the persistent worker pool that drives the domains; when the
+	// engine shares a pool with the bound phase (the unified execution
+	// engine), ownsPool is false and Close leaves the pool to its owner.
+	pool       *engine.Pool
+	ownsPool   bool
+	domainTask func(int)
+	closed     atomic.Bool
 }
 
-// NewEngine creates an engine with n domains. Workers are spawned lazily on
-// the first Run, so an engine that is built but never run costs nothing.
+// NewEngine creates an engine with n domains on a private worker pool. The
+// pool's workers are spawned lazily on the first parallel Run, so an engine
+// that is built but never run costs nothing.
 func NewEngine(nDomains int) *Engine {
+	return NewEngineOnPool(nDomains, nil)
+}
+
+// NewEngineOnPool creates an engine with n domains driven by the given
+// persistent worker pool; the bound-weave simulator passes the same pool it
+// uses for the bound phase, so one set of parked workers serves both phases.
+// The pool must have at least n workers for the parallel path to be used
+// (fewer workers force the inline path). A nil pool gives the engine a
+// private pool that Close shuts down.
+func NewEngineOnPool(nDomains int, pool *engine.Pool) *Engine {
 	if nDomains < 1 {
 		nDomains = 1
 	}
-	e := &Engine{quit: make(chan struct{})}
+	e := &Engine{}
+	if pool == nil {
+		pool = engine.NewPool(nDomains)
+		e.ownsPool = true
+	}
+	e.pool = pool
 	for i := 0; i < nDomains; i++ {
 		e.domains = append(e.domains, &Domain{
-			id:      i,
-			wakeCh:  make(chan struct{}, 1),
-			startCh: make(chan struct{}),
+			id:     i,
+			wakeCh: make(chan struct{}, 1),
 		})
 	}
+	e.domainTask = e.runDomainByIndex
 	return e
 }
 
@@ -372,48 +393,26 @@ func (e *Engine) registerDescendants() {
 	e.roots = e.roots[:0]
 }
 
-// Close shuts down the engine's worker goroutines. Close is idempotent and
-// safe to call on an engine that never ran. A closed engine can still Run:
-// it falls back to the inline single-threaded path instead of the (now gone)
-// workers.
+// Close marks the engine closed (subsequent Runs use the inline path) and
+// shuts down its worker pool if the engine owns one. Close is idempotent and
+// safe to call on an engine that never ran; it must not be called on a
+// shared pool's engine while that pool is mid-Run.
 func (e *Engine) Close() {
-	e.closeOnce.Do(func() { close(e.quit) })
+	e.closed.Store(true)
+	if e.ownsPool {
+		e.pool.Close()
+	}
 }
 
-// isClosed reports whether Close has been called.
+// isClosed reports whether Close has been called (or the shared pool has
+// been shut down).
 func (e *Engine) isClosed() bool {
-	select {
-	case <-e.quit:
-		return true
-	default:
-		return false
-	}
+	return e.closed.Load() || e.pool.Closed()
 }
 
-// ensureWorkers spawns the persistent per-domain workers on first use.
-func (e *Engine) ensureWorkers() {
-	if e.workersUp {
-		return
-	}
-	e.workersUp = true
-	for _, d := range e.domains {
-		go e.worker(d)
-	}
-}
-
-// worker is the persistent per-domain goroutine: it parks on startCh between
-// intervals and drains the domain when signalled.
-func (e *Engine) worker(d *Domain) {
-	for {
-		select {
-		case <-d.startCh:
-		case <-e.quit:
-			return
-		}
-		e.runDomain(d)
-		e.wg.Done()
-	}
-}
+// runDomainByIndex adapts runDomain to the pool's worker-index task shape.
+// It is bound once at construction so Run never allocates a closure.
+func (e *Engine) runDomainByIndex(i int) { e.runDomain(e.domains[i]) }
 
 // Run executes all enqueued events (and their descendants) to completion.
 // It returns the largest finish cycle observed (the interval's actual end).
@@ -425,24 +424,23 @@ func (e *Engine) Run() uint64 {
 		return 0
 	}
 
-	if len(e.domains) == 1 || runtime.GOMAXPROCS(0) == 1 || e.isClosed() {
-		// Effective host parallelism is one (or the workers have been shut
-		// down): execute inline, globally earliest-first, without waking any
-		// workers.
+	if len(e.domains) == 1 || runtime.GOMAXPROCS(0) == 1 || e.isClosed() ||
+		e.pool.Size() < len(e.domains) {
+		// Effective host parallelism is one (or the workers are gone, or the
+		// pool is too small to give every domain its own worker — domains
+		// park mid-run, so they cannot share workers): execute inline,
+		// globally earliest-first.
 		e.runInline()
 	} else {
-		e.ensureWorkers()
-		e.wg.Add(len(e.domains))
 		for _, d := range e.domains {
 			// Drain any stale wakeup left over from the previous interval's
-			// termination broadcast, then start the worker.
+			// termination broadcast.
 			select {
 			case <-d.wakeCh:
 			default:
 			}
-			d.startCh <- struct{}{}
 		}
-		e.wg.Wait()
+		e.pool.Run(len(e.domains), e.domainTask)
 	}
 	return e.maxFinish.Load()
 }

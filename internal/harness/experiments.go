@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"zsim/internal/baseline"
 	"zsim/internal/boundweave"
@@ -767,4 +768,110 @@ func minInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// ---------------------------------------------------------------------------
+// Oversubscribed client-server (Section 3.3 usage model)
+// ---------------------------------------------------------------------------
+
+// OversubResult holds the oversubscribed client-server experiment: a server
+// process with more threads than cores that blocks on request waits and
+// contends on a request-queue lock, plus a client process generating bursts
+// — the h-store/memcached-style workload the virtualization layer exists
+// for. The mid-interval scheduler's job is to keep simulated cores busy
+// while threads block, so the experiment reports scheduling activity next
+// to simulator throughput.
+type OversubResult struct {
+	Metrics *stats.Metrics
+	// HostTime is the wall-clock duration of the run.
+	HostTime time.Duration
+	// Threads and Cores describe the oversubscription (Threads > Cores).
+	Threads, Cores int
+	Intervals      uint64
+	BoundRounds    uint64
+	// MidIntervalJoins counts threads pulled onto a freed core inside an
+	// interval; ContextSwitches counts all placements.
+	MidIntervalJoins uint64
+	ContextSwitches  uint64
+	LockBlocks       uint64
+	SyscallBlocks    uint64
+}
+
+// OversubscribedClientServer runs the oversubscribed client-server workload
+// on an 8-core chip with contention modeling enabled: 16 server threads that
+// block in request waits and contend on request-queue locks, plus 4 client
+// threads, all time-multiplexed by the scheduler.
+func OversubscribedClientServer(opts Options) (*OversubResult, error) {
+	cfg := config.SmallTest()
+	cfg.NumCores = 8
+	cfg.CoreModel = config.CoreIPC1
+	cfg.Contention = true
+	cfg.WeaveDomains = 4
+
+	server := trace.DefaultParams()
+	server.AddrSpace = 1
+	server.BlocksPerThread = opts.budgetBlocks(2500)
+	server.MemFraction = 0.35
+	server.SharedWorkingSet = 4 << 20
+	server.SharedFraction = 0.3
+	// Pacing is derived from the block budget so the workload keeps its
+	// blocking-heavy shape at test scales too (full scale: every ~40 blocks
+	// a lock, every ~125 a blocking wait).
+	server.LockEvery = maxInt(server.BlocksPerThread/60, 5) // shared request queue locks
+	server.LockHoldBlocks = 2
+	server.NumLocks = 4
+	server.BlockedSyscallEvery = maxInt(server.BlocksPerThread/20, 10) // epoll/recv-style waits
+	server.BlockedSyscallCycles = 8000
+
+	client := trace.DefaultParams()
+	client.AddrSpace = 2
+	client.BlocksPerThread = opts.budgetBlocks(2000)
+	client.MemFraction = 0.2
+	client.BlockedSyscallEvery = maxInt(client.BlocksPerThread/10, 20)
+	client.BlockedSyscallCycles = 4000
+
+	serverThreads := 2 * cfg.NumCores
+	clientThreads := cfg.NumCores / 2
+
+	sys, err := boundweave.BuildSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sched := virt.NewScheduler(cfg.NumCores)
+	sched.AddWorkload(trace.New("server", server, serverThreads))
+	sched.AddWorkload(trace.New("client", client, clientThreads))
+	sim := boundweave.NewSimulator(sys, sched, boundweave.Options{HostThreads: opts.hostThreads(), Seed: 11})
+
+	start := time.Now()
+	sim.Run()
+	elapsed := time.Since(start)
+
+	m := sys.Metrics()
+	m.Workload = "client-server"
+	m.HostNanos = elapsed.Nanoseconds()
+	m.Finalize()
+	return &OversubResult{
+		Metrics:          m,
+		HostTime:         elapsed,
+		Threads:          serverThreads + clientThreads,
+		Cores:            cfg.NumCores,
+		Intervals:        sim.Intervals,
+		BoundRounds:      sim.BoundRounds,
+		MidIntervalJoins: sched.MidIntervalJoins.Load(),
+		ContextSwitches:  sched.ContextSwitches.Load(),
+		LockBlocks:       sched.LockBlocks.Load(),
+		SyscallBlocks:    sched.SyscallBlocks.Load(),
+	}, nil
+}
+
+// Format renders the experiment summary.
+func (r *OversubResult) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Oversubscribed client-server: %d software threads on %d cores\n", r.Threads, r.Cores)
+	fmt.Fprintf(&sb, "  %d instrs in %d cycles (%.1f sim-MIPS, host %v)\n",
+		r.Metrics.Instrs, r.Metrics.Cycles, r.Metrics.SimMIPS, r.HostTime.Round(time.Millisecond))
+	fmt.Fprintf(&sb, "  %d intervals, %d bound rounds, %d mid-interval joins, %d context switches\n",
+		r.Intervals, r.BoundRounds, r.MidIntervalJoins, r.ContextSwitches)
+	fmt.Fprintf(&sb, "  %d lock blocks, %d blocking syscalls\n", r.LockBlocks, r.SyscallBlocks)
+	return sb.String()
 }

@@ -274,3 +274,25 @@ func TestFigure8Small(t *testing.T) {
 		t.Fatalf("formatter broken")
 	}
 }
+
+func TestOversubscribedClientServer(t *testing.T) {
+	res, err := OversubscribedClientServer(TestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threads <= res.Cores {
+		t.Fatalf("experiment must be oversubscribed: %d threads on %d cores", res.Threads, res.Cores)
+	}
+	if res.Metrics.Instrs == 0 || res.Metrics.Cycles == 0 {
+		t.Fatalf("no work simulated: %+v", res.Metrics)
+	}
+	if res.SyscallBlocks == 0 || res.LockBlocks == 0 {
+		t.Fatalf("workload should block on syscalls and locks: %+v", res)
+	}
+	if res.MidIntervalJoins == 0 {
+		t.Fatalf("blocking threads should trigger mid-interval joins")
+	}
+	if s := res.Format(); !strings.Contains(s, "mid-interval joins") {
+		t.Fatalf("formatter output incomplete: %s", s)
+	}
+}

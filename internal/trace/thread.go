@@ -72,7 +72,7 @@ func (w *Workload) NewThread(tid int) *Thread {
 		w:        w,
 		tid:      tid,
 		rng:      newRand(p.Seed*2654435761 + uint64(tid)*0x9e3779b97f4a7c15 + 1),
-		privBase: 0x10_0000_0000 + uint64(tid)*alignUp(p.WorkingSet+4096, 1<<20),
+		privBase: 0x10_0000_0000 + p.AddrSpace<<44 + uint64(tid)*alignUp(p.WorkingSet+4096, 1<<20),
 	}
 	t.blocksLeft = parallelPerThread
 	if serialBlocks > 0 {

@@ -100,6 +100,13 @@ type Params struct {
 	// Seed makes the workload deterministic. Different threads derive
 	// per-thread seeds from it.
 	Seed uint64
+	// AddrSpace places the workload in a disjoint simulated address-space
+	// slice: code, lock words, shared data and per-thread private data are
+	// all offset by AddrSpace * 2^44 bytes. Multiprocess runs give each
+	// process a distinct value so processes do not alias each other's cache
+	// lines (the zsim facade assigns process indices automatically); 0 keeps
+	// the legacy shared layout.
+	AddrSpace uint64
 
 	// BlocksPerThread is how many dynamic basic blocks each worker thread
 	// executes before finishing (the harness may also cut simulation earlier
@@ -243,7 +250,7 @@ func New(name string, p Params, threads int) *Workload {
 		Params:     p,
 		Threads:    threads,
 		decoder:    isa.NewDecoder(),
-		sharedBase: 0x7f00_0000_0000,
+		sharedBase: 0x7f00_0000_0000 + p.AddrSpace<<44,
 	}
 	w.generateCode()
 	return w
@@ -259,7 +266,7 @@ func (w *Workload) NumStaticBlocks() int { return len(w.blocks) }
 func (w *Workload) generateCode() {
 	rng := newRand(w.Params.Seed ^ 0x9e3779b97f4a7c15)
 	p := w.Params
-	codeAddr := uint64(0x400000)
+	codeAddr := 0x400000 + p.AddrSpace<<44
 	for i := 0; i < p.StaticBlocks; i++ {
 		n := p.AvgBlockLen/2 + int(rng.next()%uint64(p.AvgBlockLen))
 		if n < 2 {

@@ -20,11 +20,31 @@
 //     cycles) and system-view virtualization (a virtualized CPUID/procfs
 //     description of the simulated machine);
 //   - per-process fast-forwarding and magic-op handling.
+//
+// # Scheduler sharding and mid-interval rescheduling
+//
+// The scheduler is sharded: lock state lives in hash-sharded tables behind
+// per-shard mutexes, barrier state behind its own mutex, the run queue
+// behind a small queue mutex, per-core run slots are plain slots touched
+// only by the (serialized) scheduling entry points, and the runnable/live
+// thread counts are atomics. The bound-weave driver never takes any of
+// these locks on its per-block hot path: bound workers record
+// synchronization operations thread-locally (Thread.Record) and the driver
+// resolves them in deterministic simulated-time order — sorted by (cycle,
+// thread ID, program order) — at mid-interval round boundaries
+// (ResolveRound). A thread that blocks on a lock or syscall therefore frees
+// its core *within* the interval, and ResolveRound immediately pulls the
+// next runnable thread onto the freed core (the paper's join/leave applied
+// inside the interval, not just at its edges). Because every scheduling
+// decision depends only on simulated state, schedules are reproducible for
+// a fixed seed regardless of GOMAXPROCS or host thread count.
 package virt
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
+	"sync/atomic"
 
 	"zsim/internal/trace"
 )
@@ -65,6 +85,34 @@ func (s ThreadState) String() string {
 	}
 }
 
+// OpKind identifies a synchronization operation recorded by a bound worker.
+type OpKind uint8
+
+// Synchronization operation kinds, in the order the trace emits them.
+const (
+	OpNone OpKind = iota
+	// OpDone marks the thread's stream as finished.
+	OpDone
+	// OpBarrier is an arrival at workload barrier ID.
+	OpBarrier
+	// OpSyscall enters a blocking system call for Arg cycles.
+	OpSyscall
+	// OpLockAcquire attempts to acquire lock ID; the thread pauses until the
+	// round's arbitration grants or blocks it.
+	OpLockAcquire
+	// OpLockRelease releases lock ID; the thread keeps executing.
+	OpLockRelease
+)
+
+// PendingOp is one synchronization operation recorded during a bound round,
+// to be resolved deterministically at the next round boundary.
+type PendingOp struct {
+	Kind  OpKind
+	ID    int    // lock or barrier identifier
+	Cycle uint64 // simulated cycle the operation occurred at
+	Arg   uint64 // extra operand (blocking-syscall duration)
+}
+
 // Thread is one simulated software thread: an instruction stream plus
 // scheduling state. Threads belong to a Process.
 type Thread struct {
@@ -84,6 +132,27 @@ type Thread struct {
 	// FastForwardBlocks is the number of blocks to skip at near-native speed
 	// before detailed simulation starts for this thread.
 	FastForwardBlocks int
+
+	// Core is the per-core run slot the thread currently occupies (-1 when
+	// not placed). It makes descheduling O(1) instead of a slot scan.
+	Core int
+
+	// queued marks run-queue membership (guarded by the scheduler's queue
+	// mutex), replacing the per-call dedup map of the old design.
+	queued bool
+
+	// pending holds the synchronization operations recorded by the bound
+	// worker driving this thread during the current round. It is written
+	// lock-free by the single worker that owns the thread and drained by
+	// ResolveRound at the round boundary.
+	pending []PendingOp
+}
+
+// Record appends a synchronization operation observed by the bound worker
+// driving this thread. It touches only thread-local state: no scheduler lock
+// is taken on the bound phase's hot path.
+func (t *Thread) Record(kind OpKind, id int, cycle, arg uint64) {
+	t.pending = append(t.pending, PendingOp{Kind: kind, ID: id, Cycle: cycle, Arg: arg})
 }
 
 // Process is a simulated OS process: a group of threads sharing a virtual
@@ -97,33 +166,67 @@ type Process struct {
 }
 
 // Scheduler is the user-level scheduler: it assigns runnable threads to
-// simulated cores each interval (round-robin, affinity-aware), tracks
-// synchronization state, and implements the blocking-syscall join/leave
-// protocol.
+// simulated cores (round-robin, affinity-aware), tracks synchronization
+// state, and implements the blocking-syscall join/leave protocol — both at
+// interval boundaries (ScheduleInterval) and inside intervals
+// (ResolveRound).
+//
+// Concurrency: the assignment entry points (ScheduleInterval, ResolveRound,
+// EndInterval) must be driver-serialized; the OnXxx handlers take the
+// fine-grained shard locks and may be called while other shards are in use,
+// but a given thread must only be operated on by one caller at a time.
 type Scheduler struct {
 	numCores int
 	procs    []*Process
 	threads  []*Thread
 
-	// runQueue holds runnable thread IDs in round-robin order.
+	// runQueue holds runnable thread IDs in round-robin order, guarded by
+	// runqMu; Thread.queued gives O(1) membership.
+	runqMu   sync.Mutex
 	runQueue []int
-	// running[i] is the thread ID running on core i, or -1.
+
+	// running[i] is the per-core run slot: the thread ID running on core i,
+	// or -1.
 	running []int
 
-	locks    map[int]*lockState
+	// lockShards hash-partition the futex table so concurrent lock
+	// operations on different locks never contend on one mutex.
+	lockShards [numLockShards]lockShard
+
+	barMu    sync.Mutex
 	barriers map[barrierKey]*barrierState
 
-	// Statistics.
-	ContextSwitches uint64
-	LockBlocks      uint64
-	BarrierWaits    uint64
-	SyscallBlocks   uint64
+	// runnable and live are atomic so the driver's idle/fast-forward checks
+	// never take a lock or rescan the thread table.
+	runnable atomic.Int64
+	live     atomic.Int64
+
+	// Reusable driver-serialized scratch.
+	ops       []pendingRef
+	freeCores []freeCore
+	// barScr is checkBarriers' reusable key scratch, guarded by barMu.
+	barScr []int
+
+	// Statistics (atomic: different shard holders update them concurrently).
+	ContextSwitches  atomic.Uint64
+	MidIntervalJoins atomic.Uint64
+	LockBlocks       atomic.Uint64
+	BarrierWaits     atomic.Uint64
+	SyscallBlocks    atomic.Uint64
+}
+
+// numLockShards is the number of lock-table shards (a power of two).
+const numLockShards = 16
+
+type lockShard struct {
+	mu sync.Mutex
+	m  map[int]*lockState
 }
 
 type lockState struct {
 	held    bool
 	holder  int
-	waiters []int // thread IDs in FIFO order
+	waiters []int // thread IDs in (deterministic) arrival order
 	// releaseCycle is the simulated cycle of the most recent release, used to
 	// time the hand-off to the next waiter.
 	releaseCycle uint64
@@ -140,6 +243,36 @@ type barrierState struct {
 	maxCycle uint64
 }
 
+// pendingRef pairs a recorded operation with its thread for global ordering.
+type pendingRef struct {
+	t   *Thread
+	op  PendingOp
+	seq int
+}
+
+// cmpPending orders operations by (cycle, thread ID, program order): the
+// deterministic arbitration order of a round.
+func cmpPending(a, b pendingRef) int {
+	switch {
+	case a.op.Cycle != b.op.Cycle:
+		if a.op.Cycle < b.op.Cycle {
+			return -1
+		}
+		return 1
+	case a.t.ID != b.t.ID:
+		return a.t.ID - b.t.ID
+	default:
+		return a.seq - b.seq
+	}
+}
+
+// freeCore is a schedulable core slot ordered by (cycle, id), so joining
+// threads land on the least-advanced core first.
+type freeCore struct {
+	cycle uint64
+	core  int
+}
+
 // NewScheduler creates a scheduler for a chip with numCores cores.
 func NewScheduler(numCores int) *Scheduler {
 	if numCores < 1 {
@@ -148,8 +281,10 @@ func NewScheduler(numCores int) *Scheduler {
 	s := &Scheduler{
 		numCores: numCores,
 		running:  make([]int, numCores),
-		locks:    make(map[int]*lockState),
 		barriers: make(map[barrierKey]*barrierState),
+	}
+	for i := range s.lockShards {
+		s.lockShards[i].m = make(map[int]*lockState)
 	}
 	for i := range s.running {
 		s.running[i] = -1
@@ -170,13 +305,16 @@ func (s *Scheduler) AddProcess(p *Process) {
 		}
 		t.ID = len(s.threads)
 		t.Proc = p.ID
+		t.Core = -1
 		s.threads = append(s.threads, t)
+		s.live.Add(1)
 		if t.FastForwardBlocks > 0 {
 			t.State = StateFastForward
 		} else {
 			t.State = StateRunnable
+			s.runnable.Add(1)
 		}
-		s.runQueue = append(s.runQueue, t.ID)
+		s.enqueue(t.ID)
 	}
 }
 
@@ -197,15 +335,40 @@ func (s *Scheduler) Thread(id int) *Thread { return s.threads[id] }
 // NumThreads returns the total number of software threads.
 func (s *Scheduler) NumThreads() int { return len(s.threads) }
 
-// LiveThreads returns the number of threads that are not Done.
-func (s *Scheduler) LiveThreads() int {
-	n := 0
-	for _, t := range s.threads {
-		if t.State != StateDone {
-			n++
-		}
+// LiveThreads returns the number of threads that are not Done (an atomic
+// snapshot; no thread-table scan).
+func (s *Scheduler) LiveThreads() int { return int(s.live.Load()) }
+
+// NumRunnable returns the number of runnable threads (atomic snapshot).
+func (s *Scheduler) NumRunnable() int { return int(s.runnable.Load()) }
+
+// setState transitions a thread's state, maintaining the runnable and live
+// counters. Callers must own the thread (one scheduling context at a time).
+func (s *Scheduler) setState(t *Thread, st ThreadState) {
+	if t.State == st {
+		return
 	}
-	return n
+	if t.State == StateRunnable {
+		s.runnable.Add(-1)
+	}
+	if st == StateRunnable {
+		s.runnable.Add(1)
+	}
+	if st == StateDone {
+		s.live.Add(-1)
+	}
+	t.State = st
+}
+
+// enqueue appends a thread to the run queue if it is not already a member.
+func (s *Scheduler) enqueue(tid int) {
+	t := s.threads[tid]
+	s.runqMu.Lock()
+	if !t.queued {
+		t.queued = true
+		s.runQueue = append(s.runQueue, tid)
+	}
+	s.runqMu.Unlock()
 }
 
 // allowedOn reports whether thread t may run on the given core.
@@ -232,66 +395,252 @@ type Assignment struct {
 // unless they blocked; free cores pull from the run queue round-robin,
 // honouring affinities. Oversubscribed threads take turns across intervals.
 func (s *Scheduler) ScheduleInterval(now uint64) []Assignment {
+	return s.ScheduleIntervalInto(now, nil)
+}
+
+// ScheduleIntervalInto is ScheduleInterval writing into a reusable buffer, so
+// the steady-state interval loop performs no allocation.
+func (s *Scheduler) ScheduleIntervalInto(now uint64, out []Assignment) []Assignment {
 	// Wake syscall-blocked and fast-forwarding threads whose time has come.
 	s.wake(now)
 
-	// Threads still marked running keep their cores.
-	var out []Assignment
-	freeCores := make([]int, 0, s.numCores)
+	// Threads still marked running keep their cores; everything else vacates
+	// its slot.
+	nFree := 0
 	for c := 0; c < s.numCores; c++ {
 		tid := s.running[c]
-		if tid >= 0 && s.threads[tid].State == StateRunning {
-			out = append(out, Assignment{Core: c, Thread: s.threads[tid]})
-		} else {
-			s.running[c] = -1
-			freeCores = append(freeCores, c)
-		}
-	}
-
-	// Fill free cores from the run queue (round-robin, affinity-aware).
-	if len(freeCores) > 0 {
-		for _, tid := range append([]int(nil), s.runQueue...) {
-			if len(freeCores) == 0 {
-				break
-			}
+		if tid >= 0 {
 			t := s.threads[tid]
-			if t.State != StateRunnable {
+			if t.State == StateRunning {
 				continue
 			}
-			for i, c := range freeCores {
-				if allowedOn(t, c) {
-					s.running[c] = tid
-					t.State = StateRunning
-					s.ContextSwitches++
-					out = append(out, Assignment{Core: c, Thread: t})
-					freeCores = append(freeCores[:i], freeCores[i+1:]...)
-					break
-				}
+			s.running[c] = -1
+			if t.Core == c {
+				t.Core = -1
 			}
 		}
+		nFree++
 	}
-	// Placed threads are now Running and are filtered out; the rest keep
-	// their queue order for the next interval.
-	s.runQueue = filterRunnable(s.runQueue, s.threads)
 
-	sort.Slice(out, func(i, j int) bool { return out[i].Core < out[j].Core })
+	// Fill free cores from the run queue (round-robin, affinity-aware,
+	// lowest-numbered allowed core first). The queue is compacted in place:
+	// placed and no-longer-runnable entries drop out, the rest keep order.
+	if nFree > 0 {
+		s.runqMu.Lock()
+		q := s.runQueue
+		w := 0
+		for _, tid := range q {
+			t := s.threads[tid]
+			if t.State != StateRunnable {
+				t.queued = false
+				continue
+			}
+			core := -1
+			if nFree > 0 {
+				for c := 0; c < s.numCores; c++ {
+					if s.running[c] < 0 && allowedOn(t, c) {
+						core = c
+						break
+					}
+				}
+			}
+			if core < 0 {
+				q[w] = tid
+				w++
+				continue
+			}
+			s.place(t, core)
+			nFree--
+		}
+		s.runQueue = q[:w]
+		s.runqMu.Unlock()
+	}
+
+	// Emit the interval's assignments in core order.
+	out = out[:0]
+	for c := 0; c < s.numCores; c++ {
+		if tid := s.running[c]; tid >= 0 && s.threads[tid].State == StateRunning {
+			out = append(out, Assignment{Core: c, Thread: s.threads[tid]})
+		}
+	}
 	return out
 }
 
-// filterRunnable drops queue entries that are no longer runnable.
-func filterRunnable(q []int, threads []*Thread) []int {
-	out := q[:0]
-	seen := make(map[int]bool, len(q))
-	for _, tid := range q {
-		if seen[tid] {
-			continue
-		}
-		seen[tid] = true
-		if threads[tid].State == StateRunnable {
-			out = append(out, tid)
+// place puts a runnable thread onto a free core slot. Callers hold runqMu.
+func (s *Scheduler) place(t *Thread, core int) {
+	s.running[core] = t.ID
+	t.Core = core
+	t.queued = false
+	s.setState(t, StateRunning)
+	s.ContextSwitches.Add(1)
+}
+
+// ResolveRound is the mid-interval scheduler: called by the bound-weave
+// driver after every round of bound execution, it (1) resolves the
+// synchronization operations the round's workers recorded, in deterministic
+// (cycle, thread, program-order) order; (2) wakes syscall-blocked threads
+// whose wake time falls inside the interval so they rejoin without waiting
+// for the next barrier; and (3) computes the next round's assignments:
+// threads that paused for lock arbitration and were granted resume on their
+// cores, and freed cores immediately pull runnable threads from the queue
+// (the join/leave scheduler applied inside the interval). coreCycle[i] is
+// core i's current clock (nil treats every core as being at now). The
+// returned slice is empty once nothing can make progress before intervalEnd.
+func (s *Scheduler) ResolveRound(ran []Assignment, now, intervalEnd uint64, coreCycle []uint64, out []Assignment) []Assignment {
+	// 1. Gather and arbitrate the round's operations deterministically.
+	s.ops = s.ops[:0]
+	for _, a := range ran {
+		for i := range a.Thread.pending {
+			s.ops = append(s.ops, pendingRef{t: a.Thread, op: a.Thread.pending[i], seq: i})
 		}
 	}
+	slices.SortFunc(s.ops, cmpPending)
+	for _, r := range s.ops {
+		t, op := r.t, r.op
+		switch op.Kind {
+		case OpDone:
+			s.OnDone(t, op.Cycle)
+		case OpBarrier:
+			s.OnBarrier(t, op.ID, op.Cycle)
+		case OpSyscall:
+			s.OnBlockedSyscall(t, op.Cycle, op.Arg)
+		case OpLockAcquire:
+			// Granted acquires leave the thread Running on its core, so it
+			// resumes below; contended ones block it and free the core.
+			s.OnLockAcquire(t, op.ID, op.Cycle)
+		case OpLockRelease:
+			s.OnLockRelease(t, op.ID, op.Cycle)
+		}
+	}
+	for _, a := range ran {
+		a.Thread.pending = a.Thread.pending[:0]
+	}
+
+	// 2. Mid-interval syscall joins: wake threads whose syscall completes
+	// inside this interval; they become placeable immediately.
+	for _, t := range s.threads {
+		if t.State == StateBlockedSyscall && t.WakeCycle < intervalEnd {
+			s.setState(t, StateRunnable)
+			if t.Cycle < t.WakeCycle {
+				t.Cycle = t.WakeCycle
+			}
+			s.enqueue(t.ID)
+		}
+	}
+
+	// 3a. Threads still running with time left resume on their cores
+	// (granted lock acquires). Threads that reached intervalEnd keep their
+	// slot but are not re-run.
+	out = out[:0]
+	for c := 0; c < s.numCores; c++ {
+		if tid := s.running[c]; tid >= 0 {
+			t := s.threads[tid]
+			if t.State == StateRunning && t.Cycle < intervalEnd {
+				out = append(out, Assignment{Core: c, Thread: t})
+			}
+		}
+	}
+
+	// 3b. Freed cores that can still execute part of the interval pull
+	// runnable threads, least-advanced core first.
+	s.freeCores = s.freeCores[:0]
+	for c := 0; c < s.numCores; c++ {
+		if s.running[c] >= 0 {
+			continue
+		}
+		cyc := now
+		if coreCycle != nil && coreCycle[c] > cyc {
+			cyc = coreCycle[c]
+		}
+		if cyc >= intervalEnd {
+			continue
+		}
+		// Insertion keeps (cycle, id) order; the list is small.
+		i := len(s.freeCores)
+		s.freeCores = append(s.freeCores, freeCore{cycle: cyc, core: c})
+		for i > 0 && s.freeCores[i-1].cycle > cyc {
+			s.freeCores[i-1], s.freeCores[i] = s.freeCores[i], s.freeCores[i-1]
+			i--
+		}
+	}
+	if len(s.freeCores) > 0 {
+		s.runqMu.Lock()
+		q := s.runQueue
+		w := 0
+		for _, tid := range q {
+			t := s.threads[tid]
+			if t.State != StateRunnable {
+				t.queued = false
+				continue
+			}
+			if len(s.freeCores) == 0 || t.Cycle >= intervalEnd {
+				q[w] = tid
+				w++
+				continue
+			}
+			placed := false
+			for i, fc := range s.freeCores {
+				if !allowedOn(t, fc.core) {
+					continue
+				}
+				start := fc.cycle
+				if t.Cycle > start {
+					start = t.Cycle
+				}
+				if start >= intervalEnd {
+					continue
+				}
+				s.place(t, fc.core)
+				s.MidIntervalJoins.Add(1)
+				out = append(out, Assignment{Core: fc.core, Thread: t})
+				s.freeCores = append(s.freeCores[:i], s.freeCores[i+1:]...)
+				placed = true
+				break
+			}
+			if !placed {
+				q[w] = tid
+				w++
+			}
+		}
+		s.runQueue = q[:w]
+		s.runqMu.Unlock()
+	}
 	return out
+}
+
+// EndInterval applies end-of-interval time multiplexing: when there are more
+// live software threads than cores, threads that completed the interval are
+// descheduled (back of the run queue) so waiting threads get cores next
+// interval.
+func (s *Scheduler) EndInterval(now uint64) {
+	if s.live.Load() <= int64(s.numCores) {
+		return
+	}
+	for c := 0; c < s.numCores; c++ {
+		tid := s.running[c]
+		if tid < 0 {
+			continue
+		}
+		if t := s.threads[tid]; t.State == StateRunning {
+			// t.Cycle is where the thread's last block actually ended — it
+			// may overshoot the interval end, and that overshoot must be
+			// kept or the cycles would be simulated again next placement.
+			s.Deschedule(t, t.Cycle)
+		}
+	}
+}
+
+// NextSyscallWake returns the earliest wake cycle over all syscall-blocked
+// threads, or ok=false when no thread is blocked in a syscall. The driver
+// uses it to fast-forward idle intervals directly to the next join instead
+// of stepping empty intervals one by one.
+func (s *Scheduler) NextSyscallWake() (cycle uint64, ok bool) {
+	for _, t := range s.threads {
+		if t.State == StateBlockedSyscall && (!ok || t.WakeCycle < cycle) {
+			cycle, ok = t.WakeCycle, true
+		}
+	}
+	return cycle, ok
 }
 
 // wake transitions syscall-blocked threads whose wake time has passed and
@@ -301,11 +650,11 @@ func (s *Scheduler) wake(now uint64) {
 		switch t.State {
 		case StateBlockedSyscall:
 			if t.WakeCycle <= now {
-				t.State = StateRunnable
+				s.setState(t, StateRunnable)
 				if t.Cycle < t.WakeCycle {
 					t.Cycle = t.WakeCycle
 				}
-				s.runQueue = append(s.runQueue, t.ID)
+				s.enqueue(t.ID)
 			}
 		case StateFastForward:
 			// Fast-forwarding threads skip their warmup blocks at near-native
@@ -314,13 +663,13 @@ func (s *Scheduler) wake(now uint64) {
 				b := t.Stream.NextBlock()
 				t.FastForwardBlocks--
 				if b.Sync == trace.SyncDone {
-					t.State = StateDone
+					s.setState(t, StateDone)
 					break
 				}
 			}
 			if t.State != StateDone {
-				t.State = StateRunnable
-				s.runQueue = append(s.runQueue, t.ID)
+				s.setState(t, StateRunnable)
+				s.enqueue(t.ID)
 			}
 		}
 	}
@@ -332,32 +681,48 @@ func (s *Scheduler) wake(now uint64) {
 func (s *Scheduler) Deschedule(t *Thread, now uint64) {
 	t.Cycle = now
 	if t.State == StateRunning {
-		t.State = StateRunnable
-		s.runQueue = append(s.runQueue, t.ID)
+		s.setState(t, StateRunnable)
+		s.enqueue(t.ID)
 	}
-	s.clearCore(t.ID)
+	s.clearCore(t)
 }
 
-func (s *Scheduler) clearCore(tid int) {
-	for c, id := range s.running {
-		if id == tid {
-			s.running[c] = -1
-		}
+// clearCore vacates the thread's run slot (O(1) via Thread.Core).
+func (s *Scheduler) clearCore(t *Thread) {
+	if t.Core >= 0 && t.Core < len(s.running) && s.running[t.Core] == t.ID {
+		s.running[t.Core] = -1
 	}
+	t.Core = -1
+}
+
+// shard returns the lock shard owning lockID.
+func (s *Scheduler) shard(lockID int) *lockShard {
+	return &s.lockShards[uint(lockID)%numLockShards]
 }
 
 // OnDone marks a thread as finished.
 func (s *Scheduler) OnDone(t *Thread, now uint64) {
 	t.Cycle = now
-	t.State = StateDone
-	s.clearCore(t.ID)
+	s.setState(t, StateDone)
+	s.clearCore(t)
 	// A finishing thread behaves like a lock holder that never returns;
 	// release anything it held (defensive: well-formed workloads release
-	// before finishing).
-	for id, l := range s.locks {
-		if l.held && l.holder == t.ID {
-			s.releaseLock(id, now)
+	// before finishing). Held locks are collected and released in ascending
+	// ID order — map iteration order must not leak into the schedule.
+	var held []int
+	for i := range s.lockShards {
+		sh := &s.lockShards[i]
+		sh.mu.Lock()
+		for id, l := range sh.m {
+			if l.held && l.holder == t.ID {
+				held = append(held, id)
+			}
 		}
+		sh.mu.Unlock()
+	}
+	slices.Sort(held)
+	for _, id := range held {
+		s.releaseLock(id, now)
 	}
 	// Barriers it participated in must not wait for it.
 	s.checkBarriers(now)
@@ -367,57 +732,77 @@ func (s *Scheduler) OnDone(t *Thread, now uint64) {
 // cycle. It returns true if the lock was acquired; otherwise the thread is
 // blocked (futex-style) and will be made runnable when the lock is released.
 func (s *Scheduler) OnLockAcquire(t *Thread, lockID int, now uint64) bool {
-	l := s.locks[lockID]
+	sh := s.shard(lockID)
+	sh.mu.Lock()
+	l := sh.m[lockID]
 	if l == nil {
 		l = &lockState{}
-		s.locks[lockID] = l
+		sh.m[lockID] = l
 	}
 	if !l.held {
 		l.held = true
 		l.holder = t.ID
+		sh.mu.Unlock()
 		return true
 	}
 	l.waiters = append(l.waiters, t.ID)
-	t.State = StateBlockedLock
+	sh.mu.Unlock()
+	s.LockBlocks.Add(1)
+	s.setState(t, StateBlockedLock)
 	t.WaitLock = lockID
 	t.Cycle = now
-	s.LockBlocks++
-	s.clearCore(t.ID)
+	s.clearCore(t)
 	return false
 }
 
 // OnLockRelease releases the lock at the given cycle, waking the oldest
 // waiter (which inherits the release cycle if it is later than its own).
 func (s *Scheduler) OnLockRelease(t *Thread, lockID int, now uint64) {
-	l := s.locks[lockID]
+	sh := s.shard(lockID)
+	sh.mu.Lock()
+	l := sh.m[lockID]
 	if l == nil || !l.held || l.holder != t.ID {
+		sh.mu.Unlock()
 		return // tolerate spurious releases
 	}
+	sh.mu.Unlock()
 	s.releaseLock(lockID, now)
 }
 
 func (s *Scheduler) releaseLock(lockID int, now uint64) {
-	l := s.locks[lockID]
+	sh := s.shard(lockID)
+	sh.mu.Lock()
+	l := sh.m[lockID]
 	l.held = false
 	l.releaseCycle = now
-	if len(l.waiters) == 0 {
+	next := -1
+	if len(l.waiters) > 0 {
+		next = l.waiters[0]
+		// Compact in place so the slice keeps its capacity (popping via
+		// waiters[1:] would leak capacity and re-allocate forever).
+		copy(l.waiters, l.waiters[1:])
+		l.waiters = l.waiters[:len(l.waiters)-1]
+		l.held = true
+		l.holder = next
+	}
+	sh.mu.Unlock()
+	if next < 0 {
 		return
 	}
-	next := l.waiters[0]
-	l.waiters = l.waiters[1:]
 	nt := s.threads[next]
-	l.held = true
-	l.holder = next
-	nt.State = StateRunnable
+	s.setState(nt, StateRunnable)
 	if nt.Cycle < now {
 		nt.Cycle = now
 	}
-	s.runQueue = append(s.runQueue, next)
+	s.enqueue(next)
 }
 
 // HoldsLock reports whether the thread currently holds the lock (test helper).
 func (s *Scheduler) HoldsLock(t *Thread, lockID int) bool {
-	l := s.locks[lockID]
+	sh := s.shard(lockID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	l := sh.m[lockID]
 	return l != nil && l.held && l.holder == t.ID
 }
 
@@ -427,6 +812,7 @@ func (s *Scheduler) HoldsLock(t *Thread, lockID int) bool {
 func (s *Scheduler) OnBarrier(t *Thread, barrierID int, now uint64) {
 	key := barrierKey{proc: t.Proc, id: 0} // arrival-matched: any barrier id pairs up
 	_ = barrierID
+	s.barMu.Lock()
 	b := s.barriers[key]
 	if b == nil {
 		b = &barrierState{}
@@ -436,20 +822,33 @@ func (s *Scheduler) OnBarrier(t *Thread, barrierID int, now uint64) {
 	if now > b.maxCycle {
 		b.maxCycle = now
 	}
-	t.State = StateBlockedBarrier
+	s.barMu.Unlock()
+	s.setState(t, StateBlockedBarrier)
 	t.Cycle = now
-	s.BarrierWaits++
-	s.clearCore(t.ID)
+	s.BarrierWaits.Add(1)
+	s.clearCore(t)
 	s.checkBarriers(now)
 }
 
 // checkBarriers releases any barrier at which every live thread of the
-// process has arrived.
+// process has arrived. Barriers are visited in ascending process order so
+// the release order (and thus the run queue) is deterministic.
 func (s *Scheduler) checkBarriers(now uint64) {
-	for key, b := range s.barriers {
+	s.barMu.Lock()
+	keys := s.barScr[:0]
+	for key := range s.barriers {
+		keys = append(keys, key.proc)
+	}
+	slices.Sort(keys)
+	for _, proc := range keys {
+		key := barrierKey{proc: proc, id: 0}
+		b := s.barriers[key]
+		if b == nil {
+			continue
+		}
 		live := 0
 		for _, t := range s.threads {
-			if t.Proc == key.proc && t.State != StateDone {
+			if t.Proc == proc && t.State != StateDone {
 				live++
 			}
 		}
@@ -461,23 +860,25 @@ func (s *Scheduler) checkBarriers(now uint64) {
 			if t.State != StateBlockedBarrier {
 				continue
 			}
-			t.State = StateRunnable
+			s.setState(t, StateRunnable)
 			if t.Cycle < b.maxCycle {
 				t.Cycle = b.maxCycle
 			}
-			s.runQueue = append(s.runQueue, tid)
+			s.enqueue(tid)
 		}
 		delete(s.barriers, key)
 	}
+	s.barScr = keys[:0]
+	s.barMu.Unlock()
 }
 
 // OnBlockedSyscall marks the thread as blocked in the kernel for the given
 // number of cycles; it leaves the interval barrier and rejoins when the
 // syscall completes.
 func (s *Scheduler) OnBlockedSyscall(t *Thread, now, durationCycles uint64) {
-	t.State = StateBlockedSyscall
+	s.setState(t, StateBlockedSyscall)
 	t.Cycle = now
 	t.WakeCycle = now + durationCycles
-	s.SyscallBlocks++
-	s.clearCore(t.ID)
+	s.SyscallBlocks.Add(1)
+	s.clearCore(t)
 }

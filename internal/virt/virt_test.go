@@ -81,7 +81,7 @@ func TestSchedulerOversubscription(t *testing.T) {
 	if len(ran) != 8 {
 		t.Fatalf("all 8 threads should have run, got %d: %v", len(ran), ran)
 	}
-	if s.ContextSwitches == 0 {
+	if s.ContextSwitches.Load() == 0 {
 		t.Fatalf("context switches should be counted")
 	}
 }
@@ -131,7 +131,7 @@ func TestLockBlockingAndHandoff(t *testing.T) {
 	if t1.State != StateBlockedLock {
 		t.Fatalf("blocked thread state wrong: %v", t1.State)
 	}
-	if s.LockBlocks != 1 {
+	if s.LockBlocks.Load() != 1 {
 		t.Fatalf("lock block should be counted")
 	}
 
@@ -184,7 +184,7 @@ func TestBarrierReleasesWhenAllArrive(t *testing.T) {
 			t.Fatalf("released thread should sync to the latest arrival, got %d", th.Cycle)
 		}
 	}
-	if s.BarrierWaits != 3 {
+	if s.BarrierWaits.Load() != 3 {
 		t.Fatalf("barrier waits should be counted")
 	}
 }
@@ -251,7 +251,7 @@ func TestBlockedSyscallJoinLeave(t *testing.T) {
 	if t0.Cycle < 6000 {
 		t.Fatalf("woken thread's clock should reflect the blocked time, got %d", t0.Cycle)
 	}
-	if s.SyscallBlocks != 1 {
+	if s.SyscallBlocks.Load() != 1 {
 		t.Fatalf("syscall blocks should be counted")
 	}
 }
@@ -366,5 +366,227 @@ func TestMagicOps(t *testing.T) {
 	}
 	if MagicOp(77).String() != "magic(77)" {
 		t.Fatalf("unknown magic fallback broken")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Mid-interval scheduler (ResolveRound) tests
+// ---------------------------------------------------------------------------
+
+func TestResolveRoundGrantsFreeLockAndResumes(t *testing.T) {
+	s := NewScheduler(2)
+	s.AddWorkload(testWorkload(2, 10))
+	asg := s.ScheduleInterval(0)
+	if len(asg) != 2 {
+		t.Fatalf("both threads should be scheduled, got %d", len(asg))
+	}
+	t0 := asg[0].Thread
+	t0.Cycle = 150
+	t0.Record(OpLockAcquire, 5, 150, 0)
+	next := s.ResolveRound(asg, 0, 1000, nil, nil)
+	if !s.HoldsLock(t0, 5) {
+		t.Fatalf("uncontended acquire should be granted at the round boundary")
+	}
+	found := false
+	for _, a := range next {
+		if a.Thread.ID == t0.ID {
+			found = true
+			if a.Core != asg[0].Core {
+				t.Fatalf("granted thread should resume on its own core")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("granted thread should be re-assigned within the interval")
+	}
+	if len(t0.pending) != 0 {
+		t.Fatalf("pending ops should be drained by ResolveRound")
+	}
+}
+
+func TestResolveRoundArbitratesBySimulatedCycle(t *testing.T) {
+	// Two threads race for one lock. The thread with the earlier simulated
+	// cycle must win, regardless of the order the workers recorded the ops
+	// (which in a real run depends on host scheduling).
+	s := NewScheduler(2)
+	s.AddWorkload(testWorkload(2, 10))
+	asg := s.ScheduleInterval(0)
+	tA, tB := s.Thread(0), s.Thread(1)
+	tA.Cycle = 200
+	tA.Record(OpLockAcquire, 9, 200, 0)
+	tB.Cycle = 100
+	tB.Record(OpLockAcquire, 9, 100, 0)
+	s.ResolveRound(asg, 0, 1000, nil, nil)
+	if !s.HoldsLock(tB, 9) {
+		t.Fatalf("the earlier acquire (cycle 100) should win the lock")
+	}
+	if tA.State != StateBlockedLock {
+		t.Fatalf("the later acquire should block, got %v", tA.State)
+	}
+}
+
+func TestResolveRoundMidIntervalLockHandoff(t *testing.T) {
+	// The holder releases mid-interval: the blocked waiter rejoins within the
+	// same interval on the freed core instead of waiting for the next one.
+	s := NewScheduler(2)
+	s.AddWorkload(testWorkload(2, 10))
+	asg := s.ScheduleInterval(0)
+	t0, t1 := s.Thread(0), s.Thread(1)
+
+	t0.Cycle = 10
+	t0.Record(OpLockAcquire, 1, 10, 0)
+	t1.Cycle = 20
+	t1.Record(OpLockAcquire, 1, 20, 0)
+	round1 := s.ResolveRound(asg, 0, 1000, nil, nil)
+	if !s.HoldsLock(t0, 1) || t1.State != StateBlockedLock {
+		t.Fatalf("t0 should hold the lock, t1 should block")
+	}
+	if len(round1) != 1 || round1[0].Thread.ID != t0.ID {
+		t.Fatalf("only the holder should run the next round, got %+v", round1)
+	}
+
+	// t0 releases at cycle 500 and runs to the interval end.
+	t0.Record(OpLockRelease, 1, 500, 0)
+	t0.Cycle = 1000
+	round2 := s.ResolveRound(round1, 0, 1000, nil, nil)
+	if !s.HoldsLock(t1, 1) {
+		t.Fatalf("waiter should inherit the lock at the release")
+	}
+	if t1.Cycle != 500 {
+		t.Fatalf("woken waiter should inherit the release cycle, got %d", t1.Cycle)
+	}
+	if len(round2) != 1 || round2[0].Thread.ID != t1.ID {
+		t.Fatalf("woken waiter should rejoin within the interval, got %+v", round2)
+	}
+	if s.MidIntervalJoins.Load() == 0 {
+		t.Fatalf("mid-interval join should be counted")
+	}
+}
+
+func TestResolveRoundSyscallLeaveAndJoin(t *testing.T) {
+	// One core, two threads: the running thread blocks in a syscall and the
+	// waiting thread takes the core immediately; when the syscall completes
+	// inside the interval, the first thread rejoins.
+	s := NewScheduler(1)
+	s.AddWorkload(testWorkload(2, 10))
+	asg := s.ScheduleInterval(0)
+	if len(asg) != 1 {
+		t.Fatalf("one core fits one thread")
+	}
+	t0, t1 := s.Thread(0), s.Thread(1)
+
+	t0.Cycle = 100
+	t0.Record(OpSyscall, 0, 100, 300)
+	round1 := s.ResolveRound(asg, 0, 1000, nil, nil)
+	// The wake (cycle 400) falls inside the interval, so t0 is already
+	// runnable again — but queued behind t1, which takes the core first.
+	if t0.State != StateRunnable || t0.WakeCycle != 400 {
+		t.Fatalf("t0 should be woken for a mid-interval rejoin, got %v at %d", t0.State, t0.WakeCycle)
+	}
+	if len(round1) != 1 || round1[0].Thread.ID != t1.ID || round1[0].Core != 0 {
+		t.Fatalf("waiting thread should take the freed core mid-interval, got %+v", round1)
+	}
+
+	// t1 blocks too; t0's syscall has completed by then, so it rejoins.
+	t1.Cycle = 450
+	t1.Record(OpSyscall, 0, 450, 5000)
+	round2 := s.ResolveRound(round1, 0, 1000, nil, nil)
+	if len(round2) != 1 || round2[0].Thread.ID != t0.ID {
+		t.Fatalf("t0 should rejoin after its syscall completes, got %+v", round2)
+	}
+	if t0.Cycle != 400 {
+		t.Fatalf("rejoining thread's clock should reflect the wake cycle, got %d", t0.Cycle)
+	}
+	if s.SyscallBlocks.Load() != 2 {
+		t.Fatalf("both syscalls should be counted, got %d", s.SyscallBlocks.Load())
+	}
+}
+
+func TestResolveRoundHonoursAffinityOnFreedCores(t *testing.T) {
+	s := NewScheduler(2)
+	w := testWorkload(3, 10)
+	p := &Process{ID: 0}
+	p.Threads = append(p.Threads,
+		&Thread{Stream: w.NewThread(0)},
+		&Thread{Stream: w.NewThread(1)},
+		&Thread{Stream: w.NewThread(2), Affinity: []int{0}})
+	s.AddProcess(p)
+	asg := s.ScheduleInterval(0)
+	if len(asg) != 2 {
+		t.Fatalf("two cores fit two threads")
+	}
+	// Core 1's thread blocks; the pinned thread may not take core 1.
+	t1 := s.Thread(1)
+	t1.Cycle = 50
+	t1.Record(OpSyscall, 0, 50, 100000)
+	next := s.ResolveRound(asg, 0, 1000, nil, nil)
+	for _, a := range next {
+		if a.Thread.ID == 2 {
+			t.Fatalf("pinned thread must not be placed on core 1")
+		}
+	}
+	if s.Thread(2).State != StateRunnable {
+		t.Fatalf("pinned thread should stay runnable in the queue")
+	}
+}
+
+func TestResolveRoundRespectsIntervalEnd(t *testing.T) {
+	s := NewScheduler(1)
+	s.AddWorkload(testWorkload(2, 10))
+	asg := s.ScheduleInterval(0)
+	t0 := s.Thread(0)
+	t0.Cycle = 990
+	t0.Record(OpSyscall, 0, 990, 100000)
+	// The core's clock has passed the interval end: no join is possible.
+	next := s.ResolveRound(asg, 0, 1000, []uint64{1100}, nil)
+	if len(next) != 0 {
+		t.Fatalf("no thread can run before the interval ends, got %+v", next)
+	}
+	if s.Thread(1).State != StateRunnable {
+		t.Fatalf("unplaced thread should stay runnable for the next interval")
+	}
+}
+
+func TestEndIntervalTimeMultiplexes(t *testing.T) {
+	s := NewScheduler(2)
+	s.AddWorkload(testWorkload(4, 10))
+	asg := s.ScheduleInterval(0)
+	for _, a := range asg {
+		a.Thread.Cycle = 1000
+	}
+	s.EndInterval(1000)
+	for _, a := range asg {
+		if a.Thread.State != StateRunnable {
+			t.Fatalf("oversubscribed threads should be descheduled at the interval end")
+		}
+	}
+	asg2 := s.ScheduleInterval(1000)
+	for _, a := range asg2 {
+		if a.Thread.ID != 2 && a.Thread.ID != 3 {
+			t.Fatalf("waiting threads should get the cores next interval, got thread %d", a.Thread.ID)
+		}
+	}
+}
+
+func TestRunnableAndLiveCounts(t *testing.T) {
+	s := NewScheduler(2)
+	s.AddWorkload(testWorkload(3, 10))
+	if s.NumRunnable() != 3 || s.LiveThreads() != 3 {
+		t.Fatalf("counts: runnable=%d live=%d", s.NumRunnable(), s.LiveThreads())
+	}
+	asg := s.ScheduleInterval(0)
+	if s.NumRunnable() != 1 {
+		t.Fatalf("two placed threads leave one runnable, got %d", s.NumRunnable())
+	}
+	s.OnDone(asg[0].Thread, 100)
+	if s.LiveThreads() != 2 {
+		t.Fatalf("done thread should leave the live count, got %d", s.LiveThreads())
+	}
+	if _, ok := s.NextSyscallWake(); ok {
+		t.Fatalf("no syscall-blocked threads yet")
+	}
+	s.OnBlockedSyscall(asg[1].Thread, 200, 500)
+	if wake, ok := s.NextSyscallWake(); !ok || wake != 700 {
+		t.Fatalf("next wake should be 700, got %d/%v", wake, ok)
 	}
 }

@@ -102,7 +102,28 @@ type Simulator struct {
 	seed        uint64
 
 	workloads int
+	usedAddr  map[uint64]bool
 	ran       bool
+}
+
+// assignAddrSpace places a new process in its own simulated address-space
+// slice so multiprocess runs do not alias each other's code, lock words or
+// data lines. Explicit AddrSpace values are respected; auto-assignment picks
+// the smallest slice not already taken (the first process keeps the legacy
+// layout 0).
+func (s *Simulator) assignAddrSpace(params *WorkloadParams) {
+	if s.usedAddr == nil {
+		s.usedAddr = make(map[uint64]bool)
+	}
+	if params.AddrSpace == 0 && s.workloads > 0 {
+		for next := uint64(1); ; next++ {
+			if !s.usedAddr[next] {
+				params.AddrSpace = next
+				break
+			}
+		}
+	}
+	s.usedAddr[params.AddrSpace] = true
 }
 
 // New builds a simulator for the given configuration.
@@ -135,6 +156,7 @@ func (s *Simulator) SetSeed(seed uint64) { s.seed = seed }
 // cores; the round-robin scheduler time-multiplexes them). It returns the
 // process ID.
 func (s *Simulator) AddWorkload(name string, params WorkloadParams, threads int) int {
+	s.assignAddrSpace(&params)
 	w := trace.New(name, params, threads)
 	p := s.sched.AddWorkload(w)
 	s.workloads++
@@ -155,6 +177,7 @@ func (s *Simulator) AddNamedWorkload(name string, threads int) (int, error) {
 // cores (the "groups of cores per application" usage model the paper
 // describes for multiprogrammed runs).
 func (s *Simulator) AddPinnedWorkload(name string, params WorkloadParams, threads int, cores []int) int {
+	s.assignAddrSpace(&params)
 	w := trace.New(name, params, threads)
 	p := &virt.Process{ID: s.workloads, Name: name, Affinity: cores}
 	for i := 0; i < threads; i++ {
@@ -165,17 +188,41 @@ func (s *Simulator) AddPinnedWorkload(name string, params WorkloadParams, thread
 	return p.ID
 }
 
+// SchedStats summarizes the virtualization layer's scheduling activity
+// during a run.
+type SchedStats struct {
+	// ContextSwitches counts thread-to-core placements.
+	ContextSwitches uint64
+	// MidIntervalJoins counts threads pulled onto a core inside an interval
+	// (after another thread blocked on a lock or syscall) instead of waiting
+	// for the next interval barrier.
+	MidIntervalJoins uint64
+	// LockBlocks, BarrierWaits and SyscallBlocks count the synchronization
+	// events resolved against simulated time.
+	LockBlocks    uint64
+	BarrierWaits  uint64
+	SyscallBlocks uint64
+}
+
 // Result is the outcome of a simulation run.
 type Result struct {
 	// Metrics holds the aggregate performance metrics of the run.
 	Metrics *Metrics
 	// Intervals is the number of bound-weave intervals executed.
 	Intervals uint64
+	// BoundRounds is the number of bound-phase rounds executed; rounds beyond
+	// one per interval are mid-interval rescheduling points.
+	BoundRounds uint64
 	// HostTime is the wall-clock time the simulation took.
 	HostTime time.Duration
 	// WeaveEvents is the number of weave-phase events simulated (0 when the
 	// configuration disables contention).
 	WeaveEvents uint64
+	// Sched reports the scheduling activity of the virtualization layer.
+	Sched SchedStats
+	// Stalled reports that the run stopped because the workload deadlocked
+	// (no thread runnable and none wakeable by simulated time).
+	Stalled bool
 }
 
 // Summary returns a one-paragraph human-readable summary of the run.
@@ -216,8 +263,17 @@ func (s *Simulator) Run() (*Result, error) {
 	return &Result{
 		Metrics:     m,
 		Intervals:   sim.Intervals,
+		BoundRounds: sim.BoundRounds,
 		HostTime:    elapsed,
 		WeaveEvents: sim.WeaveEvents,
+		Sched: SchedStats{
+			ContextSwitches:  s.sched.ContextSwitches.Load(),
+			MidIntervalJoins: s.sched.MidIntervalJoins.Load(),
+			LockBlocks:       s.sched.LockBlocks.Load(),
+			BarrierWaits:     s.sched.BarrierWaits.Load(),
+			SyscallBlocks:    s.sched.SyscallBlocks.Load(),
+		},
+		Stalled: sim.Stalled,
 	}, nil
 }
 
