@@ -288,6 +288,25 @@ func BenchmarkGoldenReference(b *testing.B) {
 	}
 }
 
+// BenchmarkConstruct1024 measures construction cost only: building the
+// 1,024-core tiled chip (Table 3), its scheduler and one 1,024-thread
+// workload, plus the bound-weave simulator state (recorders, event slabs,
+// weave engine, worker pool) — without simulating a single cycle. This is
+// the path the arena-backed constructors exist for; run with -benchmem and
+// compare against BENCH_2.json to catch construction-cost regressions.
+func BenchmarkConstruct1024(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := config.TiledChip(64, config.CoreIPC1)
+		sim, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.AddWorkload("construct", trace.DefaultParams(), cfg.NumCores)
+		sim.buildSim().Close()
+	}
+}
+
 // BenchmarkOversubscribedClientServer measures the Section 3.3 usage model
 // the mid-interval scheduler exists for: an oversubscribed client-server
 // workload (20 software threads on 8 cores) whose server threads block in

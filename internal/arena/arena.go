@@ -1,0 +1,135 @@
+// Package arena provides the slab allocator that backs simulator
+// construction. Building a large simulated chip (1,024 cores, thousands of
+// caches, predictors and statistics counters) naturally decomposes into
+// millions of small, identically-typed, never-freed allocations; the arena
+// turns each type's stream of small allocations into a handful of large
+// chunk allocations. One Arena is created per simulated system (it hangs off
+// the root stats.Registry) and feeds cache sets, stripe state, predictor
+// tables, statistics counters and weave-event slabs.
+//
+// Objects taken from an arena are never returned individually: the arena
+// lives exactly as long as the simulator it built, which is the same
+// lifetime the individual allocations had. Memory handed out is always
+// zeroed (chunks come fresh from the Go allocator and are carved linearly),
+// so zero-value-initialized structures — biased branch-predictor counters,
+// Invalid cache lines, statistics counters — need no separate init pass.
+//
+// All entry points accept a nil *Arena and fall back to plain make, so
+// components remain constructible in isolation (tests, examples) without
+// threading an arena through every call site.
+package arena
+
+import (
+	"reflect"
+	"sync"
+	"unsafe"
+)
+
+// Chunk sizing: each type's pool starts with a small chunk and doubles up to
+// the cap, so small systems (a 4-core test chip touches ~20 element types)
+// pay kilobytes of slack per type while 1,024-core chips still amortize into
+// a handful of large chunks. Takes bigger than the cap get a dedicated
+// exactly-sized chunk.
+const (
+	minChunkBytes = 2 << 10
+	maxChunkBytes = 256 << 10
+)
+
+// Arena is a grow-only, type-segregated slab allocator. It is safe for
+// concurrent use (construction is mostly single-threaded, but lazily
+// allocated cache sets take from the arena during the parallel bound phase).
+type Arena struct {
+	mu    sync.Mutex
+	pools map[reflect.Type]any
+
+	chunks int
+	bytes  uint64
+}
+
+// New creates an empty arena.
+func New() *Arena {
+	return &Arena{pools: make(map[reflect.Type]any)}
+}
+
+// Stats reports the number of chunk allocations performed and the total bytes
+// reserved so far (diagnostics for construction benchmarks).
+func (a *Arena) Stats() (chunks int, bytes uint64) {
+	if a == nil {
+		return 0, 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.chunks, a.bytes
+}
+
+// pool is the per-type chunk state: the tail of the current chunk and the
+// size the next chunk will have (geometric growth).
+type pool[T any] struct {
+	buf       []T
+	nextBytes int
+}
+
+// Take returns a zeroed slice of n Ts with len == cap == n, carved from the
+// arena's current chunk for T (allocating a new chunk when it runs out). A
+// nil arena falls back to make([]T, n).
+func Take[T any](a *Arena, n int) []T {
+	return TakeCap[T](a, n, n)
+}
+
+// TakeCap returns a zeroed slice of type []T with the given length and
+// capacity, carved from the arena. Appending beyond cap spills to the regular
+// heap (a correct, rare slow path for growable slices whose typical size is
+// known). A nil arena falls back to make([]T, n, c).
+func TakeCap[T any](a *Arena, n, c int) []T {
+	if c < n {
+		c = n
+	}
+	if a == nil {
+		if c == 0 {
+			return nil
+		}
+		return make([]T, n, c)
+	}
+	if c == 0 {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	key := reflect.TypeOf((*T)(nil))
+	p, ok := a.pools[key].(*pool[T])
+	if !ok {
+		p = &pool[T]{}
+		a.pools[key] = p
+	}
+	if len(p.buf) < c {
+		var zero T
+		size := int(unsafe.Sizeof(zero))
+		if p.nextBytes < minChunkBytes {
+			p.nextBytes = minChunkBytes
+		}
+		elems := c
+		if size > 0 {
+			if per := p.nextBytes / size; per > elems {
+				elems = per
+			}
+		}
+		if p.nextBytes < maxChunkBytes {
+			p.nextBytes *= 2
+		}
+		p.buf = make([]T, elems)
+		a.chunks++
+		a.bytes += uint64(elems * size)
+	}
+	s := p.buf[:c:c]
+	p.buf = p.buf[c:]
+	return s[:n]
+}
+
+// One returns a pointer to a zeroed T carved from the arena (or heap-allocated
+// for a nil arena).
+func One[T any](a *Arena) *T {
+	if a == nil {
+		return new(T)
+	}
+	return &Take[T](a, 1)[0]
+}

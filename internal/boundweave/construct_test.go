@@ -1,0 +1,62 @@
+package boundweave
+
+// Construction-cost regression tests: building a chip must stay a handful of
+// large (arena-chunk) allocations per component, not a storm of small ones.
+// BenchmarkConstruct1024 at the repo root tracks absolute cost; these bounds
+// catch silent regressions in go test.
+
+import (
+	"testing"
+
+	"zsim/internal/config"
+	"zsim/internal/trace"
+	"zsim/internal/virt"
+)
+
+// TestConstructionAllocsBounded builds the 1,024-core contended tiled chip —
+// system, scheduler, workload and bound-weave simulator — and bounds the
+// heap allocations per simulated core. Before arena-backed construction this
+// path performed ~72 allocations per core (counters, predictor tables, cache
+// set tables, registry nodes, name strings, event slabs); the arena brings
+// it under 10, most of which are the per-thread workload stream objects and
+// the one-off workload decode.
+func TestConstructionAllocsBounded(t *testing.T) {
+	cfg := config.TiledChip(64, config.CoreIPC1) // 1,024 cores, contention on
+	allocs := testing.AllocsPerRun(3, func() {
+		sys, err := BuildSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := virt.NewScheduler(cfg.NumCores)
+		p := trace.DefaultParams()
+		sched.AddWorkload(trace.New("construct", p, cfg.NumCores))
+		NewSimulator(sys, sched, Options{HostThreads: 2, Seed: 1}).Close()
+	})
+	perCore := allocs / float64(cfg.NumCores)
+	if perCore > 16 {
+		t.Fatalf("construction allocates %.0f times (%.1f/core); budget is 16/core", allocs, perCore)
+	}
+}
+
+// TestNewSimulatorAllocsBounded isolates NewSimulator itself (recorders,
+// event slabs, weave engine, pool, scratch): on an already-built system it
+// must stay O(1) — everything bulk comes from the system's arena.
+func TestNewSimulatorAllocsBounded(t *testing.T) {
+	cfg := config.TiledChip(4, config.CoreIPC1)
+	sys, err := BuildSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := virt.NewScheduler(cfg.NumCores)
+	p := trace.DefaultParams()
+	p.BlocksPerThread = 1
+	sched.AddWorkload(trace.New("construct", p, cfg.NumCores))
+	allocs := testing.AllocsPerRun(5, func() {
+		NewSimulator(sys, sched, Options{HostThreads: 2, Seed: 1}).Close()
+	})
+	// Budget: simulator + pool + engine/domains + contention models + a few
+	// amortized arena chunks — independent of the core count.
+	if allocs > 128 {
+		t.Fatalf("NewSimulator allocates %.0f times; budget is 128 (O(1), not O(cores))", allocs)
+	}
+}

@@ -34,7 +34,7 @@ import (
 // (8 single-thread processes on 4 cores, with locks, barriers and blocking
 // syscalls) at the given GOMAXPROCS and returns a signature of everything
 // that must be reproducible.
-func deterministicRun(t *testing.T, gomaxprocs, hostThreads int, contention bool) string {
+func deterministicRun(t *testing.T, gomaxprocs, hostThreads int, contention bool, domains int) string {
 	t.Helper()
 	old := runtime.GOMAXPROCS(gomaxprocs)
 	defer runtime.GOMAXPROCS(old)
@@ -43,9 +43,11 @@ func deterministicRun(t *testing.T, gomaxprocs, hostThreads int, contention bool
 	cfg.NumCores = 4
 	cfg.CoreModel = config.CoreIPC1
 	cfg.Contention = contention
-	// A single weave domain keeps the weave phase's event order exact; the
-	// bound phase still runs on 4 host workers.
-	cfg.WeaveDomains = 1
+	// Multi-domain weave runs are deterministic too: the engine's default
+	// deterministic mode executes events in the global (cycle, component,
+	// sequence) order regardless of the domain partition, and the bound
+	// phase still runs on 4 host workers.
+	cfg.WeaveDomains = domains
 	// Generous associativity so the disjoint footprints never force an
 	// eviction whose victim choice could depend on arrival order.
 	cfg.L3.SizeKB = 4096
@@ -98,15 +100,23 @@ func deterministicRun(t *testing.T, gomaxprocs, hostThreads int, contention bool
 }
 
 func TestDeterministicAcrossGOMAXPROCS(t *testing.T) {
-	for _, contention := range []bool{false, true} {
-		name := "bound-only"
-		if contention {
-			name = "bound-weave"
-		}
-		t.Run(name, func(t *testing.T) {
-			base := deterministicRun(t, 1, 4, contention)
+	type cse struct {
+		name       string
+		contention bool
+		domains    int
+	}
+	for _, c := range []cse{
+		{"bound-only", false, 1},
+		{"bound-weave-1dom", true, 1},
+		// ≥2 weave domains: cross-domain chains (core → L3 bank → memory)
+		// exercise the engine's deterministic multi-domain order and the
+		// (cycle, component, sequence) heap tie-break.
+		{"bound-weave-2dom", true, 2},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			base := deterministicRun(t, 1, 4, c.contention, c.domains)
 			for _, gm := range []int{2, 8} {
-				if got := deterministicRun(t, gm, 4, contention); got != base {
+				if got := deterministicRun(t, gm, 4, c.contention, c.domains); got != base {
 					t.Fatalf("results differ between GOMAXPROCS=1 and %d:\n  1: %s\n  %d: %s",
 						gm, base, gm, got)
 				}
@@ -115,13 +125,28 @@ func TestDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	}
 }
 
+// TestDeterministicAcrossDomainCount checks the stronger property the
+// deterministic engine mode provides: for a fixed seed, the domain PARTITION
+// itself does not change results — 1, 2 and 4 domains produce identical
+// simulations, because the engine always executes the reference (cycle,
+// component, sequence) order.
+func TestDeterministicAcrossDomainCount(t *testing.T) {
+	base := deterministicRun(t, 4, 4, true, 1)
+	for _, domains := range []int{2, 4} {
+		if got := deterministicRun(t, 4, 4, true, domains); got != base {
+			t.Fatalf("results differ between 1 and %d weave domains:\n  1: %s\n  %d: %s",
+				domains, base, domains, got)
+		}
+	}
+}
+
 // TestDeterministicAcrossHostThreads pins GOMAXPROCS and varies the bound
 // worker count instead: the host parallelism knob must not change results
 // either.
 func TestDeterministicAcrossHostThreads(t *testing.T) {
-	base := deterministicRun(t, 8, 1, false)
+	base := deterministicRun(t, 8, 1, false, 1)
 	for _, host := range []int{2, 4, 16} {
-		if got := deterministicRun(t, 8, host, false); got != base {
+		if got := deterministicRun(t, 8, host, false, 1); got != base {
 			t.Fatalf("results differ between HostThreads=1 and %d:\n  1: %s\n  %d: %s",
 				host, base, host, got)
 		}

@@ -1,6 +1,7 @@
 package boundweave
 
 import (
+	"zsim/internal/arena"
 	"zsim/internal/cache"
 	"zsim/internal/event"
 	"zsim/internal/memctrl"
@@ -40,19 +41,43 @@ type Recorder struct {
 // NewRecorder creates a recorder for one core. shared is the set of component
 // IDs whose events are weave-simulated.
 func NewRecorder(coreID int, shared map[int]bool) *Recorder {
+	return NewRecorderIn(nil, coreID, shared)
+}
+
+// NewRecorderIn is NewRecorder with the recorder and its dense shared-
+// component table carved from the given construction arena (nil falls back
+// to the heap).
+func NewRecorderIn(a *arena.Arena, coreID int, shared map[int]bool) *Recorder {
+	return newRecorderDense(a, coreID, denseShared(a, shared))
+}
+
+// denseShared densifies a shared-component set into a component-ID-indexed
+// table. It is the single densification rule for recorders; the simulator
+// builds one table and shares it across every core's recorder.
+func denseShared(a *arena.Arena, shared map[int]bool) []bool {
 	maxComp := -1
 	for comp := range shared {
 		if comp > maxComp {
 			maxComp = comp
 		}
 	}
-	sharedArr := make([]bool, maxComp+1)
+	arr := arena.Take[bool](a, maxComp+1)
 	for comp, v := range shared {
 		if comp >= 0 {
-			sharedArr[comp] = v
+			arr[comp] = v
 		}
 	}
-	return &Recorder{coreID: coreID, shared: sharedArr}
+	return arr
+}
+
+// newRecorderDense creates a recorder over an already-densified shared table.
+// The simulator builds the table once and hands the same slice to every
+// core's recorder (it is read-only), so a 1,024-core chip keeps one copy.
+func newRecorderDense(a *arena.Arena, coreID int, shared []bool) *Recorder {
+	r := arena.One[Recorder](a)
+	r.coreID = coreID
+	r.shared = shared
+	return r
 }
 
 // RecordAccess implements core.AccessRecorder. It keeps traces that touch a

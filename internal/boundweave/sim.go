@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"zsim/internal/arena"
 	"zsim/internal/config"
 	"zsim/internal/engine"
 	"zsim/internal/event"
@@ -120,17 +121,19 @@ func NewSimulator(sys *System, sched *virt.Scheduler, opts Options) *Simulator {
 		contention:  cfg.Contention,
 		rngState:    opts.Seed*6364136223846793005 + 1442695040888963407,
 	}
+	a := sys.Root.Arena()
 	s.boundTask = s.boundWorker
-	s.coreCycles = make([]uint64, len(sys.Cores))
-	s.lastTid = make([]int32, len(sys.Cores))
+	s.coreCycles = arena.Take[uint64](a, len(sys.Cores))
+	s.lastTid = arena.Take[int32](a, len(sys.Cores))
 	for i := range s.lastTid {
 		s.lastTid[i] = -1
 	}
 
 	// One persistent pool serves both phases: the bound phase wakes up to
-	// hostThreads workers, the weave phase needs one worker per domain.
+	// hostThreads workers, and a parallel weave phase needs one worker per
+	// domain (the default deterministic weave runs inline on the driver).
 	poolSize := host
-	if s.contention && sys.NumDomains > poolSize {
+	if s.contention && cfg.WeaveParallel && sys.NumDomains > poolSize {
 		poolSize = sys.NumDomains
 	}
 	s.pool = engine.NewPool(poolSize)
@@ -148,8 +151,8 @@ func NewSimulator(sys *System, sched *virt.Scheduler, opts Options) *Simulator {
 			}
 		}
 		s.models = &weaveModels{
-			banks: make([]*BankModel, maxComp+1),
-			mems:  make([]memctrl.ContentionModel, maxComp+1),
+			banks: arena.Take[*BankModel](a, maxComp+1),
+			mems:  arena.Take[memctrl.ContentionModel](a, maxComp+1),
 		}
 		for i, comp := range sys.BankComp {
 			s.models.banks[comp] = NewBankModel(sys.Banks[i].Latency(), sys.Banks[i].MSHRs(), uint64(cfg.MemLatency))
@@ -166,20 +169,33 @@ func NewSimulator(sys *System, sched *virt.Scheduler, opts Options) *Simulator {
 			}
 			s.models.mems[comp] = m
 		}
+		// One dense shared-component table serves every recorder; recorders,
+		// slabs and the bookkeeping slices all come from the construction
+		// arena, so this loop performs O(1) chunk allocations for the whole
+		// chip. Event-slab chunks are allocated lazily on first use.
+		sharedArr := denseShared(a, sys.SharedComp)
+		s.recorders = arena.TakeCap[*Recorder](a, 0, len(sys.Cores))
+		s.slabs = arena.TakeCap[*event.Slab](a, 0, len(sys.Cores))
 		for coreID, c := range sys.Cores {
-			rec := NewRecorder(coreID, sys.SharedComp)
+			rec := newRecorderDense(a, coreID, sharedArr)
 			s.recorders = append(s.recorders, rec)
 			c.SetRecorder(rec)
-			s.slabs = append(s.slabs, event.NewSlab(1024))
+			slab := event.NewSlabIn(a, 512)
+			// Disjoint per-core sequence bases give every interval event a
+			// globally unique, bound-phase-deterministic sequence number for
+			// the weave heaps' (cycle, component, sequence) tie-break.
+			slab.SetSeqBase(uint64(coreID) << 32)
+			s.slabs = append(s.slabs, slab)
 		}
 		// The weave engine is persistent and shares the bound phase's worker
 		// pool: its domains, queues and workers are built once and reused by
 		// every interval.
 		s.engine = event.NewEngineOnPool(sys.NumDomains, s.pool)
+		s.engine.SetDeterministic(!cfg.WeaveParallel)
 		for comp, dom := range sys.CompDomain {
 			s.engine.AssignComponent(comp, dom)
 		}
-		s.last = make([]lastResp, len(sys.Cores))
+		s.last = arena.Take[lastResp](a, len(sys.Cores))
 	}
 	s.instrsTotal.Store(s.totalInstrs())
 	if opts.Profiler != nil {
@@ -214,14 +230,22 @@ func (s *Simulator) totalInstrs() uint64 {
 	return n
 }
 
+// Close releases the simulator's persistent resources (the weave engine and
+// the shared worker pool). It is idempotent; Run closes the simulator itself
+// when it returns, so Close only needs to be called for simulators that are
+// built but never run (e.g. construction benchmarks).
+func (s *Simulator) Close() {
+	if s.engine != nil {
+		s.engine.Close()
+	}
+	s.pool.Close()
+}
+
 // Run executes the bound-weave loop until every thread finishes or a
 // configured bound (instructions or intervals) is reached. It returns the
 // total number of simulated instructions.
 func (s *Simulator) Run() uint64 {
-	if s.engine != nil {
-		defer s.engine.Close()
-	}
-	defer s.pool.Close()
+	defer s.Close()
 	for {
 		if s.Sched.LiveThreads() == 0 {
 			break

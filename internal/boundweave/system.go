@@ -17,6 +17,7 @@ package boundweave
 import (
 	"fmt"
 
+	"zsim/internal/arena"
 	"zsim/internal/cache"
 	"zsim/internal/config"
 	"zsim/internal/core"
@@ -53,11 +54,15 @@ type System struct {
 }
 
 // BuildSystem constructs the simulated chip described by the configuration.
+// One construction arena, hung off the root stats registry, feeds every
+// component's bulk state (stats counters, cache sets and stripes, predictor
+// tables), so building a 1,024-core chip performs a handful of large chunk
+// allocations instead of millions of small ones.
 func BuildSystem(cfg *config.System) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	root := stats.NewRegistry(cfg.Name)
+	root := stats.NewRegistryIn(cfg.Name, arena.New())
 	sys := &System{
 		Cfg:        cfg,
 		Root:       root,
@@ -107,15 +112,15 @@ func BuildSystem(cfg *config.System) (*System, error) {
 	}
 	for b := 0; b < cfg.L3.Banks; b++ {
 		comp := alloc()
-		name := fmt.Sprintf("l3b-%d", b)
 		bank := cache.New(cache.Config{
-			Name:       name,
+			NamePrefix: "l3b",
+			NameIdx:    b,
 			SizeKB:     bankSizeKB,
 			Ways:       cfg.L3.Ways,
 			Latency:    cfg.L3.Latency,
 			MSHRs:      cfg.L3.MSHRs,
 			RandomRepl: cfg.L3.RandomRepl,
-		}, comp, l3Reg.Child(name))
+		}, comp, l3Reg.ChildIdx("l3b", b))
 		bank.SetParent(memRouter)
 		sys.Banks = append(sys.Banks, bank)
 		sys.BankComp = append(sys.BankComp, comp)
@@ -138,14 +143,14 @@ func BuildSystem(cfg *config.System) (*System, error) {
 	numL2 := tiles
 	for i := 0; i < numL2; i++ {
 		comp := alloc()
-		name := fmt.Sprintf("l2-%d", i)
 		l2 := cache.New(cache.Config{
-			Name:    name,
-			SizeKB:  cfg.L2.SizeKB,
-			Ways:    cfg.L2.Ways,
-			Latency: cfg.L2.Latency,
-			MSHRs:   cfg.L2.MSHRs,
-		}, comp, l2Reg.Child(name))
+			NamePrefix: "l2",
+			NameIdx:    i,
+			SizeKB:     cfg.L2.SizeKB,
+			Ways:       cfg.L2.Ways,
+			Latency:    cfg.L2.Latency,
+			MSHRs:      cfg.L2.MSHRs,
+		}, comp, l2Reg.ChildIdx("l2", i))
 		l2.SetParent(sys.L3)
 		sys.L2 = append(sys.L2, l2)
 	}
@@ -164,11 +169,11 @@ func BuildSystem(cfg *config.System) (*System, error) {
 		l1iComp := alloc()
 		l1dComp := alloc()
 		l1i := cache.New(cache.Config{
-			Name: fmt.Sprintf("l1i-%d", cID), SizeKB: cfg.L1I.SizeKB, Ways: cfg.L1I.Ways, Latency: cfg.L1I.Latency,
-		}, l1iComp, coreReg.Child(fmt.Sprintf("l1i-%d", cID)))
+			NamePrefix: "l1i", NameIdx: cID, SizeKB: cfg.L1I.SizeKB, Ways: cfg.L1I.Ways, Latency: cfg.L1I.Latency,
+		}, l1iComp, coreReg.ChildIdx("l1i", cID))
 		l1d := cache.New(cache.Config{
-			Name: fmt.Sprintf("l1d-%d", cID), SizeKB: cfg.L1D.SizeKB, Ways: cfg.L1D.Ways, Latency: cfg.L1D.Latency,
-		}, l1dComp, coreReg.Child(fmt.Sprintf("l1d-%d", cID)))
+			NamePrefix: "l1d", NameIdx: cID, SizeKB: cfg.L1D.SizeKB, Ways: cfg.L1D.Ways, Latency: cfg.L1D.Latency,
+		}, l1dComp, coreReg.ChildIdx("l1d", cID))
 		l2 := sys.L2[tile]
 		l1i.SetParent(l2)
 		l1d.SetParent(l2)
@@ -180,7 +185,7 @@ func BuildSystem(cfg *config.System) (*System, error) {
 		coreComp := alloc()
 		sys.CoreComp = append(sys.CoreComp, coreComp)
 		ports := core.MemPorts{L1I: l1i, L1D: l1d}
-		reg := coreReg.Child(fmt.Sprintf("core-%d", cID))
+		reg := coreReg.ChildIdx("core", cID)
 		var c core.Core
 		switch cfg.CoreModel {
 		case config.CoreIPC1:

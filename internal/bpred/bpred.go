@@ -12,6 +12,8 @@
 // from mispredictions in a roughly constant number of cycles.
 package bpred
 
+import "zsim/internal/arena"
+
 // Predictor is a branch direction predictor. Predict returns the predicted
 // direction for the branch at pc; Update trains the predictor with the actual
 // outcome. Implementations are not safe for concurrent use: each simulated
@@ -81,14 +83,22 @@ type Bimodal struct {
 
 // NewBimodal creates a bimodal predictor with the given table size (rounded
 // up to a power of two, minimum 16 entries).
-func NewBimodal(entries int) *Bimodal {
+func NewBimodal(entries int) *Bimodal { return NewBimodalIn(nil, entries) }
+
+// NewBimodalIn is NewBimodal with the table and predictor carved from the
+// given construction arena (nil falls back to the heap).
+func NewBimodalIn(a *arena.Arena, entries int) *Bimodal {
 	n := 16
 	for n < entries {
 		n <<= 1
 	}
 	// The biased counter2 encoding makes the zero value "weakly taken", so
-	// the freshly allocated table needs no initialization pass.
-	return &Bimodal{table: make([]counter2, n), mask: uint64(n - 1)}
+	// the freshly allocated (always-zeroed) table needs no initialization
+	// pass, whether it comes from the heap or from an arena chunk.
+	b := arena.One[Bimodal](a)
+	b.table = arena.Take[counter2](a, n)
+	b.mask = uint64(n - 1)
+	return b
 }
 
 func (b *Bimodal) index(pc uint64) uint64 { return (pc >> 2) & b.mask }
@@ -119,6 +129,12 @@ type TwoLevel struct {
 // NewTwoLevel creates a GShare predictor with the given table size (rounded
 // up to a power of two, minimum 64) and history length in bits.
 func NewTwoLevel(entries int, histBits uint) *TwoLevel {
+	return NewTwoLevelIn(nil, entries, histBits)
+}
+
+// NewTwoLevelIn is NewTwoLevel with the table and predictor carved from the
+// given construction arena (nil falls back to the heap).
+func NewTwoLevelIn(a *arena.Arena, entries int, histBits uint) *TwoLevel {
 	n := 64
 	for n < entries {
 		n <<= 1
@@ -129,12 +145,19 @@ func NewTwoLevel(entries int, histBits uint) *TwoLevel {
 	if histBits > 32 {
 		histBits = 32
 	}
-	return &TwoLevel{table: make([]counter2, n), mask: uint64(n - 1), histBits: histBits}
+	g := arena.One[TwoLevel](a)
+	g.table = arena.Take[counter2](a, n)
+	g.mask = uint64(n - 1)
+	g.histBits = histBits
+	return g
 }
 
 // NewDefault returns the predictor configuration used by the validated OOO
 // core model: a 16K-entry GShare with 12 bits of global history.
 func NewDefault() *TwoLevel { return NewTwoLevel(16384, 12) }
+
+// NewDefaultIn is NewDefault allocating from the given construction arena.
+func NewDefaultIn(a *arena.Arena) *TwoLevel { return NewTwoLevelIn(a, 16384, 12) }
 
 func (g *TwoLevel) index(pc uint64) uint64 {
 	return ((pc >> 2) ^ g.history) & g.mask
@@ -169,6 +192,13 @@ type Stats struct {
 
 // NewStats wraps p with statistics counting.
 func NewStats(p Predictor) *Stats { return &Stats{P: p} }
+
+// NewStatsIn is NewStats allocating the wrapper from the given arena.
+func NewStatsIn(a *arena.Arena, p Predictor) *Stats {
+	s := arena.One[Stats](a)
+	s.P = p
+	return s
+}
 
 // PredictAndUpdate predicts, trains, counts, and reports correctness.
 func (s *Stats) PredictAndUpdate(pc uint64, taken bool) bool {

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"sync"
 
+	"zsim/internal/arena"
 	"zsim/internal/stats"
 )
 
@@ -186,10 +187,16 @@ const maxStripes = 64
 
 // Config describes one cache.
 type Config struct {
-	Name    string
-	SizeKB  int
-	Ways    int
-	Latency uint32 // zero-load access latency in cycles
+	// Name names the cache. Builders creating thousands of identically-shaped
+	// caches can instead set NamePrefix + NameIdx, and the "<prefix>-<idx>"
+	// name is formatted lazily when first asked for, so construction performs
+	// no string allocation.
+	Name       string
+	NamePrefix string
+	NameIdx    int
+	SizeKB     int
+	Ways       int
+	Latency    uint32 // zero-load access latency in cycles
 	// MSHRs bounds outstanding misses in the weave-phase contention model
 	// (the bound phase ignores it).
 	MSHRs int
@@ -202,6 +209,8 @@ type Config struct {
 // Cache is a single set-associative cache (or one bank of a banked cache).
 type Cache struct {
 	name    string
+	prefix  string
+	nameIdx int
 	compID  int
 	sets    int
 	ways    int
@@ -230,6 +239,9 @@ type Cache struct {
 
 // New creates a cache from the config, registering its statistics under the
 // given registry. compID is the global component ID used in weave traces.
+// When the registry tree carries a construction arena, the cache object, its
+// set table, its lock stripes and (lazily) its line arrays are all carved
+// from that arena.
 func New(cfg Config, compID int, reg *stats.Registry) *Cache {
 	ways := cfg.Ways
 	if ways < 1 {
@@ -241,22 +253,30 @@ func New(cfg Config, compID int, reg *stats.Registry) *Cache {
 		sets = 1
 	}
 	if reg == nil {
-		reg = stats.NewRegistry(cfg.Name)
+		name := cfg.Name
+		if name == "" && cfg.NamePrefix != "" {
+			name = fmt.Sprintf("%s-%d", cfg.NamePrefix, cfg.NameIdx)
+		}
+		reg = stats.NewRegistry(name)
 	}
+	a := reg.Arena()
 	nStripes := 1
 	for nStripes*2 <= sets && nStripes < maxStripes {
 		nStripes *= 2
 	}
-	c := &Cache{
+	c := arena.One[Cache](a)
+	*c = Cache{
 		name:       cfg.Name,
+		prefix:     cfg.NamePrefix,
+		nameIdx:    cfg.NameIdx,
 		compID:     compID,
 		sets:       sets,
 		ways:       ways,
 		latency:    cfg.Latency,
 		mshrs:      cfg.MSHRs,
 		random:     cfg.RandomRepl,
-		setArr:     make([][]line, sets),
-		stripes:    make([]stripe, nStripes),
+		setArr:     arena.Take[[]line](a, sets),
+		stripes:    arena.Take[stripe](a, nStripes),
 		stripeMask: nStripes - 1,
 
 		Hits:        reg.Atomic("hits", "accesses that hit"),
@@ -272,8 +292,15 @@ func New(cfg Config, compID int, reg *stats.Registry) *Cache {
 	return c
 }
 
-// Name returns the cache's name.
-func (c *Cache) Name() string { return c.name }
+// Name returns the cache's name, formatting prefix-indexed names on demand.
+// It never writes cache state (no lazy memoization), so it is safe to call
+// concurrently with accesses; Name is off the hot path.
+func (c *Cache) Name() string {
+	if c.name == "" && c.prefix != "" {
+		return fmt.Sprintf("%s-%d", c.prefix, c.nameIdx)
+	}
+	return c.name
+}
 
 // CompID returns the cache's global component ID.
 func (c *Cache) CompID() int { return c.compID }
@@ -317,8 +344,11 @@ func (c *Cache) setOf(lineAddr uint64) int {
 // stripeOf returns the lock stripe covering the set.
 func (c *Cache) stripeOf(set int) *stripe { return &c.stripes[set&c.stripeMask] }
 
-// setLines returns set's way array, allocating it on first touch. Caller
-// must hold the set's stripe lock.
+// setLines returns set's way array, allocating it on first touch. The lazy
+// allocation deliberately uses the heap, not the construction arena: first
+// touches happen on the parallel bound phase's hot path, and funneling every
+// worker through the arena's shared mutex would serialize warm-up on
+// many-core hosts. Caller must hold the set's stripe lock.
 func (c *Cache) setLines(set int) []line {
 	s := c.setArr[set]
 	if s == nil {

@@ -127,6 +127,12 @@ type System struct {
 	Contention   bool          `json:"contention"`
 	WeaveMem     WeaveMemModel `json:"weaveMem"`
 	WeaveDomains int           `json:"weaveDomains"`
+	// WeaveParallel opts the weave phase into the parallel per-domain worker
+	// path. The default (false) executes weave events in the deterministic
+	// global (cycle, component, sequence) order, making results reproducible
+	// across GOMAXPROCS/host-thread settings; parallel mode maximizes host
+	// parallelism but is only reproducible on a fixed host configuration.
+	WeaveParallel bool `json:"weaveParallel"`
 	// HostThreads caps the number of host worker threads used by the bound
 	// phase barrier (0 = number of host CPUs).
 	HostThreads int `json:"hostThreads"`

@@ -10,9 +10,9 @@
 package core
 
 import (
+	"zsim/internal/arena"
 	"zsim/internal/bpred"
 	"zsim/internal/cache"
-	"zsim/internal/isa"
 	"zsim/internal/stats"
 	"zsim/internal/trace"
 )
@@ -174,13 +174,16 @@ type IPC1 struct {
 	pred      *bpred.Stats
 }
 
-// NewIPC1 creates a simple core.
+// NewIPC1 creates a simple core. When the registry tree carries a
+// construction arena, the core object and its predictor tables are carved
+// from it.
 func NewIPC1(id int, ports MemPorts, reg *stats.Registry) *IPC1 {
-	return &IPC1{
-		memUnit: memUnit{id: id, ports: ports},
-		cnt:     newCounters(reg),
-		pred:    bpred.NewStats(bpred.NewDefault()),
-	}
+	a := reg.Arena()
+	c := arena.One[IPC1](a)
+	c.memUnit = memUnit{id: id, ports: ports}
+	c.cnt = newCounters(reg)
+	c.pred = bpred.NewStatsIn(a, bpred.NewDefaultIn(a))
+	return c
 }
 
 // Name returns "ipc1".
@@ -240,26 +243,27 @@ func (c *IPC1) SimulateBlock(b *trace.DynBlock) {
 		}
 	}
 
-	// One cycle per instruction.
+	// One cycle per instruction, using the block's precomputed aggregates.
 	c.cycle += uint64(d.Instrs)
 	c.cnt.Instrs.Add(uint64(d.Instrs))
 	c.cnt.Uops.Add(uint64(len(d.Uops)))
+	c.cnt.Loads.Add(uint64(d.Loads))
+	c.cnt.Stores.Add(uint64(d.Stores))
 
 	// Memory operations: loads stall the core for their full latency, stores
-	// are sent to the hierarchy but do not stall.
-	for _, u := range d.Uops {
-		switch u.Type {
-		case isa.UopLoad:
-			c.cnt.Loads.Inc()
-			addr := addrFor(b, u.MemSlot)
+	// are sent to the hierarchy but do not stall. The block's timing template
+	// lists exactly the memory µops, so the simple core's per-block work is
+	// O(memory accesses) rather than O(µops).
+	for i := range d.MemOps {
+		m := &d.MemOps[i]
+		addr := addrFor(b, m.Slot)
+		if m.Store {
+			c.access(c.ports.L1D, cache.LineAddr(addr), true, c.cycle)
+		} else {
 			avail := c.access(c.ports.L1D, cache.LineAddr(addr), false, c.cycle)
 			if avail > c.cycle {
 				c.cycle = avail
 			}
-		case isa.UopStData:
-			c.cnt.Stores.Inc()
-			addr := addrFor(b, u.MemSlot)
-			c.access(c.ports.L1D, cache.LineAddr(addr), true, c.cycle)
 		}
 	}
 

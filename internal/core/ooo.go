@@ -1,6 +1,7 @@
 package core
 
 import (
+	"zsim/internal/arena"
 	"zsim/internal/bpred"
 	"zsim/internal/cache"
 	"zsim/internal/isa"
@@ -109,6 +110,11 @@ type OOO struct {
 
 	// fenceUntil serializes memory operations after a fence µop.
 	fenceUntil uint64
+
+	// doneBuf is the reusable per-block µop completion-cycle scratch consumed
+	// by the template-driven dispatch loop (in-block dependence edges index
+	// into it).
+	doneBuf []uint64
 }
 
 // NewOOO creates an out-of-order core with the given configuration.
@@ -143,14 +149,19 @@ func NewOOO(id int, cfg OOOConfig, ports MemPorts, reg *stats.Registry) *OOO {
 	if cfg.PredictorHistBits == 0 {
 		cfg.PredictorHistBits = 12
 	}
-	c := &OOO{
-		memUnit:  memUnit{id: id, ports: ports},
-		cfg:      cfg,
-		cnt:      newCounters(reg),
-		pred:     bpred.NewStats(bpred.NewTwoLevel(cfg.PredictorEntries, cfg.PredictorHistBits)),
-		portBusy: make([][isa.NumPorts]bool, cfg.SchedWindowCycles),
-		rob:      make([]uint64, cfg.ROBSize),
-	}
+	a := reg.Arena()
+	c := arena.One[OOO](a)
+	c.memUnit = memUnit{id: id, ports: ports}
+	c.cfg = cfg
+	c.cnt = newCounters(reg)
+	c.pred = bpred.NewStatsIn(a, bpred.NewTwoLevelIn(a, cfg.PredictorEntries, cfg.PredictorHistBits))
+	c.portBusy = arena.Take[[isa.NumPorts]bool](a, cfg.SchedWindowCycles)
+	c.rob = arena.Take[uint64](a, cfg.ROBSize)
+	// Pre-size the load/store queues and the per-block scratch so the
+	// steady-state simulation loop never grows them on the heap.
+	c.loadQ = arena.TakeCap[uint64](a, 0, cfg.LoadQueueSize)
+	c.storeQ = arena.TakeCap[storeEntry](a, 0, cfg.StoreQueueSize)
+	c.doneBuf = arena.TakeCap[uint64](a, 0, 64)
 	return c
 }
 
@@ -237,10 +248,50 @@ func (c *OOO) SimulateBlock(b *trace.DynBlock) {
 	c.decodeClock += uint64(d.DecodeCycles)
 
 	// --- Issue / execute / retire, one µop at a time --------------------
+	// The block's translation-time skeleton (d.Tmpl) already names each µop's
+	// in-block producer, so operand readiness is resolved from the block-local
+	// done-cycle scratch; the architectural scoreboard is consulted only for
+	// cross-block sources and written back only from the live-out list.
 	blockIssue := c.decodeClock // µops cannot issue before the block is decoded
+	done := c.doneBuf
+	if cap(done) < len(d.Uops) {
+		done = make([]uint64, len(d.Uops))
+		c.doneBuf = done
+	}
+	done = done[:len(d.Uops)]
 	for i := range d.Uops {
 		u := &d.Uops[i]
-		c.simulateUop(b, u, blockIssue)
+		tm := &d.Tmpl[i]
+		// Minimum dispatch cycle: operand readiness from the in-block
+		// dependence edges or the cross-block scoreboard, then fence ordering.
+		dispatch := blockIssue
+		if tm.Dep1 >= 0 {
+			if t := done[tm.Dep1]; t > dispatch {
+				dispatch = t
+			}
+		} else if tm.Ext1 != isa.RegZero {
+			if t := c.scoreboard[tm.Ext1]; t > dispatch {
+				dispatch = t
+			}
+		}
+		if tm.Dep2 >= 0 {
+			if t := done[tm.Dep2]; t > dispatch {
+				dispatch = t
+			}
+		} else if tm.Ext2 != isa.RegZero {
+			if t := c.scoreboard[tm.Ext2]; t > dispatch {
+				dispatch = t
+			}
+		}
+		if tm.OrderedMem && c.fenceUntil > dispatch {
+			dispatch = c.fenceUntil
+		}
+		done[i] = c.simulateUop(b, u, dispatch)
+	}
+	// Cross-block register liveness: publish the block's live-out values.
+	for i := range d.LiveOut {
+		lw := &d.LiveOut[i]
+		c.scoreboard[lw.Reg] = done[lw.Uop]
 	}
 
 	c.cnt.Instrs.Add(uint64(d.Instrs))
@@ -269,21 +320,10 @@ func (c *OOO) SimulateBlock(b *trace.DynBlock) {
 }
 
 // simulateUop runs one µop through dispatch, port scheduling, execution and
-// retirement.
-func (c *OOO) simulateUop(b *trace.DynBlock, u *isa.Uop, blockIssue uint64) {
-	// (2) Minimum dispatch cycle from the scoreboard (operand readiness).
-	dispatch := blockIssue
-	if t := c.scoreboard[u.Src1]; u.Src1 != isa.RegZero && t > dispatch {
-		dispatch = t
-	}
-	if t := c.scoreboard[u.Src2]; u.Src2 != isa.RegZero && t > dispatch {
-		dispatch = t
-	}
-	// Memory ordering: fences serialize everything after them.
-	if c.fenceUntil > dispatch && (u.Type == isa.UopLoad || u.Type == isa.UopStData || u.Type == isa.UopStAddr || u.Type == isa.UopFence) {
-		dispatch = c.fenceUntil
-	}
-
+// retirement, and returns its completion cycle. The caller (SimulateBlock)
+// has already resolved operand readiness and fence ordering into dispatch
+// using the block's translation-time skeleton.
+func (c *OOO) simulateUop(b *trace.DynBlock, u *isa.Uop, dispatch uint64) uint64 {
 	// (3) Issue width and RRF bandwidth: at most IssueWidth µops enter the
 	// window per cycle.
 	if c.issueCycle != c.issueClock {
@@ -354,13 +394,9 @@ func (c *OOO) simulateUop(b *trace.DynBlock, u *isa.Uop, blockIssue uint64) {
 		doneCycle = execCycle + uint64(u.Lat)
 	}
 
-	// (6) Scoreboard update for destination registers.
-	if u.Dst1 != isa.RegZero {
-		c.scoreboard[u.Dst1] = doneCycle
-	}
-	if u.Dst2 != isa.RegZero {
-		c.scoreboard[u.Dst2] = doneCycle
-	}
+	// (6) The destination-register update happens in SimulateBlock: in-block
+	// consumers read the done-cycle scratch, and the architectural scoreboard
+	// is written once per block from the live-out list.
 
 	// (7) Retire: in order, bounded by retire width.
 	retire := doneCycle
@@ -380,6 +416,7 @@ func (c *OOO) simulateUop(b *trace.DynBlock, u *isa.Uop, blockIssue uint64) {
 	c.rob[c.robHead] = retire
 	c.robHead = (c.robHead + 1) % len(c.rob)
 	_ = port
+	return doneCycle
 }
 
 // schedulePort finds the first cycle >= earliest with a free port compatible
@@ -425,7 +462,9 @@ func (c *OOO) pushStore(lineAddr, dataCycle, drainCycle uint64) {
 			c.cnt.IssueStall.Add(oldest.commitDone - c.issueClock)
 			c.issueClock = oldest.commitDone
 		}
-		c.storeQ = c.storeQ[1:]
+		// Compact in place so the queue keeps its (arena-backed) capacity.
+		copy(c.storeQ, c.storeQ[1:])
+		c.storeQ = c.storeQ[:len(c.storeQ)-1]
 	}
 	c.storeQ = append(c.storeQ, storeEntry{lineAddr: lineAddr, dataCycle: dataCycle, commitDone: drainCycle})
 }
@@ -453,7 +492,9 @@ func (c *OOO) pushLoad(doneCycle uint64) {
 			c.cnt.IssueStall.Add(oldest - c.issueClock)
 			c.issueClock = oldest
 		}
-		c.loadQ = c.loadQ[1:]
+		// Compact in place so the queue keeps its (arena-backed) capacity.
+		copy(c.loadQ, c.loadQ[1:])
+		c.loadQ = c.loadQ[:len(c.loadQ)-1]
 	}
 	c.loadQ = append(c.loadQ, doneCycle)
 }

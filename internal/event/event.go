@@ -20,21 +20,31 @@
 // The engine is persistent and rides on the shared worker pool of package
 // internal/engine: the pool's workers are spawned once per simulation and
 // parked between phases, so the steady-state interval loop performs no
-// goroutine spawning and no heap allocation. During a weave phase each
-// domain is driven by one pool worker; domains that run out of work
-// mid-interval spin briefly and then park until a cross-domain handoff or
-// the interval's completion wakes them. When effective host parallelism is
-// one (a single domain or GOMAXPROCS=1), Run executes the interval inline on
-// the caller, picking the globally earliest pending event each step, and
-// never touches the workers.
+// goroutine spawning and no heap allocation.
+//
+// Ordering and determinism: every heap orders events by the deterministic
+// (dispatch cycle, component, sequence) triple, where the sequence number is
+// assigned at event-creation time by the per-core slabs and is therefore a
+// pure function of the bound phase's (deterministic) trace. By default the
+// engine executes every interval in the global reference order — the
+// lexicographically smallest pending triple each step, inline on the caller
+// — so weave results are reproducible for a fixed seed regardless of
+// GOMAXPROCS, host threads or domain count. SetDeterministic(false) opts
+// into the parallel path: each domain is driven by one pool worker (idle
+// domains spin briefly, then park until a cross-domain handoff or the
+// interval's completion wakes them). The parallel path keeps per-heap order
+// deterministic but admits one reordering the reference order does not:
+// a wall-clock-lagging domain can hand a child event to a domain that
+// already popped a later-cycle event, so its results are reproducible only
+// for a fixed host configuration.
 package event
 
 import (
-	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"zsim/internal/arena"
 	"zsim/internal/engine"
 )
 
@@ -80,7 +90,17 @@ type Event struct {
 	finishCycle    uint64
 	done           atomic.Bool
 	enqueued       bool
+
+	// seq is the event's deterministic creation sequence number (assigned by
+	// its Slab from the slab's base + allocation index). Together with the
+	// component ID it breaks dispatch-cycle ties in the domain heaps, so
+	// same-cycle events at a component execute in a reproducible order
+	// instead of heap-arrival order.
+	seq uint64
 }
+
+// Seq returns the event's deterministic creation sequence number.
+func (e *Event) Seq() uint64 { return e.seq }
 
 // AddChild declares that child depends on e (child cannot dispatch before e
 // finishes plus child.Delay).
@@ -108,21 +128,38 @@ func (e *Event) NumChildren() int { return len(e.children) }
 // slab is recycled wholesale, avoiding generic heap allocation on the
 // simulator's hot path (Section 3.2.1, "Tracing"). Events are allocated in
 // fixed-size chunks so previously returned pointers remain valid as the slab
-// grows.
+// grows. Chunks are allocated lazily, on the first Alloc that needs them, so
+// building a 1,024-core simulator does not pay for event storage that cores
+// with no shared-level accesses never use; when the slab is created with a
+// construction arena (NewSlabIn), chunks are carved from it.
 type Slab struct {
 	chunks    [][]Event
 	chunkSize int
 	cur       int // index of the chunk being filled
 	next      int // next free slot within the current chunk
 	inUse     int
+	arena     *arena.Arena
+	seqBase   uint64
 }
 
+// SetSeqBase sets the base of the sequence numbers this slab assigns.
+// Per-core slabs get disjoint bases (coreID << 32) so every event in an
+// interval has a globally unique, bound-phase-deterministic sequence number.
+func (s *Slab) SetSeqBase(base uint64) { s.seqBase = base }
+
 // NewSlab creates a slab whose chunks hold n events each.
-func NewSlab(n int) *Slab {
+func NewSlab(n int) *Slab { return NewSlabIn(nil, n) }
+
+// NewSlabIn creates a slab whose (lazily allocated) chunks of n events each
+// are carved from the given construction arena (nil falls back to the heap).
+func NewSlabIn(a *arena.Arena, n int) *Slab {
 	if n < 16 {
 		n = 16
 	}
-	return &Slab{chunks: [][]Event{make([]Event, n)}, chunkSize: n}
+	s := arena.One[Slab](a)
+	s.chunkSize = n
+	s.arena = a
+	return s
 }
 
 // Alloc returns a cleared event from the slab, growing it by whole chunks as
@@ -130,17 +167,19 @@ func NewSlab(n int) *Slab {
 // rebuilt interval after interval stop allocating once the slab has warmed
 // up.
 func (s *Slab) Alloc() *Event {
-	if s.next == s.chunkSize {
+	if len(s.chunks) == 0 {
+		s.chunks = append(s.chunks, arena.Take[Event](s.arena, s.chunkSize))
+	} else if s.next == s.chunkSize {
 		s.cur++
 		s.next = 0
 		if s.cur == len(s.chunks) {
-			s.chunks = append(s.chunks, make([]Event, s.chunkSize))
+			s.chunks = append(s.chunks, arena.Take[Event](s.arena, s.chunkSize))
 		}
 	}
 	e := &s.chunks[s.cur][s.next]
 	s.next++
+	*e = Event{children: e.children[:0], seq: s.seqBase + uint64(s.inUse)}
 	s.inUse++
-	*e = Event{children: e.children[:0]}
 	return e
 }
 
@@ -159,15 +198,36 @@ func (s *Slab) At(i int) *Event {
 	return &s.chunks[i/s.chunkSize][i%s.chunkSize]
 }
 
-// queueItem orders events by dispatch cycle.
+// queueItem orders events by (dispatch cycle, component, sequence): the
+// deterministic total order of the weave heaps. The comp and seq fields are
+// copied out of the event at push time so heap comparisons stay pointer-
+// chase-free.
 type queueItem struct {
 	ev    *Event
 	cycle uint64
+	seq   uint64
+	comp  int32
 }
 
-// eventPQ is a typed binary min-heap over dispatch cycles. It replaces
-// container/heap so pushes and pops move concrete queueItems instead of
-// boxing them through interface{}.
+// itemFor builds the heap item for an event at the given dispatch cycle.
+func itemFor(ev *Event, cycle uint64) queueItem {
+	return queueItem{ev: ev, cycle: cycle, seq: ev.seq, comp: int32(ev.Comp)}
+}
+
+// itemLess is the deterministic (cycle, component, sequence) heap order.
+func itemLess(a, b *queueItem) bool {
+	if a.cycle != b.cycle {
+		return a.cycle < b.cycle
+	}
+	if a.comp != b.comp {
+		return a.comp < b.comp
+	}
+	return a.seq < b.seq
+}
+
+// eventPQ is a typed binary min-heap over (cycle, component, sequence). It
+// replaces container/heap so pushes and pops move concrete queueItems
+// instead of boxing them through interface{}.
 type eventPQ []queueItem
 
 func (q *eventPQ) push(it queueItem) {
@@ -176,7 +236,7 @@ func (q *eventPQ) push(it queueItem) {
 	i := len(s) - 1
 	for i > 0 {
 		p := (i - 1) / 2
-		if s[p].cycle <= s[i].cycle {
+		if !itemLess(&s[i], &s[p]) {
 			break
 		}
 		s[p], s[i] = s[i], s[p]
@@ -201,10 +261,10 @@ func (q *eventPQ) pop() (queueItem, bool) {
 			break
 		}
 		m := l
-		if r := l + 1; r < n && s[r].cycle < s[l].cycle {
+		if r := l + 1; r < n && itemLess(&s[r], &s[l]) {
 			m = r
 		}
-		if s[i].cycle <= s[m].cycle {
+		if !itemLess(&s[m], &s[i]) {
 			break
 		}
 		s[i], s[m] = s[m], s[i]
@@ -243,7 +303,7 @@ func (d *Domain) ID() int { return d.id }
 
 func (d *Domain) push(ev *Event, cycle uint64) {
 	d.mu.Lock()
-	d.pq.push(queueItem{ev: ev, cycle: cycle})
+	d.pq.push(itemFor(ev, cycle))
 	d.mu.Unlock()
 }
 
@@ -293,6 +353,17 @@ type Engine struct {
 	ownsPool   bool
 	domainTask func(int)
 	closed     atomic.Bool
+
+	// deterministic (the default) executes multi-domain intervals inline in
+	// the global (cycle, component, sequence) order, which makes weave
+	// results reproducible for a fixed seed regardless of GOMAXPROCS, host
+	// threads or the domain count. SetDeterministic(false) opts into the
+	// parallel per-domain path: one pool worker per domain, maximum host
+	// parallelism, but cross-domain handoff *arrival* order may then deviate
+	// from the reference order when a lagging domain delivers a child whose
+	// ready cycle undercuts events its target already popped, so results are
+	// only reproducible on a fixed host configuration.
+	deterministic bool
 }
 
 // NewEngine creates an engine with n domains on a private worker pool. The
@@ -312,7 +383,7 @@ func NewEngineOnPool(nDomains int, pool *engine.Pool) *Engine {
 	if nDomains < 1 {
 		nDomains = 1
 	}
-	e := &Engine{}
+	e := &Engine{deterministic: true}
 	if pool == nil {
 		pool = engine.NewPool(nDomains)
 		e.ownsPool = true
@@ -327,6 +398,12 @@ func NewEngineOnPool(nDomains int, pool *engine.Pool) *Engine {
 	e.domainTask = e.runDomainByIndex
 	return e
 }
+
+// SetDeterministic selects between the deterministic inline execution order
+// (true, the default) and the parallel per-domain worker path (false). See
+// the deterministic field for the tradeoff. It must not be called while the
+// engine is mid-Run.
+func (e *Engine) SetDeterministic(det bool) { e.deterministic = det }
 
 // NumDomains returns the number of domains.
 func (e *Engine) NumDomains() int { return len(e.domains) }
@@ -424,12 +501,12 @@ func (e *Engine) Run() uint64 {
 		return 0
 	}
 
-	if len(e.domains) == 1 || runtime.GOMAXPROCS(0) == 1 || e.isClosed() ||
+	if e.deterministic || len(e.domains) == 1 || runtime.GOMAXPROCS(0) == 1 || e.isClosed() ||
 		e.pool.Size() < len(e.domains) {
-		// Effective host parallelism is one (or the workers are gone, or the
-		// pool is too small to give every domain its own worker — domains
-		// park mid-run, so they cannot share workers): execute inline,
-		// globally earliest-first.
+		// Deterministic mode, or effective host parallelism is one (or the
+		// workers are gone, or the pool is too small to give every domain its
+		// own worker — domains park mid-run, so they cannot share workers):
+		// execute inline, globally earliest-first in (cycle, comp, seq) order.
 		e.runInline()
 	} else {
 		for _, d := range e.domains {
@@ -446,15 +523,18 @@ func (e *Engine) Run() uint64 {
 }
 
 // runInline drains all domains on the caller's goroutine, executing the
-// globally earliest pending event each step.
+// globally earliest pending event each step, with ties broken by the
+// deterministic (cycle, component, sequence) order. This is the reference
+// execution order: a fixed seed produces the same weave schedule no matter
+// how many domains the components are partitioned into.
 func (e *Engine) runInline() {
 	var localMax uint64
 	for e.remaining.Load() > 0 {
 		var best *Domain
-		bestCycle := uint64(math.MaxUint64)
+		var bestItem queueItem
 		for _, d := range e.domains {
-			if len(d.pq) > 0 && d.pq[0].cycle < bestCycle {
-				best, bestCycle = d, d.pq[0].cycle
+			if len(d.pq) > 0 && (best == nil || itemLess(&d.pq[0], &bestItem)) {
+				best, bestItem = d, d.pq[0]
 			}
 		}
 		if best == nil {
@@ -576,7 +656,7 @@ func (e *Engine) childReady(parentDom *Domain, ch *Event, parentFinish uint64) {
 	ch.pendingParents--
 	last := ch.pendingParents == 0
 	if last {
-		chDom.pq.push(queueItem{ev: ch, cycle: ch.readyCycle})
+		chDom.pq.push(itemFor(ch, ch.readyCycle))
 		if chDom != parentDom {
 			parentDom.CrossRetries++ // count inter-domain handoffs
 		}

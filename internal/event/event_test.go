@@ -250,6 +250,46 @@ func TestLowerBoundRespected(t *testing.T) {
 	}
 }
 
+// TestDeterministicTieBreak checks the (cycle, component, sequence) order:
+// same-cycle events execute component-major, then in slab allocation order,
+// regardless of the order they were enqueued in — including across domains
+// on the deterministic inline path.
+func TestDeterministicTieBreak(t *testing.T) {
+	eng := NewEngine(2)
+	defer eng.Close()
+	s := NewSlab(16)
+	s.SetSeqBase(100)
+	var order []uint64
+	record := func(e *Event, c uint64) uint64 {
+		order = append(order, e.Seq())
+		return c
+	}
+	// Allocation order: seq 100..103. Enqueue deliberately scrambled, with
+	// equal MinCycles and components spread over both domains.
+	evs := make([]*Event, 4)
+	comps := []int{3, 0, 1, 0} // seq 100→comp 3, 101→comp 0, 102→comp 1, 103→comp 0
+	for i := range evs {
+		ev := s.Alloc()
+		ev.Comp = comps[i]
+		ev.MinCycle = 50
+		ev.Exec = record
+		evs[i] = ev
+	}
+	for _, i := range []int{2, 0, 3, 1} {
+		eng.Enqueue(evs[i])
+	}
+	eng.Run()
+	want := []uint64{101, 103, 102, 100} // comp 0 (seq 101, 103), comp 1, comp 3
+	if len(order) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("tie-break order wrong: got %v, want %v", order, want)
+		}
+	}
+}
+
 func TestEngineOrderWithinDomain(t *testing.T) {
 	// Events in one domain must execute in dispatch-cycle order (full order
 	// within a domain is what gives the weave phase its accuracy).
@@ -281,8 +321,10 @@ func TestEngineOrderWithinDomain(t *testing.T) {
 
 func TestManyEventsAcrossDomainsParallel(t *testing.T) {
 	// A larger stress test: per-core chains touching shared components,
-	// executed across 4 domains. Every event must execute exactly once.
+	// executed across 4 domains on the opt-in parallel worker path. Every
+	// event must execute exactly once.
 	eng := NewEngine(4)
+	eng.SetDeterministic(false)
 	defer eng.Close()
 	s := NewSlab(1024)
 	var executed atomic.Int64
@@ -490,6 +532,7 @@ func TestEventChainProperties(t *testing.T) {
 		}
 		nd := int(domainsRaw%6) + 1
 		eng := NewEngine(nd)
+		eng.SetDeterministic(latsRaw[0]&1 == 0) // exercise both paths
 		defer eng.Close()
 		s := NewSlab(128)
 		var chain []*Event

@@ -5,11 +5,44 @@ import (
 	"sync/atomic"
 )
 
+// MemOp is one memory access of a block's timing template, in µop program
+// order: the memory-operand slot it reads its dynamic address from and
+// whether it is a store (StData) rather than a load. The IPC1 model consumes
+// a dynamic block by walking this list only, so its per-block work is
+// O(memory accesses) instead of O(µops).
+type MemOp struct {
+	Slot  int8
+	Store bool
+}
+
+// UopTmpl is the translation-time issue-schedule skeleton of one µop: the
+// intra-block dependence edges (the index of the in-block producer of each
+// source operand, or -1) and, for sources produced outside the block, the
+// architectural register whose cross-block readiness must be consulted at
+// simulation time. OrderedMem marks µops that participate in fence ordering.
+// Everything here is knowable once per static block; the OOO model's dynamic
+// loop only resolves cross-block register liveness (Ext1/Ext2) and memory
+// response timestamps.
+type UopTmpl struct {
+	Dep1, Dep2 int16 // in-block producer µop index, -1 if none
+	Ext1, Ext2 Reg   // cross-block source register (RegZero if none or in-block)
+	OrderedMem bool  // Load/StAddr/StData/Fence: serialized behind fences
+}
+
+// RegWrite names a register the block writes and the µop index of its last
+// in-block writer; the OOO model updates its cross-block scoreboard from this
+// live-out list once per block instead of twice per µop.
+type RegWrite struct {
+	Reg Reg
+	Uop int16
+}
+
 // DecodedBBL is the translation-time artifact the core timing models consume:
 // the µop expansion of a static basic block, plus everything about the block
 // that can be pre-computed once (frontend decode stalls, counts of loads,
-// stores, and branches, total instruction bytes). It corresponds to the
-// "Decoded BBL µops" table of Figure 1 in the paper.
+// stores, and branches, total instruction bytes, and the timing template:
+// per-µop dependence skeleton, memory-op list, live-out register set). It
+// corresponds to the "Decoded BBL µops" table of Figure 1 in the paper.
 //
 // A DecodedBBL is immutable after creation and shared by every dynamic
 // execution of its static block, by every core, without locking.
@@ -36,6 +69,11 @@ type DecodedBBL struct {
 	// approximate decoding (OpComplex); the paper reports ~0.01% of dynamic
 	// instructions take this path.
 	Approx bool
+
+	// Timing template (computed once at translation time by buildTemplate).
+	MemOps  []MemOp    // loads and StData stores in µop program order
+	Tmpl    []UopTmpl  // one skeleton entry per µop
+	LiveOut []RegWrite // registers written by the block, with last writer
 }
 
 // decodeOne expands a single instruction into µops, appending to out. It
@@ -262,7 +300,60 @@ func Decode(b *BasicBlock) *DecodedBBL {
 	}
 	d.Instrs = instrCount
 	d.DecodeCycles = frontendCycles(b.Instrs, fused)
+	d.buildTemplate()
 	return d
+}
+
+// buildTemplate computes the block's timing template: the memory-op list, the
+// per-µop dependence skeleton and the live-out register set. It runs once per
+// static block, at translation time; the core models' per-dynamic-block loops
+// consume the result without re-deriving any of it.
+func (d *DecodedBBL) buildTemplate() {
+	var lastWriter [NumRegs]int16
+	for i := range lastWriter {
+		lastWriter[i] = -1
+	}
+	d.Tmpl = make([]UopTmpl, len(d.Uops))
+	for i := range d.Uops {
+		u := &d.Uops[i]
+		t := &d.Tmpl[i]
+		t.Dep1, t.Dep2 = -1, -1
+		if u.Src1 != RegZero {
+			if w := lastWriter[u.Src1]; w >= 0 {
+				t.Dep1 = w
+			} else {
+				t.Ext1 = u.Src1
+			}
+		}
+		if u.Src2 != RegZero {
+			if w := lastWriter[u.Src2]; w >= 0 {
+				t.Dep2 = w
+			} else {
+				t.Ext2 = u.Src2
+			}
+		}
+		switch u.Type {
+		case UopLoad:
+			d.MemOps = append(d.MemOps, MemOp{Slot: u.MemSlot})
+			t.OrderedMem = true
+		case UopStData:
+			d.MemOps = append(d.MemOps, MemOp{Slot: u.MemSlot, Store: true})
+			t.OrderedMem = true
+		case UopStAddr, UopFence:
+			t.OrderedMem = true
+		}
+		if u.Dst1 != RegZero {
+			lastWriter[u.Dst1] = int16(i)
+		}
+		if u.Dst2 != RegZero {
+			lastWriter[u.Dst2] = int16(i)
+		}
+	}
+	for r := 1; r < int(NumRegs); r++ {
+		if w := lastWriter[r]; w >= 0 {
+			d.LiveOut = append(d.LiveOut, RegWrite{Reg: Reg(r), Uop: w})
+		}
+	}
 }
 
 // Decoder memoizes DecodedBBLs by static block ID, exactly as zsim caches

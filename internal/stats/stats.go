@@ -16,9 +16,12 @@ package stats
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"sync/atomic"
+
+	"zsim/internal/arena"
 )
 
 // Counter is a monotonically increasing scalar statistic.
@@ -87,7 +90,16 @@ type VectorCounter struct {
 
 // NewVectorCounter creates a vector counter with n entries.
 func NewVectorCounter(name, desc string, n int) *VectorCounter {
-	return &VectorCounter{Name: name, Desc: desc, Vals: make([]uint64, n)}
+	v := &VectorCounter{}
+	initVectorCounter(v, nil, name, desc, n)
+	return v
+}
+
+// initVectorCounter is the single construction path for vector counters,
+// shared by NewVectorCounter and the arena-backed Registry.Vector.
+func initVectorCounter(v *VectorCounter, a *arena.Arena, name, desc string, n int) {
+	v.Name, v.Desc = name, desc
+	v.Vals = arena.Take[uint64](a, n)
 }
 
 // Inc increments entry i.
@@ -123,15 +135,20 @@ type Histogram struct {
 
 // NewHistogram creates a histogram with nBuckets buckets of width bucketSize.
 func NewHistogram(name, desc string, bucketSize uint64, nBuckets int) *Histogram {
+	h := &Histogram{}
+	initHistogram(h, nil, name, desc, bucketSize, nBuckets)
+	return h
+}
+
+// initHistogram is the single construction path for histograms (validation
+// included), shared by NewHistogram and the arena-backed Registry.Histogram.
+func initHistogram(h *Histogram, a *arena.Arena, name, desc string, bucketSize uint64, nBuckets int) {
 	if bucketSize == 0 {
 		bucketSize = 1
 	}
-	return &Histogram{
-		Name:       name,
-		Desc:       desc,
-		BucketSize: bucketSize,
-		Buckets:    make([]uint64, nBuckets),
-	}
+	h.Name, h.Desc = name, desc
+	h.BucketSize = bucketSize
+	h.Buckets = arena.Take[uint64](a, nBuckets)
 }
 
 // Sample records one sample.
@@ -176,8 +193,22 @@ func (h *Histogram) Percentile(p float64) float64 {
 // Registry is a named collection of statistics belonging to one simulated
 // component (a core, a cache, a memory controller). Registries nest to form
 // the stats tree of the whole simulated system.
+//
+// Registries and the statistics they register are flat, arena-backed objects
+// when the root registry carries an arena (NewRegistryIn): every Counter,
+// AtomicCounter, Gauge and child Registry is carved from large type-uniform
+// chunks instead of being heap-allocated individually, and indexed children
+// (ChildIdx) format their names lazily at export time. Building the stats
+// tree of a 1,024-core chip is then a handful of chunk allocations.
 type Registry struct {
-	Name     string
+	// name is the explicit component name; indexed registries (ChildIdx)
+	// leave it empty and carry prefix + idx instead, formatting the name only
+	// when exporting.
+	name   string
+	prefix string
+	idx    int32
+
+	arena    *arena.Arena
 	counters []*Counter
 	atomics  []*AtomicCounter
 	gauges   []*Gauge
@@ -188,47 +219,126 @@ type Registry struct {
 
 // NewRegistry creates an empty registry with the given component name.
 func NewRegistry(name string) *Registry {
-	return &Registry{Name: name}
+	return &Registry{name: name}
+}
+
+// NewRegistryIn creates a root registry whose statistics tree (counters,
+// children, ...) is allocated from the given arena. Children inherit the
+// arena.
+func NewRegistryIn(name string, a *arena.Arena) *Registry {
+	r := arena.One[Registry](a)
+	r.name = name
+	r.arena = a
+	return r
+}
+
+// Arena returns the arena backing this registry tree (nil for plain
+// registries). Component constructors that receive a registry use it to
+// allocate their own bulk state from the same slabs.
+func (r *Registry) Arena() *arena.Arena { return r.arena }
+
+// Name returns the component name, formatting indexed names lazily.
+func (r *Registry) Name() string {
+	if r.prefix == "" {
+		return r.name
+	}
+	return fmt.Sprintf("%s-%d", r.prefix, r.idx)
+}
+
+// matchName reports whether the registry's name equals s, without formatting
+// indexed names. It must accept exactly the strings Name() would produce:
+// leading zeros and out-of-range suffixes are rejected, matching the strict
+// string comparison this replaces.
+func (r *Registry) matchName(s string) bool {
+	if r.prefix == "" {
+		return r.name == s
+	}
+	n := len(r.prefix)
+	if len(s) < n+2 || s[:n] != r.prefix || s[n] != '-' {
+		return false
+	}
+	digits := s[n+1:]
+	if len(digits) > 1 && digits[0] == '0' {
+		return false // Name() never formats leading zeros
+	}
+	idx := int64(0)
+	for i := 0; i < len(digits); i++ {
+		ch := digits[i]
+		if ch < '0' || ch > '9' {
+			return false
+		}
+		idx = idx*10 + int64(ch-'0')
+		if idx > math.MaxInt32 {
+			return false
+		}
+	}
+	return int32(idx) == r.idx
 }
 
 // Counter creates, registers and returns a new counter.
 func (r *Registry) Counter(name, desc string) *Counter {
-	c := &Counter{Name: name, Desc: desc}
+	c := arena.One[Counter](r.arena)
+	c.Name, c.Desc = name, desc
+	if r.counters == nil {
+		r.counters = arena.TakeCap[*Counter](r.arena, 0, 10)
+	}
 	r.counters = append(r.counters, c)
 	return c
 }
 
 // Atomic creates, registers and returns a new atomic counter.
 func (r *Registry) Atomic(name, desc string) *AtomicCounter {
-	c := &AtomicCounter{Name: name, Desc: desc}
+	c := arena.One[AtomicCounter](r.arena)
+	c.Name, c.Desc = name, desc
+	if r.atomics == nil {
+		r.atomics = arena.TakeCap[*AtomicCounter](r.arena, 0, 6)
+	}
 	r.atomics = append(r.atomics, c)
 	return c
 }
 
 // Gauge creates, registers and returns a new gauge.
 func (r *Registry) Gauge(name, desc string) *Gauge {
-	g := &Gauge{Name: name, Desc: desc}
+	g := arena.One[Gauge](r.arena)
+	g.Name, g.Desc = name, desc
 	r.gauges = append(r.gauges, g)
 	return g
 }
 
 // Vector creates, registers and returns a new vector counter with n entries.
 func (r *Registry) Vector(name, desc string, n int) *VectorCounter {
-	v := NewVectorCounter(name, desc, n)
+	v := arena.One[VectorCounter](r.arena)
+	initVectorCounter(v, r.arena, name, desc, n)
 	r.vectors = append(r.vectors, v)
 	return v
 }
 
 // Histogram creates, registers and returns a new histogram.
 func (r *Registry) Histogram(name, desc string, bucketSize uint64, nBuckets int) *Histogram {
-	h := NewHistogram(name, desc, bucketSize, nBuckets)
+	h := arena.One[Histogram](r.arena)
+	initHistogram(h, r.arena, name, desc, bucketSize, nBuckets)
 	r.hists = append(r.hists, h)
 	return h
 }
 
-// Child creates, registers and returns a nested registry.
+// Child creates, registers and returns a nested registry (inheriting the
+// arena, if any).
 func (r *Registry) Child(name string) *Registry {
-	c := NewRegistry(name)
+	c := arena.One[Registry](r.arena)
+	c.name = name
+	c.arena = r.arena
+	r.children = append(r.children, c)
+	return c
+}
+
+// ChildIdx creates, registers and returns a nested registry whose name is
+// "<prefix>-<idx>", formatted lazily at export time so that building
+// thousands of per-component registries performs no string allocation.
+func (r *Registry) ChildIdx(prefix string, idx int) *Registry {
+	c := arena.One[Registry](r.arena)
+	c.prefix = prefix
+	c.idx = int32(idx)
+	c.arena = r.arena
 	r.children = append(r.children, c)
 	return c
 }
@@ -263,7 +373,7 @@ func (r *Registry) lookup(parts []string) (uint64, bool) {
 		return 0, false
 	}
 	for _, ch := range r.children {
-		if ch.Name == parts[0] {
+		if ch.matchName(parts[0]) {
 			return ch.lookup(parts[1:])
 		}
 	}
@@ -320,7 +430,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 
 func (r *Registry) writeText(w io.Writer, depth int) error {
 	indent := strings.Repeat("  ", depth)
-	if _, err := fmt.Fprintf(w, "%s%s:\n", indent, r.Name); err != nil {
+	if _, err := fmt.Fprintf(w, "%s%s:\n", indent, r.Name()); err != nil {
 		return err
 	}
 	for _, c := range r.counters {
@@ -371,9 +481,9 @@ func (r *Registry) WriteCSV(w io.Writer) error {
 }
 
 func (r *Registry) collectCSV(prefix string) []string {
-	path := r.Name
+	path := r.Name()
 	if prefix != "" {
-		path = prefix + "." + r.Name
+		path = prefix + "." + r.Name()
 	}
 	var rows []string
 	for _, c := range r.counters {

@@ -326,3 +326,26 @@ func TestHistogramCountInvariant(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestIndexedChildLookup(t *testing.T) {
+	root := NewRegistryIn("sys", nil)
+	c7 := root.ChildIdx("l2", 7).Counter("hits", "h")
+	c0 := root.ChildIdx("l2", 0).Counter("hits", "h")
+	c7.Add(70)
+	c0.Add(5)
+	if got, ok := root.Lookup("l2-7.hits"); !ok || got != 70 {
+		t.Fatalf("l2-7 lookup: %d %v", got, ok)
+	}
+	if got, ok := root.Lookup("l2-0.hits"); !ok || got != 5 {
+		t.Fatalf("l2-0 lookup: %d %v", got, ok)
+	}
+	// Strings Name() would never produce must not match.
+	for _, bad := range []string{"l2-007.hits", "l2-4294967296.hits", "l2-.hits", "l2-7x.hits", "l2.hits", "l2-99999999999999999999.hits"} {
+		if _, ok := root.Lookup(bad); ok {
+			t.Fatalf("lookup %q should not resolve", bad)
+		}
+	}
+	if root.ChildIdx("l2", 7).Name() != "l2-7" {
+		t.Fatalf("lazy name formatting broken")
+	}
+}

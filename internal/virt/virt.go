@@ -201,9 +201,21 @@ type Scheduler struct {
 	runnable atomic.Int64
 	live     atomic.Int64
 
+	// wakeQ is a min-heap of (wake cycle, thread ID) over syscall-blocked
+	// threads, so waking and peeking are O(log blocked) instead of an
+	// O(threads) table scan per round (blocking-heavy 1,024-core runs do
+	// thousands of such scans per interval). Entries are validated against
+	// the thread's current state at pop time. It is only touched by the
+	// driver-serialized entry points and the (driver-ordered) OnXxx handlers.
+	wakeQ []wakeEntry
+	// ffPending lists threads created in the fast-forward state; the first
+	// wake() drains it (threads never enter fast-forward later).
+	ffPending []int
+
 	// Reusable driver-serialized scratch.
 	ops       []pendingRef
 	freeCores []freeCore
+	wakeScr   []int
 	// barScr is checkBarriers' reusable key scratch, guarded by barMu.
 	barScr []int
 
@@ -273,6 +285,97 @@ type freeCore struct {
 	core  int
 }
 
+// wakeEntry is one syscall-blocked thread in the wake min-heap, ordered by
+// (cycle, tid) for determinism.
+type wakeEntry struct {
+	cycle uint64
+	tid   int32
+}
+
+func wakeLess(a, b wakeEntry) bool {
+	if a.cycle != b.cycle {
+		return a.cycle < b.cycle
+	}
+	return a.tid < b.tid
+}
+
+// pushWake inserts a thread into the wake heap.
+func (s *Scheduler) pushWake(tid int, cycle uint64) {
+	q := append(s.wakeQ, wakeEntry{cycle: cycle, tid: int32(tid)})
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !wakeLess(q[i], q[p]) {
+			break
+		}
+		q[p], q[i] = q[i], q[p]
+		i = p
+	}
+	s.wakeQ = q
+}
+
+// popWakeMin removes and returns the heap minimum. Caller checks emptiness.
+func (s *Scheduler) popWakeMin() wakeEntry {
+	q := s.wakeQ
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && wakeLess(q[r], q[l]) {
+			m = r
+		}
+		if !wakeLess(q[m], q[i]) {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	s.wakeQ = q
+	return top
+}
+
+// wakeStale reports whether a heap entry no longer describes a live
+// syscall-block (defensive: no state transition currently invalidates an
+// entry without popping it).
+func (s *Scheduler) wakeStale(e wakeEntry) bool {
+	t := s.threads[e.tid]
+	return t.State != StateBlockedSyscall || t.WakeCycle != e.cycle
+}
+
+// drainWakeQ pops every entry whose wake cycle satisfies the predicate
+// bound (strict selects cycle < bound, otherwise cycle <= bound) into the
+// reusable scratch, sorted by thread ID — the same order the previous
+// thread-table scan woke threads in, so schedules are unchanged.
+func (s *Scheduler) drainWakeQ(bound uint64, strict bool) []int {
+	ids := s.wakeScr[:0]
+	for len(s.wakeQ) > 0 {
+		top := s.wakeQ[0]
+		if s.wakeStale(top) {
+			s.popWakeMin()
+			continue
+		}
+		if strict {
+			if top.cycle >= bound {
+				break
+			}
+		} else if top.cycle > bound {
+			break
+		}
+		s.popWakeMin()
+		ids = append(ids, int(top.tid))
+	}
+	slices.Sort(ids)
+	s.wakeScr = ids
+	return ids
+}
+
 // NewScheduler creates a scheduler for a chip with numCores cores.
 func NewScheduler(numCores int) *Scheduler {
 	if numCores < 1 {
@@ -310,6 +413,7 @@ func (s *Scheduler) AddProcess(p *Process) {
 		s.live.Add(1)
 		if t.FastForwardBlocks > 0 {
 			t.State = StateFastForward
+			s.ffPending = append(s.ffPending, t.ID)
 		} else {
 			t.State = StateRunnable
 			s.runnable.Add(1)
@@ -517,15 +621,15 @@ func (s *Scheduler) ResolveRound(ran []Assignment, now, intervalEnd uint64, core
 	}
 
 	// 2. Mid-interval syscall joins: wake threads whose syscall completes
-	// inside this interval; they become placeable immediately.
-	for _, t := range s.threads {
-		if t.State == StateBlockedSyscall && t.WakeCycle < intervalEnd {
-			s.setState(t, StateRunnable)
-			if t.Cycle < t.WakeCycle {
-				t.Cycle = t.WakeCycle
-			}
-			s.enqueue(t.ID)
+	// inside this interval; they become placeable immediately. The wake heap
+	// makes this O(woken log blocked) instead of an O(threads) scan.
+	for _, tid := range s.drainWakeQ(intervalEnd, true) {
+		t := s.threads[tid]
+		s.setState(t, StateRunnable)
+		if t.Cycle < t.WakeCycle {
+			t.Cycle = t.WakeCycle
 		}
+		s.enqueue(t.ID)
 	}
 
 	// 3a. Threads still running with time left resume on their cores
@@ -633,46 +737,58 @@ func (s *Scheduler) EndInterval(now uint64) {
 // NextSyscallWake returns the earliest wake cycle over all syscall-blocked
 // threads, or ok=false when no thread is blocked in a syscall. The driver
 // uses it to fast-forward idle intervals directly to the next join instead
-// of stepping empty intervals one by one.
+// of stepping empty intervals one by one. With the wake heap this is an O(1)
+// peek (plus lazy removal of stale entries).
 func (s *Scheduler) NextSyscallWake() (cycle uint64, ok bool) {
-	for _, t := range s.threads {
-		if t.State == StateBlockedSyscall && (!ok || t.WakeCycle < cycle) {
-			cycle, ok = t.WakeCycle, true
+	for len(s.wakeQ) > 0 {
+		top := s.wakeQ[0]
+		if s.wakeStale(top) {
+			s.popWakeMin()
+			continue
 		}
+		return top.cycle, true
 	}
-	return cycle, ok
+	return 0, false
 }
 
 // wake transitions syscall-blocked threads whose wake time has passed and
-// fast-forwarding threads back to runnable.
+// fast-forwarding threads back to runnable. Wakeable threads come from the
+// wake heap (drained in thread-ID order, matching the table scan this
+// replaces); fast-forwarding threads only exist before their first wake and
+// are drained from ffPending.
 func (s *Scheduler) wake(now uint64) {
-	for _, t := range s.threads {
-		switch t.State {
-		case StateBlockedSyscall:
-			if t.WakeCycle <= now {
-				s.setState(t, StateRunnable)
-				if t.Cycle < t.WakeCycle {
-					t.Cycle = t.WakeCycle
-				}
-				s.enqueue(t.ID)
-			}
-		case StateFastForward:
-			// Fast-forwarding threads skip their warmup blocks at near-native
-			// speed (no timing): consume them here, outside timed simulation.
-			for t.FastForwardBlocks > 0 {
-				b := t.Stream.NextBlock()
-				t.FastForwardBlocks--
-				if b.Sync == trace.SyncDone {
-					s.setState(t, StateDone)
-					break
-				}
-			}
-			if t.State != StateDone {
-				s.setState(t, StateRunnable)
-				s.enqueue(t.ID)
+	for _, tid := range s.drainWakeQ(now, false) {
+		t := s.threads[tid]
+		s.setState(t, StateRunnable)
+		if t.Cycle < t.WakeCycle {
+			t.Cycle = t.WakeCycle
+		}
+		s.enqueue(t.ID)
+	}
+	if len(s.ffPending) == 0 {
+		return
+	}
+	for _, tid := range s.ffPending {
+		t := s.threads[tid]
+		if t.State != StateFastForward {
+			continue
+		}
+		// Fast-forwarding threads skip their warmup blocks at near-native
+		// speed (no timing): consume them here, outside timed simulation.
+		for t.FastForwardBlocks > 0 {
+			b := t.Stream.NextBlock()
+			t.FastForwardBlocks--
+			if b.Sync == trace.SyncDone {
+				s.setState(t, StateDone)
+				break
 			}
 		}
+		if t.State != StateDone {
+			s.setState(t, StateRunnable)
+			s.enqueue(t.ID)
+		}
 	}
+	s.ffPending = s.ffPending[:0]
 }
 
 // Deschedule removes a thread from its core (it keeps its runnable state and
@@ -879,6 +995,7 @@ func (s *Scheduler) OnBlockedSyscall(t *Thread, now, durationCycles uint64) {
 	s.setState(t, StateBlockedSyscall)
 	t.Cycle = now
 	t.WakeCycle = now + durationCycles
+	s.pushWake(t.ID, t.WakeCycle)
 	s.SyscallBlocks.Add(1)
 	s.clearCore(t)
 }

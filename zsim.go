@@ -237,6 +237,18 @@ func (r *Result) Summary() string {
 		r.HostTime.Round(time.Millisecond), m.SimMIPS, r.Intervals, r.WeaveEvents)
 }
 
+// buildSim constructs the bound-weave simulator state (recorders, event
+// slabs, weave engine, worker pool) for the configured system and workloads
+// without running it. Run calls it implicitly; the construction benchmarks
+// call it directly and Close the result.
+func (s *Simulator) buildSim() *boundweave.Simulator {
+	return boundweave.NewSimulator(s.sys, s.sched, boundweave.Options{
+		MaxInstrs:   s.maxInstrs,
+		HostThreads: s.hostThreads,
+		Seed:        s.seed,
+	})
+}
+
 // Run executes the simulation and returns its results. A simulator can only
 // be run once; build a new one for another run.
 func (s *Simulator) Run() (*Result, error) {
@@ -247,11 +259,7 @@ func (s *Simulator) Run() (*Result, error) {
 		return nil, fmt.Errorf("zsim: no workloads added")
 	}
 	s.ran = true
-	sim := boundweave.NewSimulator(s.sys, s.sched, boundweave.Options{
-		MaxInstrs:   s.maxInstrs,
-		HostThreads: s.hostThreads,
-		Seed:        s.seed,
-	})
+	sim := s.buildSim()
 	start := time.Now()
 	sim.Run()
 	elapsed := time.Since(start)
