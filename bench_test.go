@@ -307,6 +307,24 @@ func BenchmarkConstruct1024(b *testing.B) {
 	}
 }
 
+// BenchmarkMeshHotspot measures the weave-phase NoC contention subsystem on
+// its headline experiment: a hotspot workload over an under-provisioned
+// (4-byte-link) mesh, run under both the zero-load network model and the
+// contended one. The reported metrics track the scaling-collapse gap the
+// zero-load model cannot see and the router queueing behind it.
+func BenchmarkMeshHotspot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.MeshHotspot(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(res.Threads) - 1
+		b.ReportMetric(res.ScalingZeroLoad[last], "zeroload-scaling")
+		b.ReportMetric(res.ScalingNoC[last], "noc-scaling")
+		b.ReportMetric(float64(res.QueueDelay[last]), "router-queue-delay")
+	}
+}
+
 // BenchmarkOversubscribedClientServer measures the Section 3.3 usage model
 // the mid-interval scheduler exists for: an oversubscribed client-server
 // workload (20 software threads on 8 cores) whose server threads block in

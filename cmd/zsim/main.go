@@ -29,6 +29,8 @@ func main() {
 		maxInstrs  = flag.Uint64("max-instrs", 0, "stop after this many simulated instructions (0 = run to completion)")
 		hostThr    = flag.Int("host-threads", 0, "host worker threads (0 = all CPUs)")
 		blocks     = flag.Int("blocks", 0, "override the workload's per-thread basic-block budget")
+		nocCont    = flag.Bool("noc", false, "enable weave-phase NoC contention (implies the weave phase; routed topologies only)")
+		linkBytes  = flag.Int("noc-link-bytes", 0, "NoC link width in bytes (0 = config default)")
 		statsDump  = flag.Bool("stats", false, "dump the full statistics tree after the run")
 		list       = flag.Bool("list", false, "list the registered workloads and exit")
 	)
@@ -44,6 +46,16 @@ func main() {
 	cfg, err := loadConfig(*configPath, *preset, *tiles, *coreModel)
 	if err != nil {
 		fatal(err)
+	}
+	if *nocCont {
+		// NoC contention is a weave-phase model: enabling it implies the
+		// weave phase itself, so -noc on a contention-off preset (small)
+		// does not silently no-op.
+		cfg.NOCContention = true
+		cfg.Contention = true
+	}
+	if *linkBytes > 0 {
+		cfg.NOCLinkBytes = *linkBytes
 	}
 	sim, err := zsim.New(cfg)
 	if err != nil {

@@ -27,7 +27,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: zsimexp [flags] <table2|table3|fig2|fig5|fig6perf|fig6speedup|fig6stream|table4|fig7|fig8|fig9|intervals|all>")
+		fmt.Fprintln(os.Stderr, "usage: zsimexp [flags] <table2|table3|fig2|fig5|fig6perf|fig6speedup|fig6stream|table4|fig7|fig8|fig9|intervals|meshhotspot|all>")
 		os.Exit(2)
 	}
 	opts := harness.Options{Scale: *scale, MaxCores: *maxCores, HostThreads: *hostThr}
@@ -75,10 +75,12 @@ func run(name string, opts harness.Options) error {
 		return emit(harness.Figure9(opts))
 	case "intervals":
 		return emit(harness.IntervalSensitivity(opts, ""))
+	case "meshhotspot":
+		return emit(harness.MeshHotspot(opts))
 	case "all":
 		fmt.Println(harness.Table2())
 		fmt.Println(harness.Table3(64))
-		for _, exp := range []string{"fig2", "fig5", "fig6perf", "fig6speedup", "fig6stream", "table4", "fig7", "fig8", "fig9", "intervals"} {
+		for _, exp := range []string{"fig2", "fig5", "fig6perf", "fig6speedup", "fig6stream", "table4", "fig7", "fig8", "fig9", "intervals", "meshhotspot"} {
 			if err := run(exp, opts); err != nil {
 				return fmt.Errorf("%s: %w", exp, err)
 			}

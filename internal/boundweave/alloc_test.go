@@ -114,6 +114,59 @@ func TestRecorderRecyclesBuffers(t *testing.T) {
 	}
 }
 
+// TestRunWeaveSteadyStateAllocsNOC is TestRunWeaveSteadyStateAllocs with the
+// NoC contention subsystem enabled: traces now carry network hops that the
+// translation loop expands into per-router events along the mesh route, and
+// the whole pipeline — route walk, router events, port scheduling — must
+// still be allocation-free once slabs and queues have warmed up.
+func TestRunWeaveSteadyStateAllocsNOC(t *testing.T) {
+	cfg := config.SmallTest()
+	cfg.NumCores = 4
+	cfg.Contention = true
+	cfg.WeaveDomains = 2
+	cfg.Network = config.NetMesh // 2x2 mesh
+	cfg.NOCContention = true
+	cfg.NOCLinkBytes = 4
+	sys, err := BuildSystem(cfg)
+	if err != nil {
+		t.Fatalf("BuildSystem: %v", err)
+	}
+	sched := virt.NewScheduler(cfg.NumCores)
+	p := trace.DefaultParams()
+	p.BlocksPerThread = 10
+	sched.AddWorkload(trace.New("alloc-noc", p, cfg.NumCores))
+	sim := NewSimulator(sys, sched, Options{HostThreads: 1, Seed: 1})
+	defer sim.engine.Close()
+
+	bankComp := sim.Sys.BankComp[0]
+	memComp := sim.Sys.MemComp[0]
+	bufs := make([][]cache.Hop, len(sim.recorders))
+	iteration := func() {
+		for coreID, rec := range sim.recorders {
+			// A full path: corner-to-corner mesh route, bank access, the
+			// bank's memory-egress link, then DRAM.
+			buf := append(bufs[coreID][:0],
+				cache.Hop{Comp: -1, Kind: cache.HopNet, Src: 0, Dst: 3, Line: uint64(64 + coreID), Cycle: 100, Latency: 5},
+				cache.Hop{Comp: bankComp, Kind: cache.HopMiss, Line: uint64(64 + coreID), Cycle: 105, Latency: 10},
+				cache.Hop{Comp: -1, Kind: cache.HopNetMem, Src: 3, Dst: 0, Line: uint64(64 + coreID), Cycle: 115, Latency: 1},
+				cache.Hop{Comp: memComp, Kind: cache.HopMem, Line: uint64(64 + coreID), Cycle: 116, Latency: 120},
+			)
+			bufs[coreID] = rec.RecordAccess(coreID, 100, coreID%2 == 0, buf)
+		}
+		sim.runWeave()
+	}
+	for i := 0; i < 3; i++ {
+		iteration()
+	}
+	allocs := testing.AllocsPerRun(20, iteration)
+	if allocs > 2 {
+		t.Fatalf("steady-state runWeave with NoC contention should be allocation-free, got %v allocs/run", allocs)
+	}
+	if sys.Fabric.TotalStats().Traversals == 0 {
+		t.Fatalf("NoC alloc test did not schedule any router traversals")
+	}
+}
+
 // TestBoundPhaseSteadyStateAllocs covers the bound phase's half of the
 // allocation contract: a steady-state interval — scheduling, round
 // execution on the persistent pool, mid-interval arbitration and time

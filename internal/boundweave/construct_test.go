@@ -17,9 +17,11 @@ import (
 // system, scheduler, workload and bound-weave simulator — and bounds the
 // heap allocations per simulated core. Before arena-backed construction this
 // path performed ~72 allocations per core (counters, predictor tables, cache
-// set tables, registry nodes, name strings, event slabs); the arena brings
-// it under 10, most of which are the per-thread workload stream objects and
-// the one-off workload decode.
+// set tables, registry nodes, name strings, event slabs); the arena brought
+// it under 10, and arena-backing the workload decode (trace.NewIn +
+// isa.DecodeIn: blocks, µops, timing templates, decoder cache) removed most
+// of what was left — the remainder is per-thread stream objects and
+// scheduler state.
 func TestConstructionAllocsBounded(t *testing.T) {
 	cfg := config.TiledChip(64, config.CoreIPC1) // 1,024 cores, contention on
 	allocs := testing.AllocsPerRun(3, func() {
@@ -29,12 +31,37 @@ func TestConstructionAllocsBounded(t *testing.T) {
 		}
 		sched := virt.NewScheduler(cfg.NumCores)
 		p := trace.DefaultParams()
-		sched.AddWorkload(trace.New("construct", p, cfg.NumCores))
+		sched.AddWorkload(trace.NewIn(sys.Root.Arena(), "construct", p, cfg.NumCores))
 		NewSimulator(sys, sched, Options{HostThreads: 2, Seed: 1}).Close()
 	})
 	perCore := allocs / float64(cfg.NumCores)
-	if perCore > 16 {
-		t.Fatalf("construction allocates %.0f times (%.1f/core); budget is 16/core", allocs, perCore)
+	if perCore > 12 {
+		t.Fatalf("construction allocates %.0f times (%.1f/core); budget is 12/core", allocs, perCore)
+	}
+}
+
+// TestWorkloadDecodeAllocsBounded isolates the decoder-cache arena hook:
+// generating and decoding a workload's whole static code footprint into an
+// arena must cost a bounded number of heap allocations (chunks, the decoder
+// map's buckets and per-thread bookkeeping), not the ~4k per-block
+// allocations the heap path performs.
+func TestWorkloadDecodeAllocsBounded(t *testing.T) {
+	cfg := config.SmallTest()
+	sys, err := BuildSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := trace.DefaultParams()
+	p.StaticBlocks = 512
+	allocs := testing.AllocsPerRun(3, func() {
+		trace.NewIn(sys.Root.Arena(), "decode", p, 1)
+	})
+	// Heap path: ~8 allocations per static block (block, instrs growth,
+	// decoded BBL, µops, template, mem-ops, live-out, map insert). Arena
+	// path: map buckets plus amortized chunk allocations.
+	if allocs > float64(p.StaticBlocks) {
+		t.Fatalf("arena-backed workload decode allocates %.0f times for %d blocks; want < 1/block",
+			allocs, p.StaticBlocks)
 	}
 }
 

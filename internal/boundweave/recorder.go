@@ -5,6 +5,7 @@ import (
 	"zsim/internal/cache"
 	"zsim/internal/event"
 	"zsim/internal/memctrl"
+	"zsim/internal/noc"
 )
 
 // accessRecord is one bound-phase memory access that left the private cache
@@ -193,10 +194,13 @@ func (b *BankModel) Reset() {
 }
 
 // weaveModels bundles the per-component contention models used by the weave
-// phase of one Simulator, as dense component-ID-indexed tables.
+// phase of one Simulator, as dense component-ID-indexed tables. fabric and
+// routerComp (node-indexed) are non-nil only when NoC contention is enabled.
 type weaveModels struct {
-	banks []*BankModel
-	mems  []memctrl.ContentionModel
+	banks      []*BankModel
+	mems       []memctrl.ContentionModel
+	fabric     *noc.Fabric
+	routerComp []int
 }
 
 func (m *weaveModels) bank(comp int) *BankModel {
@@ -213,15 +217,21 @@ func (m *weaveModels) mem(comp int) memctrl.ContentionModel {
 	return nil
 }
 
-// bankExec and memExec are the shared weave-event executors. The per-event
-// context lives in the event's Ctx/Arg/Flag fields, so building a chain never
-// allocates a closure.
+// bankExec, memExec and routerExec are the shared weave-event executors. The
+// per-event context lives in the event's Ctx/Arg/Flag fields, so building a
+// chain never allocates a closure.
 func bankExec(ev *event.Event, dispatch uint64) uint64 {
 	return ev.Ctx.(*BankModel).Schedule(dispatch, ev.Flag)
 }
 
 func memExec(ev *event.Event, dispatch uint64) uint64 {
 	return dispatch + ev.Ctx.(memctrl.ContentionModel).RequestLatency(ev.Arg, dispatch, ev.Flag)
+}
+
+// routerExec dispatches a packet through one router's output port; Arg
+// carries the port index.
+func routerExec(ev *event.Event, dispatch uint64) uint64 {
+	return ev.Ctx.(*noc.Router).Schedule(int(ev.Arg), dispatch)
 }
 
 // buildChain converts one recorded access into a weave event chain and
@@ -249,6 +259,50 @@ func buildChain(slab *event.Slab, rec *accessRecord, coreComp int, models *weave
 	lastZeroLoadDone := rec.issueCycle
 	for i := range rec.hops {
 		h := &rec.hops[i]
+		switch h.Kind {
+		case cache.HopNet:
+			// A routed NoC traversal: one event per router along the
+			// topology's deterministic route, each occupying its output port.
+			// The first router dispatches after the zero-load injection
+			// latency; each event's lower bound is its zero-load arrival, so
+			// an uncontended route finishes exactly at the bound-phase cycle.
+			if fab := models.fabric; fab != nil {
+				cur, dst := int(h.Src), int(h.Dst)
+				minCycle := h.Cycle + fab.Injection()
+				perHop := fab.PerHop()
+				for cur != dst {
+					next, port := fab.NextHop(cur, dst)
+					ev := slab.Alloc()
+					ev.Comp = models.routerComp[cur]
+					ev.MinCycle = minCycle
+					ev.Ctx = fab.Router(cur)
+					ev.Arg = uint64(port)
+					ev.Exec = routerExec
+					prev.AddChild(ev)
+					prev = ev
+					minCycle += perHop
+					cur = next
+				}
+			}
+			lastZeroLoadDone = h.Cycle + uint64(h.Latency)
+			continue
+		case cache.HopNetMem:
+			// The LLC-to-controller link: a single traversal of the owning
+			// bank's memory-egress port (the one hop the bound phase charges).
+			if fab := models.fabric; fab != nil {
+				src := int(h.Src)
+				ev := slab.Alloc()
+				ev.Comp = models.routerComp[src]
+				ev.MinCycle = h.Cycle
+				ev.Ctx = fab.Router(src)
+				ev.Arg = uint64(fab.MemPort())
+				ev.Exec = routerExec
+				prev.AddChild(ev)
+				prev = ev
+			}
+			lastZeroLoadDone = h.Cycle + uint64(h.Latency)
+			continue
+		}
 		if bank := models.bank(h.Comp); bank != nil {
 			ev := slab.Alloc()
 			ev.Comp = h.Comp

@@ -154,6 +154,14 @@ func NewSimulator(sys *System, sched *virt.Scheduler, opts Options) *Simulator {
 			banks: arena.Take[*BankModel](a, maxComp+1),
 			mems:  arena.Take[memctrl.ContentionModel](a, maxComp+1),
 		}
+		if sys.Fabric != nil {
+			// NoC contention: the fabric's routers live in the System (their
+			// stats registry is built once); a fresh simulator starts them
+			// from idle port clocks.
+			sys.Fabric.Reset()
+			s.models.fabric = sys.Fabric
+			s.models.routerComp = sys.RouterComp
+		}
 		for i, comp := range sys.BankComp {
 			s.models.banks[comp] = NewBankModel(sys.Banks[i].Latency(), sys.Banks[i].MSHRs(), uint64(cfg.MemLatency))
 		}

@@ -23,6 +23,7 @@ import (
 	"zsim/internal/core"
 	"zsim/internal/memctrl"
 	"zsim/internal/network"
+	"zsim/internal/noc"
 	"zsim/internal/stats"
 )
 
@@ -41,12 +42,22 @@ type System struct {
 	Mems  []memctrl.Controller
 	Net   network.Model
 
+	// Fabric is the weave-phase NoC contention subsystem (nil unless the
+	// configuration enables both Contention and NOCContention): one router
+	// per topology node, each a weave component of its own.
+	Fabric *noc.Fabric
+	// RouterComp maps topology node -> the node's router component ID (only
+	// when Fabric is non-nil).
+	RouterComp []int
+
 	// Component IDs.
 	CoreComp []int
 	BankComp []int
 	MemComp  []int
 	// SharedComp marks component IDs whose accesses are retimed in the weave
-	// phase (L3 banks and memory controllers).
+	// phase (L3 banks and memory controllers). Router components are not in
+	// it: a traversal only matters when the bank or controller behind it is
+	// already weave-retimed.
 	SharedComp map[int]bool
 	// CompDomain maps every weave-relevant component to its domain.
 	CompDomain map[int]int
@@ -196,8 +207,53 @@ func BuildSystem(cfg *config.System) (*System, error) {
 		sys.Cores = append(sys.Cores, c)
 	}
 
+	// Weave-phase NoC contention: one router component per topology node,
+	// allocated after every pre-existing component so that enabling the
+	// subsystem never renumbers cores, banks or controllers (and disabling it
+	// leaves the component table bit-identical to a build without it).
+	if cfg.Contention && cfg.NOCContention {
+		topo, ok := sys.Net.(network.Topology)
+		if !ok {
+			return nil, fmt.Errorf("boundweave: nocContention requires a routed topology, %s is not one", sys.Net.Name())
+		}
+		nodes := topo.Nodes()
+		// A 64 B line plus an 8 B header, split into link-width flits.
+		packetFlits := (cache.LineSize + 8 + cfg.NOCLinkBytes - 1) / cfg.NOCLinkBytes
+		queueDepth := cfg.NOCQueueDepth
+		if queueDepth < 0 {
+			queueDepth = 0 // negative config value = unbounded
+		}
+		sys.Fabric = noc.NewFabric(topo, noc.Config{
+			PacketFlits:   packetFlits,
+			CyclesPerFlit: 1,
+			QueueDepth:    queueDepth,
+			MemHopLatency: cfg.NetHopCycles,
+		}, root.Child("noc"))
+		sys.RouterComp = arena.Take[int](root.Arena(), nodes)
+		for n := range sys.RouterComp {
+			sys.RouterComp[n] = alloc()
+		}
+		// Traversal -> topology-node resolvers. They use the same tile
+		// placement as the zero-load distance function, normalized into the
+		// node range so the weave translation can index router tables
+		// directly.
+		sys.L3.SetNetNodeFunc(func(coreID, bank int) (src, dst int) {
+			return (coreID / coresPerTile) % nodes, (bank / banksPerTile) % nodes
+		})
+		numCtrls := len(sys.Mems)
+		l3 := sys.L3
+		memRouter.SetNetNodeFunc(func(lineAddr uint64, ctrl int) (src, dst int) {
+			// src is the tile of the bank that owns (and is forwarding) the
+			// line: the router whose memory-egress port the weave phase
+			// occupies — the single hop the bound phase charges, so the
+			// traversal is NOT routed across the mesh. dst records the
+			// controller's home node in the hop for trace consumers only.
+			return (l3.BankOf(lineAddr) / banksPerTile) % nodes, ctrl * nodes / numCtrls
+		})
+	}
+
 	// Domain assignment: vertical slices over cores, banks and controllers
-	// (Figure 3).
+	// (Figure 3); routers follow their node index the same way.
 	sys.NumDomains = cfg.WeaveDomains
 	if sys.NumDomains < 1 {
 		sys.NumDomains = 1
@@ -210,6 +266,9 @@ func BuildSystem(cfg *config.System) (*System, error) {
 	}
 	for m, comp := range sys.MemComp {
 		sys.CompDomain[comp] = m * sys.NumDomains / len(sys.MemComp)
+	}
+	for n, comp := range sys.RouterComp {
+		sys.CompDomain[comp] = n * sys.NumDomains / len(sys.RouterComp)
 	}
 	return sys, nil
 }

@@ -72,11 +72,13 @@ type HopKind uint8
 
 // Hop kinds recorded during bound-phase accesses.
 const (
-	HopHit   HopKind = iota // request hit at this level
-	HopMiss                 // request missed at this level and continued up
-	HopMem                  // request was served by a memory controller
-	HopWB                   // a dirty eviction generated a writeback at this level
-	HopInval                // this access caused an invalidation in another cache
+	HopHit    HopKind = iota // request hit at this level
+	HopMiss                  // request missed at this level and continued up
+	HopMem                   // request was served by a memory controller
+	HopWB                    // a dirty eviction generated a writeback at this level
+	HopInval                 // this access caused an invalidation in another cache
+	HopNet                   // the request crossed the NoC from node Src to node Dst
+	HopNetMem                // the request crossed node Src's memory-egress link
 )
 
 // String returns a short name for the hop kind.
@@ -92,6 +94,10 @@ func (k HopKind) String() string {
 		return "wback"
 	case HopInval:
 		return "inval"
+	case HopNet:
+		return "net"
+	case HopNetMem:
+		return "netmem"
 	default:
 		return fmt.Sprintf("hop(%d)", uint8(k))
 	}
@@ -100,11 +106,15 @@ func (k HopKind) String() string {
 // Hop records one level's handling of a request; the weave phase turns hops
 // into events with the component's contention model.
 type Hop struct {
-	Comp    int // global component ID (assigned by the system builder)
-	Kind    HopKind
-	Line    uint64 // line address of the access (used by DRAM bank mapping)
-	Cycle   uint64 // zero-load cycle at which this level starts handling the request
-	Latency uint32 // zero-load latency contributed by this level
+	Comp int // global component ID (assigned by the system builder); -1 for network hops
+	Kind HopKind
+	// Src and Dst are the topology nodes of a network hop (HopNet: the full
+	// route from Src to Dst; HopNetMem: Src's memory-egress link). They are
+	// meaningless for other kinds.
+	Src, Dst int16
+	Line     uint64 // line address of the access (used by DRAM bank mapping)
+	Cycle    uint64 // zero-load cycle at which this level starts handling the request
+	Latency  uint32 // zero-load latency contributed by this level
 }
 
 // Request is a memory access travelling up the hierarchy. Levels mutate Cycle
@@ -141,6 +151,17 @@ type Request struct {
 func (r *Request) addHop(comp int, kind HopKind, cycle uint64, lat uint32) {
 	if r.RecordHops {
 		r.Hops = append(r.Hops, Hop{Comp: comp, Kind: kind, Line: r.LineAddr, Cycle: cycle, Latency: lat})
+	}
+}
+
+// addNetHop records a network traversal from topology node src to dst (the
+// weave phase expands it along the route into per-router events). Network
+// hops carry no component ID; they never mark a trace as weave-retimed by
+// themselves (the bank or controller hop that follows does).
+func (r *Request) addNetHop(kind HopKind, src, dst int, cycle uint64, lat uint32) {
+	if r.RecordHops {
+		r.Hops = append(r.Hops, Hop{Comp: -1, Kind: kind, Src: int16(src), Dst: int16(dst),
+			Line: r.LineAddr, Cycle: cycle, Latency: lat})
 	}
 }
 

@@ -5,9 +5,11 @@ package cache
 // tiled thousand-core chip) and the set of memory controllers. Routers select
 // the destination bank or controller by hashing the line address, and add the
 // network's zero-load latency for the hop, which is how the bound phase
-// accounts for the NoC (the paper leaves weave-phase NoC models to future
-// work and argues zero-load latencies capture most of the impact for
-// well-provisioned networks).
+// accounts for the NoC (the paper argues zero-load latencies capture most of
+// the impact for well-provisioned networks). When weave-phase NoC contention
+// is enabled, both routers additionally record the traversal's topology nodes
+// as network hops (HopNet / HopNetMem) on traced requests, which package
+// boundweave expands into per-router contention events (package noc).
 
 // Banked routes requests to one of several banks by hashing the line
 // address. It implements Level and is used as the parent of the private cache
@@ -22,6 +24,11 @@ type Banked struct {
 	// requesting core and a destination bank (used with mesh networks where
 	// distance depends on placement).
 	distanceFn func(coreID, bank int) uint32
+	// netNodeFn, if non-nil, resolves a core->bank traversal to its (src, dst)
+	// topology nodes; Access then records a HopNet hop on traced requests so
+	// the weave phase can retime the route's router traversals (NoC
+	// contention). Same-node traversals record nothing.
+	netNodeFn func(coreID, bank int) (src, dst int)
 }
 
 // NewBanked creates a banked-cache router over the given banks.
@@ -32,6 +39,10 @@ func NewBanked(name string, banks []*Cache, netLatency uint32) *Banked {
 // SetDistanceFunc installs a per-(core,bank) latency function, replacing the
 // flat network latency for distance-dependent topologies (mesh).
 func (b *Banked) SetDistanceFunc(f func(coreID, bank int) uint32) { b.distanceFn = f }
+
+// SetNetNodeFunc installs the core->bank topology-node resolver that enables
+// NoC hop recording on traced requests.
+func (b *Banked) SetNetNodeFunc(f func(coreID, bank int) (src, dst int)) { b.netNodeFn = f }
 
 // Name returns the router's name.
 func (b *Banked) Name() string { return b.name }
@@ -58,6 +69,11 @@ func (b *Banked) Access(req *Request) uint64 {
 	if b.distanceFn != nil {
 		lat = b.distanceFn(req.CoreID, bank)
 	}
+	if b.netNodeFn != nil && req.RecordHops {
+		if src, dst := b.netNodeFn(req.CoreID, bank); src != dst {
+			req.addNetHop(HopNet, src, dst, req.Cycle, lat)
+		}
+	}
 	savedCycle := req.Cycle
 	req.Cycle += uint64(lat)
 	avail := b.banks[bank].Access(req)
@@ -74,6 +90,11 @@ type MemRouter struct {
 	ctrls []Level
 	// netLatency models the path from the LLC bank to the memory controller.
 	netLatency uint32
+	// netNodeFn, if non-nil, resolves a request's LLC-to-controller traversal
+	// to (src, dst) topology nodes — src is the node of the LLC bank owning
+	// the line, dst the controller's home node. Access then records a
+	// HopNetMem hop (the memory-egress link at src) on traced requests.
+	netNodeFn func(lineAddr uint64, ctrl int) (src, dst int)
 }
 
 // NewMemRouter creates a router over the given memory controllers.
@@ -83,6 +104,12 @@ func NewMemRouter(name string, ctrls []Level, netLatency uint32) *MemRouter {
 
 // Name returns the router's name.
 func (m *MemRouter) Name() string { return m.name }
+
+// SetNetNodeFunc installs the line->controller topology-node resolver that
+// enables NoC hop recording on traced requests.
+func (m *MemRouter) SetNetNodeFunc(f func(lineAddr uint64, ctrl int) (src, dst int)) {
+	m.netNodeFn = f
+}
 
 // NumControllers returns the number of memory controllers.
 func (m *MemRouter) NumControllers() int { return len(m.ctrls) }
@@ -98,6 +125,10 @@ func (m *MemRouter) CtrlOf(lineAddr uint64) int {
 // request in place.
 func (m *MemRouter) Access(req *Request) uint64 {
 	idx := m.CtrlOf(req.LineAddr)
+	if m.netNodeFn != nil && req.RecordHops {
+		src, dst := m.netNodeFn(req.LineAddr, idx)
+		req.addNetHop(HopNetMem, src, dst, req.Cycle, m.netLatency)
+	}
 	savedCycle := req.Cycle
 	req.Cycle += uint64(m.netLatency)
 	avail := m.ctrls[idx].Access(req)

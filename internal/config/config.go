@@ -112,6 +112,30 @@ type System struct {
 	NetRouterStage uint32      `json:"netRouterStages"`
 	NetInjection   uint32      `json:"netInjectionCycles"`
 
+	// Weave-phase NoC contention (package noc). The bound phase always uses
+	// zero-load network latencies; enabling NOCContention additionally records
+	// every interconnect traversal's route and retimes it through per-router
+	// port/link occupancy models in the weave phase. Off by default: with it
+	// off, simulated results are bit-identical to a build without the
+	// subsystem. Requires a routed topology (ring or mesh); it only takes
+	// effect when Contention enables the weave phase.
+	NOCContention bool `json:"nocContention"`
+	// NOCLinkBytes is the link width in bytes; a 64 B line packet (plus an
+	// 8 B header) is ceil(72/NOCLinkBytes) flits, and its flit train occupies
+	// each link it crosses for that many cycles (default 16 B -> 5 flits).
+	// Narrower links saturate earlier: this is the knob link-bandwidth
+	// sensitivity sweeps turn.
+	NOCLinkBytes int `json:"nocLinkBytes"`
+	// NOCQueueDepth bounds each router output port's packet queue (default 8;
+	// negative = unbounded). A packet arriving at a full queue blocks the
+	// upstream link until the oldest in-flight flit train drains, costing
+	// the port that much effective bandwidth — shallow queues make
+	// congested ports collapse harder.
+	NOCQueueDepth int `json:"nocQueueDepth"`
+	// The router pipeline depth of the contention model is NetRouterStage,
+	// the same value the zero-load mesh latency uses, so an uncontended
+	// weave-phase traversal finishes exactly at its bound-phase cycle.
+
 	// Memory.
 	MemControllers int      `json:"memControllers"`
 	MemModel       MemModel `json:"memModel"`
@@ -175,6 +199,19 @@ func (s *System) Validate() error {
 	}
 	if s.Network == "" {
 		s.Network = NetFlat
+	}
+	if s.NOCContention && s.Network == NetFlat {
+		return fmt.Errorf("config: nocContention requires a routed topology (ring or mesh), not %q", s.Network)
+	}
+	if s.NOCLinkBytes <= 0 {
+		s.NOCLinkBytes = 16
+	}
+	if s.NOCQueueDepth == 0 {
+		// Unset defaults to 8; negative values are kept as-is and mean
+		// "unbounded" at the use site, so revalidating a config (Load, then
+		// BuildSystem) cannot turn an explicitly-unbounded queue into a
+		// bounded one.
+		s.NOCQueueDepth = 8
 	}
 	if s.MemControllers <= 0 {
 		s.MemControllers = 1

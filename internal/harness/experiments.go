@@ -753,6 +753,151 @@ func (r *IntervalResult) Format() string {
 }
 
 // ---------------------------------------------------------------------------
+// Mesh hotspot: NoC contention vs the zero-load network model
+// ---------------------------------------------------------------------------
+
+// MeshHotspotResult compares a tiled mesh chip under the zero-load network
+// model (the paper's Section 4.3 assumption) and under the weave-phase NoC
+// contention subsystem, on a hotspot workload whose write-shared lines
+// funnel coherence traffic into a few L3 banks over an under-provisioned
+// (narrow-link) mesh.
+type MeshHotspotResult struct {
+	Cores     int
+	LinkBytes int
+	Threads   []int
+	// ThroughputZeroLoad and ThroughputNoC are aggregate instructions per
+	// cycle at each thread count; ScalingZeroLoad/ScalingNoC normalize each
+	// series to its own first point (the scaling-collapse view).
+	ThroughputZeroLoad []float64
+	ThroughputNoC      []float64
+	ScalingZeroLoad    []float64
+	ScalingNoC         []float64
+	// QueueDelay, QueueStalls and MaxRouterDelay come from the contended
+	// series' router counters at each thread count.
+	QueueDelay     []uint64
+	QueueStalls    []uint64
+	MaxRouterDelay []uint64
+}
+
+// meshHotspotLinkBytes is the experiment's under-provisioned link width:
+// 4-byte links make a line packet an 18-flit train, so the NoC saturates
+// well before the banks do.
+const meshHotspotLinkBytes = 4
+
+// meshHotspotConfig builds the under-provisioned mesh chip the hotspot
+// experiment and its benchmark share: IPC1 cores, weave contention on,
+// narrow links.
+func meshHotspotConfig(tiles int, nocContention bool) *config.System {
+	cfg := config.TiledChip(tiles, config.CoreIPC1)
+	cfg.Contention = true
+	cfg.NOCContention = nocContention
+	cfg.NOCLinkBytes = meshHotspotLinkBytes
+	return cfg
+}
+
+// meshHotspotParams returns the hotspot traffic generator: heavily
+// write-shared lines in a small shared region, so upgrade misses and
+// invalidations keep forcing trips through the mesh to the same few L3
+// banks.
+func meshHotspotParams(opts Options) trace.Params {
+	p := trace.DefaultParams()
+	p.BlocksPerThread = opts.budgetBlocks(200)
+	p.ScaleWork = false
+	p.MemFraction = 0.4
+	p.StoreFraction = 0.5
+	p.SharedWorkingSet = 4 << 10
+	p.SharedFraction = 0.7
+	// Keep private data L2-resident so coherence traffic to the shared lines
+	// — not DRAM — dominates, and the mesh is the bottleneck under test.
+	p.WorkingSet = 128 << 10
+	return p
+}
+
+// MeshHotspot runs the hotspot workload at increasing thread counts under
+// both network models and reports the throughput-scaling collapse the
+// zero-load model cannot see.
+func MeshHotspot(opts Options) (*MeshHotspotResult, error) {
+	cores := opts.bigChipCores(64)
+	tiles := maxInt(cores/16, 1)
+	cores = tiles * 16
+	res := &MeshHotspotResult{Cores: cores, LinkBytes: meshHotspotLinkBytes}
+	res.Threads = dedupInts([]int{maxInt(cores/4, 1), maxInt(cores/2, 1), cores})
+	params := meshHotspotParams(opts)
+
+	for _, nocOn := range []bool{false, true} {
+		for _, th := range res.Threads {
+			opts.logf("mesh-hotspot: noc=%v threads=%d", nocOn, th)
+			cfg := meshHotspotConfig(tiles, nocOn)
+			cfg.HostThreads = opts.hostThreads()
+			zres, err := runZSim(cfg, "mesh-hotspot", params, th, opts)
+			if err != nil {
+				return nil, err
+			}
+			tput := 0.0
+			if zres.Metrics.Cycles > 0 {
+				tput = float64(zres.Metrics.Instrs) / float64(zres.Metrics.Cycles)
+			}
+			if nocOn {
+				res.ThroughputNoC = append(res.ThroughputNoC, tput)
+				res.QueueDelay = append(res.QueueDelay, zres.NOC.QueueDelay)
+				res.QueueStalls = append(res.QueueStalls, zres.NOC.QueueStalls)
+				res.MaxRouterDelay = append(res.MaxRouterDelay, zres.NOC.MaxRouterDelay)
+			} else {
+				res.ThroughputZeroLoad = append(res.ThroughputZeroLoad, tput)
+			}
+		}
+	}
+	res.ScalingZeroLoad = normalizeFirst(res.ThroughputZeroLoad)
+	res.ScalingNoC = normalizeFirst(res.ThroughputNoC)
+	return res, nil
+}
+
+// normalizeFirst divides each entry by the series' first entry.
+func normalizeFirst(v []float64) []float64 {
+	out := make([]float64, len(v))
+	if len(v) == 0 || v[0] == 0 {
+		return out
+	}
+	for i, x := range v {
+		out[i] = x / v[0]
+	}
+	return out
+}
+
+// Format renders the hotspot comparison.
+func (r *MeshHotspotResult) Format() string {
+	header := []string{"series"}
+	for _, t := range r.Threads {
+		header = append(header, fmt.Sprintf("%dt", t))
+	}
+	row := func(name string, vals []float64, suffix string) []string {
+		cols := []string{name}
+		for _, v := range vals {
+			cols = append(cols, f2(v)+suffix)
+		}
+		return cols
+	}
+	urow := func(name string, vals []uint64) []string {
+		cols := []string{name}
+		for _, v := range vals {
+			cols = append(cols, fmt.Sprintf("%d", v))
+		}
+		return cols
+	}
+	rows := [][]string{
+		row("zero-load IPC", r.ThroughputZeroLoad, ""),
+		row("NoC-contended IPC", r.ThroughputNoC, ""),
+		row("zero-load scaling", r.ScalingZeroLoad, "x"),
+		row("NoC scaling", r.ScalingNoC, "x"),
+		urow("router queue delay", r.QueueDelay),
+		urow("router queue stalls", r.QueueStalls),
+		urow("hottest router delay", r.MaxRouterDelay),
+	}
+	return fmt.Sprintf("Mesh hotspot: zero-load vs contended NoC (%d cores, %dB links)\n",
+		r.Cores, r.LinkBytes) + table(header, rows)
+}
+
+// ---------------------------------------------------------------------------
 // helpers
 // ---------------------------------------------------------------------------
 

@@ -20,6 +20,7 @@ import (
 
 	"zsim/internal/boundweave"
 	"zsim/internal/config"
+	"zsim/internal/noc"
 	"zsim/internal/stats"
 	"zsim/internal/trace"
 	"zsim/internal/virt"
@@ -106,6 +107,9 @@ type RunResult struct {
 	Metrics   *stats.Metrics
 	HostNanos int64
 	Intervals uint64
+	// NOC aggregates the NoC contention subsystem's counters (zero when the
+	// configuration leaves it disabled).
+	NOC noc.Stats
 }
 
 // runZSim builds the system for cfg, runs the named workload with the given
@@ -116,7 +120,7 @@ func runZSim(cfg *config.System, workload string, params trace.Params, threads i
 	if err != nil {
 		return nil, err
 	}
-	w := trace.New(workload, params, threads)
+	w := trace.NewIn(sys.Root.Arena(), workload, params, threads)
 	sched := virt.NewScheduler(cfg.NumCores)
 	sched.AddWorkload(w)
 	sim := boundweave.NewSimulator(sys, sched, boundweave.Options{
@@ -131,7 +135,11 @@ func runZSim(cfg *config.System, workload string, params trace.Params, threads i
 	m.Model = string(cfg.CoreModel)
 	m.HostNanos = elapsed
 	m.Finalize()
-	return &RunResult{Metrics: m, HostNanos: elapsed, Intervals: sim.Intervals}, nil
+	res := &RunResult{Metrics: m, HostNanos: elapsed, Intervals: sim.Intervals}
+	if sys.Fabric != nil {
+		res.NOC = sys.Fabric.TotalStats()
+	}
+	return res, nil
 }
 
 // nativeRate measures how fast the host can execute the workload's dynamic

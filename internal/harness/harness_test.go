@@ -296,3 +296,32 @@ func TestOversubscribedClientServer(t *testing.T) {
 		t.Fatalf("formatter output incomplete: %s", s)
 	}
 }
+
+// TestMeshHotspotSmall exercises the NoC contention experiment end to end:
+// both series run, the contended series observes non-zero router queueing,
+// and the formatter renders every row.
+func TestMeshHotspotSmall(t *testing.T) {
+	opts := tiny()
+	opts.Scale = 0.1 // enough traffic that router ports actually back up
+	res, err := MeshHotspot(opts)
+	if err != nil {
+		t.Fatalf("MeshHotspot: %v", err)
+	}
+	if len(res.Threads) == 0 || len(res.ThroughputNoC) != len(res.Threads) ||
+		len(res.ThroughputZeroLoad) != len(res.Threads) {
+		t.Fatalf("series/threads mismatch: %+v", res)
+	}
+	totalDelay := uint64(0)
+	for _, d := range res.QueueDelay {
+		totalDelay += d
+	}
+	if totalDelay == 0 {
+		t.Fatalf("hotspot run should observe non-zero router queueing delay")
+	}
+	out := res.Format()
+	for _, want := range []string{"zero-load IPC", "NoC scaling", "router queue delay"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package isa
 import (
 	"sync"
 	"sync/atomic"
+
+	"zsim/internal/arena"
 )
 
 // MemOp is one memory access of a block's timing template, in µop program
@@ -196,12 +198,35 @@ func decodeOne(ins Instruction, memSlot *int8, out []Uop) []Uop {
 	return out
 }
 
-// uopsFor returns the number of decoder µop slots an instruction occupies,
-// used by the 4-1-1-1 decode model: instructions that decode to one µop can
-// go to any of the four decoders, multi-µop instructions only to the first.
+// uopSlotTable holds, per opcode, the number of µops decodeOne emits for it.
+// It is consulted by the 4-1-1-1 decode model (instructions that decode to
+// one µop can go to any of the four decoders, multi-µop instructions only to
+// the first) and to pre-size arena-backed µop slices — both per static
+// block, so keeping it a table instead of a throwaway decodeOne call makes
+// translation allocation-free. TestUopSlotsMatchDecode pins it to decodeOne.
+var uopSlotTable = [NumOpcodes]int8{
+	OpNop: 1, OpMagic: 1,
+	OpMovRR: 1, OpMovRI: 1, OpLea: 1,
+	OpLoad: 1, OpFLoad: 1,
+	OpStore: 2, OpFStore: 2,
+	OpAdd: 1, OpAddMem: 2, OpAddToMem: 4,
+	OpMul: 1, OpDiv: 1,
+	OpCmp: 1, OpTest: 1, OpCmpMem: 2,
+	OpJcc: 1, OpJmp: 1,
+	OpCall: 4, OpRet: 3, OpPush: 3, OpPop: 2,
+	OpFAdd: 1, OpFMul: 1, OpFDiv: 1, OpFMA: 1,
+	OpXchg: 4, OpCmpXchg: 5,
+	OpFence: 1, OpRdtsc: 2, OpComplex: 2,
+}
+
+// uopSlots returns the number of decoder µop slots an instruction occupies.
 func uopSlots(ins Instruction) int {
-	var memSlot int8
-	return len(decodeOne(ins, &memSlot, nil))
+	if int(ins.Op) < len(uopSlotTable) {
+		if n := uopSlotTable[ins.Op]; n > 0 {
+			return int(n)
+		}
+	}
+	return 1 // decodeOne's default arm emits one exec µop
 }
 
 // frontendCycles computes the decode cycles for a block on a Westmere-like
@@ -255,12 +280,35 @@ func frontendCycles(instrs []Instruction, fused []bool) uint32 {
 // fusion merges a flag-setting compare/test with an immediately following
 // conditional branch into a single µop, as Westmere does.
 func Decode(b *BasicBlock) *DecodedBBL {
-	d := &DecodedBBL{
-		ID:    b.ID,
-		Addr:  b.Addr,
-		Bytes: b.Bytes(),
+	return DecodeIn(nil, b)
+}
+
+// DecodeIn is Decode with the DecodedBBL and every slice it owns — µops,
+// timing template, memory-op list, live-out set — carved from the given
+// construction arena (nil falls back to the heap). Workload construction
+// decodes thousands of blocks; with an arena this is the difference between
+// ~4k small allocations per workload and a handful of chunk allocations.
+func DecodeIn(a *arena.Arena, b *BasicBlock) *DecodedBBL {
+	d := arena.One[DecodedBBL](a)
+	d.ID = b.ID
+	d.Addr = b.Addr
+	d.Bytes = b.Bytes()
+	// Exact µop capacity: macro-op fusion only ever shrinks the count.
+	maxUops := 0
+	for i := range b.Instrs {
+		maxUops += uopSlots(b.Instrs[i])
 	}
-	fused := make([]bool, len(b.Instrs))
+	d.Uops = arena.TakeCap[Uop](a, 0, maxUops)
+	// fused is decode-time scratch; it must not come from the permanent
+	// arena (which never frees), and a stack buffer keeps the common case
+	// allocation-free.
+	var fusedBuf [64]bool
+	var fused []bool
+	if len(b.Instrs) > len(fusedBuf) {
+		fused = make([]bool, len(b.Instrs))
+	} else {
+		fused = fusedBuf[:len(b.Instrs)]
+	}
 	var memSlot int8
 	instrCount := 0
 	for i := 0; i < len(b.Instrs); i++ {
@@ -300,20 +348,22 @@ func Decode(b *BasicBlock) *DecodedBBL {
 	}
 	d.Instrs = instrCount
 	d.DecodeCycles = frontendCycles(b.Instrs, fused)
-	d.buildTemplate()
+	d.buildTemplate(a)
 	return d
 }
 
 // buildTemplate computes the block's timing template: the memory-op list, the
 // per-µop dependence skeleton and the live-out register set. It runs once per
 // static block, at translation time; the core models' per-dynamic-block loops
-// consume the result without re-deriving any of it.
-func (d *DecodedBBL) buildTemplate() {
+// consume the result without re-deriving any of it. Template storage is
+// carved from the construction arena when one is supplied.
+func (d *DecodedBBL) buildTemplate(a *arena.Arena) {
 	var lastWriter [NumRegs]int16
 	for i := range lastWriter {
 		lastWriter[i] = -1
 	}
-	d.Tmpl = make([]UopTmpl, len(d.Uops))
+	d.Tmpl = arena.Take[UopTmpl](a, len(d.Uops))
+	d.MemOps = arena.TakeCap[MemOp](a, 0, d.Loads+d.Stores)
 	for i := range d.Uops {
 		u := &d.Uops[i]
 		t := &d.Tmpl[i]
@@ -349,6 +399,13 @@ func (d *DecodedBBL) buildTemplate() {
 			lastWriter[u.Dst2] = int16(i)
 		}
 	}
+	liveOut := 0
+	for r := 1; r < int(NumRegs); r++ {
+		if lastWriter[r] >= 0 {
+			liveOut++
+		}
+	}
+	d.LiveOut = arena.TakeCap[RegWrite](a, 0, liveOut)
 	for r := 1; r < int(NumRegs); r++ {
 		if w := lastWriter[r]; w >= 0 {
 			d.LiveOut = append(d.LiveOut, RegWrite{Reg: Reg(r), Uop: w})
@@ -362,6 +419,10 @@ func (d *DecodedBBL) buildTemplate() {
 type Decoder struct {
 	mu    sync.RWMutex
 	cache map[uint64]*DecodedBBL
+	// arena, when non-nil, backs every DecodedBBL this cache creates (and the
+	// decoder object itself): workload construction then performs a handful
+	// of chunk allocations instead of thousands of per-block ones.
+	arena *arena.Arena
 
 	// hits and misses count cache performance for the ablation benchmarks
 	// that quantify the DBT-style speedup. They are updated atomically so the
@@ -372,7 +433,16 @@ type Decoder struct {
 
 // NewDecoder returns an empty decoder cache.
 func NewDecoder() *Decoder {
-	return &Decoder{cache: make(map[uint64]*DecodedBBL)}
+	return NewDecoderIn(nil)
+}
+
+// NewDecoderIn returns an empty decoder cache whose decoded blocks are
+// carved from the given construction arena (nil falls back to the heap).
+func NewDecoderIn(a *arena.Arena) *Decoder {
+	d := arena.One[Decoder](a)
+	d.cache = make(map[uint64]*DecodedBBL)
+	d.arena = a
+	return d
 }
 
 // Lookup returns the cached decoding for a block, decoding and caching it on
@@ -392,7 +462,7 @@ func (d *Decoder) Lookup(b *BasicBlock) *DecodedBBL {
 		d.hits.Add(1)
 		return bbl
 	}
-	bbl = Decode(b)
+	bbl = DecodeIn(d.arena, b)
 	d.cache[b.ID] = bbl
 	d.misses.Add(1)
 	return bbl

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"zsim/internal/arena"
 )
 
 func TestRegString(t *testing.T) {
@@ -435,5 +437,44 @@ func TestDecodeDeterministic(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestUopSlotsMatchDecode pins the static µop-slot table to decodeOne: every
+// opcode's table entry must equal the number of µops decodeOne actually
+// emits (the table exists so frontend modeling and arena sizing never call
+// decodeOne with a throwaway slice).
+func TestUopSlotsMatchDecode(t *testing.T) {
+	for op := Opcode(0); op < NumOpcodes; op++ {
+		ins := Instruction{Op: op, Dst: RAX, Src1: RBX, Src2: RCX, Bytes: 4}
+		var memSlot int8
+		want := len(decodeOne(ins, &memSlot, nil))
+		if got := uopSlots(ins); got != want {
+			t.Fatalf("uopSlots(%s) = %d, decodeOne emits %d", op, got, want)
+		}
+	}
+}
+
+// TestDecodeInMatchesDecode checks the arena path produces the same decoded
+// block as the heap path.
+func TestDecodeInMatchesDecode(t *testing.T) {
+	b := &BasicBlock{ID: 7, Addr: 0x400000}
+	for op := Opcode(0); op < NumOpcodes; op++ {
+		b.Instrs = append(b.Instrs, Instruction{Op: op, Dst: RAX, Src1: RBX, Src2: RCX, Bytes: 3})
+	}
+	heap := Decode(b)
+	ar := DecodeIn(arena.New(), b)
+	if len(heap.Uops) != len(ar.Uops) || heap.Instrs != ar.Instrs ||
+		heap.DecodeCycles != ar.DecodeCycles || heap.Loads != ar.Loads ||
+		heap.Stores != ar.Stores || heap.Branches != ar.Branches {
+		t.Fatalf("arena decode differs from heap decode:\nheap %+v\narena %+v", heap, ar)
+	}
+	for i := range heap.Tmpl {
+		if heap.Tmpl[i] != ar.Tmpl[i] {
+			t.Fatalf("template differs at µop %d: %+v vs %+v", i, heap.Tmpl[i], ar.Tmpl[i])
+		}
+	}
+	if len(heap.MemOps) != len(ar.MemOps) || len(heap.LiveOut) != len(ar.LiveOut) {
+		t.Fatalf("memops/liveout lengths differ")
 	}
 }

@@ -1,10 +1,12 @@
-// Package network provides the zero-load network-on-chip latency models used
-// by the bound phase: a ring (the validated 6-core Westmere uncore) and a 2D
-// mesh (the tiled thousand-core chip of Table 3). The paper argues that for
+// Package network provides the network-on-chip models used by the bound
+// phase: a ring (the validated 6-core Westmere uncore) and a 2D mesh (the
+// tiled thousand-core chip of Table 3). The paper argues that for
 // well-provisioned NoCs, zero-load latencies capture most of the performance
-// impact, and leaves weave-phase NoC contention models to future work; this
-// package therefore only models hop counts, per-hop latency and injection
-// latency.
+// impact; the bound phase therefore only uses hop counts, per-hop latency and
+// injection latency (Model). For under-provisioned NoCs, the Topology
+// interface additionally enumerates the routes messages take — node by node,
+// output port by output port — which is what package noc uses to turn each
+// traversal into per-router weave-phase contention events.
 package network
 
 // Model returns the zero-load latency, in cycles, for a message from a source
@@ -16,6 +18,67 @@ type Model interface {
 	Latency(src, dst int) uint32
 	// Name identifies the topology.
 	Name() string
+}
+
+// Link is one directed router-to-router link of a route: the link from node
+// From's output port Port to node To.
+type Link struct {
+	From, To int
+	// Port is the output-port index at From that drives the link
+	// (0 <= Port < NumPorts of the topology).
+	Port int
+}
+
+// Topology extends Model with the structural view the weave-phase NoC
+// contention subsystem needs: the node count, the number of network output
+// ports per router, deterministic next-hop routing, and the zero-load latency
+// decomposition (injection + hops x per-hop) that Latency is built from, so a
+// contention model layered on the route stays zero-load-consistent with the
+// bound phase.
+type Topology interface {
+	Model
+	// Nodes returns the number of router nodes.
+	Nodes() int
+	// NextHop returns the next node on the deterministic route from cur to
+	// dst, and the output port at cur that carries the link. cur and dst are
+	// normalized like Latency's arguments; cur must differ from dst after
+	// normalization.
+	NextHop(cur, dst int) (next, port int)
+	// NumPorts returns the number of network output ports per router (2 for a
+	// ring, 4 for a mesh). Port indices returned by NextHop are below this.
+	NumPorts() int
+	// InjectionLatency returns the zero-load cycles to inject a message into
+	// the network at its source node.
+	InjectionLatency() uint32
+	// PerHopLatency returns the zero-load cycles per hop (link traversal plus
+	// router pipeline), so that for every src, dst:
+	// Latency(src, dst) == InjectionLatency() + hops(src, dst)*PerHopLatency().
+	PerHopLatency() uint32
+}
+
+// RouteAppend appends the links of the deterministic route from src to dst to
+// buf and returns it. It is a convenience over NextHop for tests and tools;
+// the simulator's translation loop walks NextHop directly so it never
+// materializes a route.
+func RouteAppend(t Topology, src, dst int, buf []Link) []Link {
+	n := t.Nodes()
+	cur, end := normNode(src, n), normNode(dst, n)
+	for cur != end {
+		next, port := t.NextHop(cur, end)
+		buf = append(buf, Link{From: cur, To: next, Port: port})
+		cur = next
+	}
+	return buf
+}
+
+// normNode reduces a node index into [0, nodes), the same normalization the
+// Latency methods apply.
+func normNode(v, nodes int) int {
+	v %= nodes
+	if v < 0 {
+		v += nodes
+	}
+	return v
 }
 
 // Ring models a unidirectional-traversal bidirectional ring: messages take
@@ -62,6 +125,35 @@ func (r *Ring) Latency(src, dst int) uint32 {
 	}
 	return r.injection + uint32(d)*r.hopCycles
 }
+
+// Ring output ports.
+const (
+	// RingPortCW drives the clockwise (increasing node index) link.
+	RingPortCW = 0
+	// RingPortCCW drives the counter-clockwise link.
+	RingPortCCW = 1
+)
+
+// NextHop routes along the shorter direction around the ring (clockwise on a
+// tie, so routes are deterministic and their hop count always matches
+// Latency's min-distance).
+func (r *Ring) NextHop(cur, dst int) (next, port int) {
+	cur, dst = normNode(cur, r.nodes), normNode(dst, r.nodes)
+	fwd := normNode(dst-cur, r.nodes) // clockwise distance
+	if fwd != 0 && fwd <= r.nodes-fwd {
+		return (cur + 1) % r.nodes, RingPortCW
+	}
+	return normNode(cur-1, r.nodes), RingPortCCW
+}
+
+// NumPorts returns 2 (clockwise and counter-clockwise).
+func (r *Ring) NumPorts() int { return 2 }
+
+// InjectionLatency returns the configured injection latency.
+func (r *Ring) InjectionLatency() uint32 { return r.injection }
+
+// PerHopLatency returns the per-hop link latency.
+func (r *Ring) PerHopLatency() uint32 { return r.hopCycles }
 
 // Mesh models a 2D mesh with dimension-ordered routing and multi-stage
 // routers: latency = injection + hops * (hopCycles + routerStages). Table 3's
@@ -130,6 +222,43 @@ func absInt(v int) int {
 	}
 	return v
 }
+
+// Mesh output ports (dimension-ordered routing uses X ports before Y ports).
+const (
+	MeshPortEast  = 0 // +x
+	MeshPortWest  = 1 // -x
+	MeshPortSouth = 2 // +y
+	MeshPortNorth = 3 // -y
+)
+
+// NextHop implements dimension-ordered (X then Y) routing, the same routing
+// discipline Latency's hop count assumes.
+func (m *Mesh) NextHop(cur, dst int) (next, port int) {
+	n := m.Nodes()
+	cur, dst = normNode(cur, n), normNode(dst, n)
+	cx, cy := cur%m.width, cur/m.width
+	dx, dy := dst%m.width, dst/m.width
+	switch {
+	case cx < dx:
+		return cur + 1, MeshPortEast
+	case cx > dx:
+		return cur - 1, MeshPortWest
+	case cy < dy:
+		return cur + m.width, MeshPortSouth
+	default:
+		return cur - m.width, MeshPortNorth
+	}
+}
+
+// NumPorts returns 4 (the mesh directions).
+func (m *Mesh) NumPorts() int { return 4 }
+
+// InjectionLatency returns the configured injection latency.
+func (m *Mesh) InjectionLatency() uint32 { return m.injection }
+
+// PerHopLatency returns the per-hop latency: link traversal plus the router
+// pipeline stages.
+func (m *Mesh) PerHopLatency() uint32 { return m.hopCycles + m.routerStages }
 
 // Flat is a topology-free model with a constant latency between any pair of
 // nodes, used by small configurations and unit tests.

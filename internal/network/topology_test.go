@@ -1,0 +1,131 @@
+package network
+
+import "testing"
+
+// topologies under test: every routed topology must keep its route
+// enumeration consistent with its zero-load latency model.
+func testTopologies() []Topology {
+	return []Topology{
+		NewRing(1, 1, 5),
+		NewRing(2, 1, 5),
+		NewRing(6, 1, 5), // validated Westmere uncore
+		NewRing(7, 2, 3), // odd size: shorter-direction ties cannot happen
+		NewRing(8, 3, 0), // even size: antipodal ties
+		NewMesh(1, 1, 1, 2, 1),
+		NewMesh(2, 2, 1, 2, 1),
+		NewMesh(8, 8, 1, 2, 1), // Table 3's 64-tile chip
+		NewMesh(5, 3, 2, 1, 4), // non-square, asymmetric latencies
+	}
+}
+
+// TestRouteLatencyConsistency checks, for every (src, dst) pair of every
+// topology, that the enumerated route is a well-formed path from src to dst
+// whose hop count matches the zero-load latency decomposition:
+// Latency == InjectionLatency + len(route)*PerHopLatency.
+func TestRouteLatencyConsistency(t *testing.T) {
+	for _, topo := range testTopologies() {
+		n := topo.Nodes()
+		var buf []Link
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				buf = RouteAppend(topo, src, dst, buf[:0])
+				// Path well-formedness: starts at src, ends at dst, links
+				// connect, ports in range, no node repeats (minimal routes
+				// cannot revisit).
+				cur := src
+				seen := map[int]bool{src: true}
+				for _, l := range buf {
+					if l.From != cur {
+						t.Fatalf("%s %d->%d: link %+v does not start at %d", topo.Name(), src, dst, l, cur)
+					}
+					if l.Port < 0 || l.Port >= topo.NumPorts() {
+						t.Fatalf("%s %d->%d: port %d out of range [0,%d)", topo.Name(), src, dst, l.Port, topo.NumPorts())
+					}
+					if seen[l.To] {
+						t.Fatalf("%s %d->%d: route revisits node %d", topo.Name(), src, dst, l.To)
+					}
+					seen[l.To] = true
+					cur = l.To
+				}
+				if cur != dst {
+					t.Fatalf("%s: route %d->%d ends at %d", topo.Name(), src, dst, cur)
+				}
+				want := topo.InjectionLatency() + uint32(len(buf))*topo.PerHopLatency()
+				if src == dst && len(buf) != 0 {
+					t.Fatalf("%s: self-route %d->%d has %d links", topo.Name(), src, dst, len(buf))
+				}
+				if got := topo.Latency(src, dst); got != want {
+					t.Fatalf("%s %d->%d: Latency=%d but injection+%d hops*perHop=%d",
+						topo.Name(), src, dst, got, len(buf), want)
+				}
+			}
+		}
+	}
+}
+
+// TestRouteHopCountSymmetry checks that routes are hop-count symmetric:
+// the path back takes as many hops as the path there (dimension-ordered
+// mesh routes differ in shape, minimal distance does not).
+func TestRouteHopCountSymmetry(t *testing.T) {
+	for _, topo := range testTopologies() {
+		n := topo.Nodes()
+		var fwd, back []Link
+		for src := 0; src < n; src++ {
+			for dst := src + 1; dst < n; dst++ {
+				fwd = RouteAppend(topo, src, dst, fwd[:0])
+				back = RouteAppend(topo, dst, src, back[:0])
+				if len(fwd) != len(back) {
+					t.Fatalf("%s: |route(%d,%d)|=%d but |route(%d,%d)|=%d",
+						topo.Name(), src, dst, len(fwd), dst, src, len(back))
+				}
+			}
+		}
+	}
+}
+
+// TestRouteNormalization checks that out-of-range node indices reduce the
+// way Latency's arguments do.
+func TestRouteNormalization(t *testing.T) {
+	topo := NewMesh(4, 4, 1, 2, 1)
+	n := topo.Nodes()
+	a := RouteAppend(topo, 1, 14, nil)
+	b := RouteAppend(topo, 1+n, 14-2*n, nil)
+	if len(a) != len(b) {
+		t.Fatalf("normalized route lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("normalized routes differ at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestMeshDimensionOrder pins the routing discipline: X fully resolves
+// before Y (the discipline the contention model's port occupancy assumes).
+func TestMeshDimensionOrder(t *testing.T) {
+	topo := NewMesh(4, 4, 1, 2, 1)
+	route := RouteAppend(topo, 0, 15, nil) // (0,0) -> (3,3)
+	sawY := false
+	for _, l := range route {
+		isY := l.Port == MeshPortSouth || l.Port == MeshPortNorth
+		if sawY && !isY {
+			t.Fatalf("route %v uses an X port after a Y port", route)
+		}
+		sawY = sawY || isY
+	}
+	if len(route) != 6 {
+		t.Fatalf("(0,0)->(3,3) should take 6 hops, got %d", len(route))
+	}
+}
+
+// TestRingShorterDirection pins ring routing to the shorter direction (the
+// direction Latency charges for).
+func TestRingShorterDirection(t *testing.T) {
+	topo := NewRing(6, 1, 5)
+	if route := RouteAppend(topo, 0, 5, nil); len(route) != 1 || route[0].Port != RingPortCCW {
+		t.Fatalf("0->5 on a 6-ring should be one counter-clockwise hop, got %+v", route)
+	}
+	if route := RouteAppend(topo, 0, 2, nil); len(route) != 2 || route[0].Port != RingPortCW {
+		t.Fatalf("0->2 on a 6-ring should be two clockwise hops, got %+v", route)
+	}
+}

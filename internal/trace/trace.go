@@ -19,6 +19,7 @@ package trace
 import (
 	"fmt"
 
+	"zsim/internal/arena"
 	"zsim/internal/isa"
 )
 
@@ -211,6 +212,7 @@ type Workload struct {
 	Params  Params
 	Threads int
 
+	arena   *arena.Arena
 	decoder *isa.Decoder
 	blocks  []*isa.BasicBlock
 	decoded []*isa.DecodedBBL
@@ -230,6 +232,16 @@ type Workload struct {
 // The static code footprint is generated deterministically from the seed and
 // decoded once (the decoder plays the role of Pin's translation cache).
 func New(name string, p Params, threads int) *Workload {
+	return NewIn(nil, name, p, threads)
+}
+
+// NewIn is New with the workload's static code — basic blocks, their decoded
+// translations and the decoder cache — carved from the given construction
+// arena (nil falls back to the heap). The zsim facade passes the simulated
+// system's arena, turning the largest remaining fixed construction cost
+// (workload decode, ~4k allocations per workload) into a few chunk
+// allocations.
+func NewIn(a *arena.Arena, name string, p Params, threads int) *Workload {
 	if threads < 1 {
 		threads = 1
 	}
@@ -245,13 +257,13 @@ func New(name string, p Params, threads int) *Workload {
 	if p.NumLocks < 1 {
 		p.NumLocks = 1
 	}
-	w := &Workload{
-		Name:       name,
-		Params:     p,
-		Threads:    threads,
-		decoder:    isa.NewDecoder(),
-		sharedBase: 0x7f00_0000_0000 + p.AddrSpace<<44,
-	}
+	w := arena.One[Workload](a)
+	w.Name = name
+	w.Params = p
+	w.Threads = threads
+	w.arena = a
+	w.decoder = isa.NewDecoderIn(a)
+	w.sharedBase = 0x7f00_0000_0000 + p.AddrSpace<<44
 	w.generateCode()
 	return w
 }
@@ -263,16 +275,25 @@ func (w *Workload) Decoder() *isa.Decoder { return w.decoder }
 func (w *Workload) NumStaticBlocks() int { return len(w.blocks) }
 
 // generateCode builds the static basic blocks from the workload parameters.
+// Block structures and instruction slices come from the workload's arena
+// when it has one.
 func (w *Workload) generateCode() {
 	rng := newRand(w.Params.Seed ^ 0x9e3779b97f4a7c15)
 	p := w.Params
 	codeAddr := 0x400000 + p.AddrSpace<<44
+	w.blocks = arena.TakeCap[*isa.BasicBlock](w.arena, 0, p.StaticBlocks)
+	w.decoded = arena.TakeCap[*isa.DecodedBBL](w.arena, 0, p.StaticBlocks)
 	for i := 0; i < p.StaticBlocks; i++ {
 		n := p.AvgBlockLen/2 + int(rng.next()%uint64(p.AvgBlockLen))
 		if n < 2 {
 			n = 2
 		}
-		b := &isa.BasicBlock{ID: uint64(i + 1), Addr: codeAddr}
+		b := arena.One[isa.BasicBlock](w.arena)
+		b.ID = uint64(i + 1)
+		b.Addr = codeAddr
+		// A block emits at most n+2 instructions (body ops plus a
+		// two-instruction cmp+jcc terminator).
+		b.Instrs = arena.TakeCap[isa.Instruction](w.arena, 0, n+2)
 		memOps := int(float64(n)*p.MemFraction + 0.5)
 		aluOps := n - memOps - 1 // one slot reserved for the ending branch
 		if aluOps < 0 {
@@ -345,12 +366,15 @@ func (w *Workload) generateCode() {
 	}
 
 	// The spin block: load the lock word, compare, attempt cmpxchg, branch.
-	w.spinBlock = &isa.BasicBlock{ID: uint64(p.StaticBlocks + 1), Addr: codeAddr, Instrs: []isa.Instruction{
-		{Op: isa.OpLoad, Dst: isa.RAX, Src1: isa.RBX, Bytes: 4},
-		{Op: isa.OpCmp, Src1: isa.RAX, Src2: isa.RCX, Bytes: 3},
-		{Op: isa.OpCmpXchg, Dst: isa.RAX, Src1: isa.RBX, Src2: isa.RDX, Bytes: 5},
-		{Op: isa.OpJcc, Bytes: 2},
-	}}
+	w.spinBlock = arena.One[isa.BasicBlock](w.arena)
+	w.spinBlock.ID = uint64(p.StaticBlocks + 1)
+	w.spinBlock.Addr = codeAddr
+	w.spinBlock.Instrs = append(arena.TakeCap[isa.Instruction](w.arena, 0, 4),
+		isa.Instruction{Op: isa.OpLoad, Dst: isa.RAX, Src1: isa.RBX, Bytes: 4},
+		isa.Instruction{Op: isa.OpCmp, Src1: isa.RAX, Src2: isa.RCX, Bytes: 3},
+		isa.Instruction{Op: isa.OpCmpXchg, Dst: isa.RAX, Src1: isa.RBX, Src2: isa.RDX, Bytes: 5},
+		isa.Instruction{Op: isa.OpJcc, Bytes: 2},
+	)
 	w.spinDecoded = w.decoder.Lookup(w.spinBlock)
 }
 

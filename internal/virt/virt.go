@@ -200,6 +200,12 @@ type Scheduler struct {
 	// never take a lock or rescan the thread table.
 	runnable atomic.Int64
 	live     atomic.Int64
+	// procLive[p] counts process p's live (not Done) threads, maintained by
+	// setState with atomic adds (same ownership discipline as the global live
+	// counter). checkBarriers reads it instead of scanning the whole thread
+	// table on every barrier arrival and thread exit, which barrier-heavy
+	// thousand-thread runs do thousands of times per interval.
+	procLive []int64
 
 	// wakeQ is a min-heap of (wake cycle, thread ID) over syscall-blocked
 	// threads, so waking and peeking are O(log blocked) instead of an
@@ -402,6 +408,9 @@ func (s *Scheduler) NumCores() int { return s.numCores }
 // process's affinity unless they have their own.
 func (s *Scheduler) AddProcess(p *Process) {
 	s.procs = append(s.procs, p)
+	for p.ID >= 0 && len(s.procLive) <= p.ID {
+		s.procLive = append(s.procLive, 0)
+	}
 	for _, t := range p.Threads {
 		if len(t.Affinity) == 0 {
 			t.Affinity = p.Affinity
@@ -411,6 +420,9 @@ func (s *Scheduler) AddProcess(p *Process) {
 		t.Core = -1
 		s.threads = append(s.threads, t)
 		s.live.Add(1)
+		if p.ID >= 0 {
+			s.procLive[p.ID]++
+		}
 		if t.FastForwardBlocks > 0 {
 			t.State = StateFastForward
 			s.ffPending = append(s.ffPending, t.ID)
@@ -460,6 +472,9 @@ func (s *Scheduler) setState(t *Thread, st ThreadState) {
 	}
 	if st == StateDone {
 		s.live.Add(-1)
+		if t.Proc >= 0 && t.Proc < len(s.procLive) {
+			atomic.AddInt64(&s.procLive[t.Proc], -1)
+		}
 	}
 	t.State = st
 }
@@ -948,7 +963,9 @@ func (s *Scheduler) OnBarrier(t *Thread, barrierID int, now uint64) {
 
 // checkBarriers releases any barrier at which every live thread of the
 // process has arrived. Barriers are visited in ascending process order so
-// the release order (and thus the run queue) is deterministic.
+// the release order (and thus the run queue) is deterministic. The live
+// count comes from the per-process counter setState maintains, so a release
+// check is O(arrived) instead of an O(threads) table scan.
 func (s *Scheduler) checkBarriers(now uint64) {
 	s.barMu.Lock()
 	keys := s.barScr[:0]
@@ -963,9 +980,15 @@ func (s *Scheduler) checkBarriers(now uint64) {
 			continue
 		}
 		live := 0
-		for _, t := range s.threads {
-			if t.Proc == proc && t.State != StateDone {
-				live++
+		if proc >= 0 && proc < len(s.procLive) {
+			live = int(atomic.LoadInt64(&s.procLive[proc]))
+		} else {
+			// Out-of-range (e.g. negative caller-assigned) process IDs keep
+			// the pre-counter behavior: count the process's live threads.
+			for _, t := range s.threads {
+				if t.Proc == proc && t.State != StateDone {
+					live++
+				}
 			}
 		}
 		if live == 0 || len(b.arrived) < live {

@@ -590,3 +590,39 @@ func TestRunnableAndLiveCounts(t *testing.T) {
 		t.Fatalf("next wake should be 700, got %d/%v", wake, ok)
 	}
 }
+
+// TestBarrierSparseProcessIDs covers the per-process live-count table with
+// caller-assigned, non-contiguous process IDs: barriers stay per-process and
+// release against each process's own live count, including after threads of
+// another process finish.
+func TestBarrierSparseProcessIDs(t *testing.T) {
+	s := NewScheduler(4)
+	mk := func(id, threads int) *Process {
+		w := testWorkload(threads, 10)
+		p := &Process{ID: id, Name: "p"}
+		for i := 0; i < threads; i++ {
+			p.Threads = append(p.Threads, &Thread{Stream: w.NewThread(i)})
+		}
+		s.AddProcess(p)
+		return p
+	}
+	pa := mk(3, 2) // sparse IDs: 3 and 9
+	pb := mk(9, 2)
+	s.ScheduleInterval(0)
+
+	// Process 9's first thread finishes; its barrier then needs only one
+	// arrival, while process 3 still needs both of its threads.
+	s.OnDone(pb.Threads[0], 10)
+	s.OnBarrier(pa.Threads[0], 0, 100)
+	if pa.Threads[0].State != StateBlockedBarrier {
+		t.Fatalf("process 3 barrier must wait for its second thread")
+	}
+	s.OnBarrier(pb.Threads[1], 0, 200)
+	if pb.Threads[1].State != StateRunnable {
+		t.Fatalf("process 9's sole live thread should pass its barrier")
+	}
+	s.OnBarrier(pa.Threads[1], 0, 300)
+	if pa.Threads[0].State != StateRunnable || pa.Threads[0].Cycle != 300 {
+		t.Fatalf("process 3 barrier should release both threads at cycle 300")
+	}
+}

@@ -157,7 +157,9 @@ func (s *Simulator) SetSeed(seed uint64) { s.seed = seed }
 // process ID.
 func (s *Simulator) AddWorkload(name string, params WorkloadParams, threads int) int {
 	s.assignAddrSpace(&params)
-	w := trace.New(name, params, threads)
+	// Workload static code (blocks + decoder cache) shares the system's
+	// construction arena.
+	w := trace.NewIn(s.sys.Root.Arena(), name, params, threads)
 	p := s.sched.AddWorkload(w)
 	s.workloads++
 	return p.ID
@@ -178,7 +180,7 @@ func (s *Simulator) AddNamedWorkload(name string, threads int) (int, error) {
 // describes for multiprogrammed runs).
 func (s *Simulator) AddPinnedWorkload(name string, params WorkloadParams, threads int, cores []int) int {
 	s.assignAddrSpace(&params)
-	w := trace.New(name, params, threads)
+	w := trace.NewIn(s.sys.Root.Arena(), name, params, threads)
 	p := &virt.Process{ID: s.workloads, Name: name, Affinity: cores}
 	for i := 0; i < threads; i++ {
 		p.Threads = append(p.Threads, &virt.Thread{Stream: w.NewThread(i)})
@@ -186,6 +188,23 @@ func (s *Simulator) AddPinnedWorkload(name string, params WorkloadParams, thread
 	s.sched.AddProcess(p)
 	s.workloads++
 	return p.ID
+}
+
+// NOCStats summarizes the weave-phase NoC contention subsystem's activity
+// during a run (all zero unless Config.NOCContention is enabled).
+type NOCStats struct {
+	// Traversals counts packets scheduled through router output ports.
+	Traversals uint64
+	// PortConflicts counts packets that found their output port's link busy;
+	// QueueStalls counts the subset of them that also found the port's
+	// bounded queue full on arrival (each charges the port backpressure
+	// occupancy for the time the packet blocked the upstream link).
+	PortConflicts uint64
+	QueueStalls   uint64
+	// QueueDelay is the total cycles packets spent waiting for ports, and
+	// MaxRouterDelay the largest per-router share of it (hotspot indicator).
+	QueueDelay     uint64
+	MaxRouterDelay uint64
 }
 
 // SchedStats summarizes the virtualization layer's scheduling activity
@@ -220,6 +239,9 @@ type Result struct {
 	WeaveEvents uint64
 	// Sched reports the scheduling activity of the virtualization layer.
 	Sched SchedStats
+	// NOC reports the NoC contention subsystem's activity (zero when
+	// Config.NOCContention is off).
+	NOC NOCStats
 	// Stalled reports that the run stopped because the workload deadlocked
 	// (no thread runnable and none wakeable by simulated time).
 	Stalled bool
@@ -268,6 +290,17 @@ func (s *Simulator) Run() (*Result, error) {
 	m.Model = string(s.cfg.CoreModel)
 	m.HostNanos = elapsed.Nanoseconds()
 	m.Finalize()
+	var nocStats NOCStats
+	if s.sys.Fabric != nil {
+		fs := s.sys.Fabric.TotalStats()
+		nocStats = NOCStats{
+			Traversals:     fs.Traversals,
+			PortConflicts:  fs.PortConflicts,
+			QueueStalls:    fs.QueueStalls,
+			QueueDelay:     fs.QueueDelay,
+			MaxRouterDelay: fs.MaxRouterDelay,
+		}
+	}
 	return &Result{
 		Metrics:     m,
 		Intervals:   sim.Intervals,
@@ -281,6 +314,7 @@ func (s *Simulator) Run() (*Result, error) {
 			BarrierWaits:     s.sched.BarrierWaits.Load(),
 			SyscallBlocks:    s.sched.SyscallBlocks.Load(),
 		},
+		NOC:     nocStats,
 		Stalled: sim.Stalled,
 	}, nil
 }
