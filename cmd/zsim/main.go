@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +34,7 @@ func main() {
 		linkBytes  = flag.Int("noc-link-bytes", 0, "NoC link width in bytes (0 = config default)")
 		statsDump  = flag.Bool("stats", false, "dump the full statistics tree after the run")
 		list       = flag.Bool("list", false, "list the registered workloads and exit")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = unlimited); an overrun exits non-zero with partial results")
 	)
 	flag.Parse()
 
@@ -57,6 +59,9 @@ func main() {
 	if *linkBytes > 0 {
 		cfg.NOCLinkBytes = *linkBytes
 	}
+	if *timeout > 0 {
+		cfg.MaxWallTime = *timeout
+	}
 	sim, err := zsim.New(cfg)
 	if err != nil {
 		fatal(err)
@@ -74,7 +79,22 @@ func main() {
 
 	res, err := sim.Run()
 	if err != nil {
-		fatal(err)
+		// Abnormal stops still carry partial results: print the diagnostic
+		// and whatever was simulated, then exit non-zero so scripts notice.
+		var re *zsim.RunError
+		if !errors.As(err, &re) {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, re.Error()) // message already carries the zsim: prefix
+		switch re.Reason {
+		case zsim.Deadlocked:
+			fmt.Fprintln(os.Stderr, "zsim: the workload deadlocked: no thread is runnable and none can be"+
+				" woken by simulated time (lock cycle or unmatched barrier)")
+		case zsim.DeadlineExceeded:
+			fmt.Fprintf(os.Stderr, "zsim: the run exceeded its -timeout of %v; partial results below\n", *timeout)
+		}
+		fmt.Println(res.Summary())
+		os.Exit(1)
 	}
 	fmt.Println(res.Summary())
 	if *statsDump {

@@ -1,0 +1,107 @@
+// Command zsimd is the zsim simulation daemon: an HTTP/JSON job service that
+// runs bound-weave simulations through a bounded worker pool with per-job
+// deadlines, cooperative cancellation, panic isolation and graceful drain.
+//
+// API (JSON bodies everywhere):
+//
+//	POST /jobs              submit a job; 202 + status, or 503 + Retry-After when shedding
+//	GET  /jobs              list all jobs
+//	GET  /jobs/{id}         job status
+//	GET  /jobs/{id}/result  job result (409 until finished; partial metrics on failures)
+//	POST /jobs/{id}/cancel  cancel a queued or running job
+//	GET  /healthz           liveness
+//	GET  /readyz            readiness (503 while draining)
+//
+// SIGTERM/SIGINT stop admission, let in-flight jobs finish within -grace,
+// then cooperatively cancel whatever remains (those jobs report partial
+// metrics) and flush the audit log before exiting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"zsim/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr, nil))
+}
+
+// run is main without the process-global bits, so the integration test can
+// drive a real daemon (including its signal handling) in-process. onReady, if
+// non-nil, receives the bound address once the server is accepting.
+func run(args []string, stderr io.Writer, onReady func(net.Addr)) int {
+	fs := flag.NewFlagSet("zsimd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:8347", "listen address (use :0 for an ephemeral port)")
+		workers    = fs.Int("workers", 1, "concurrent simulation workers")
+		queueDepth = fs.Int("queue", 16, "admission queue depth (full queue sheds with 503)")
+		jobTimeout = fs.Duration("job-timeout", 0, "default per-job wall-time budget (0 = unlimited)")
+		grace      = fs.Duration("grace", 10*time.Second, "shutdown grace period before in-flight jobs are cancelled")
+		auditPath  = fs.String("audit", "", "append-only JSONL audit log file (empty = disabled)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var auditW io.Writer
+	if *auditPath != "" {
+		f, err := os.OpenFile(*auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(stderr, "zsimd:", err)
+			return 1
+		}
+		defer f.Close()
+		auditW = f
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "zsimd:", err)
+		return 1
+	}
+	srv := serve.New(serve.Options{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		JobTimeout: *jobTimeout,
+		Audit:      auditW,
+	})
+	httpSrv := &http.Server{Handler: srv}
+
+	fmt.Fprintf(stderr, "zsimd: listening on %s (workers=%d queue=%d)\n", ln.Addr(), *workers, *queueDepth)
+	if onReady != nil {
+		onReady(ln.Addr())
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(stderr, "zsimd:", err)
+		srv.Shutdown(0)
+		return 1
+	case sig := <-sigCh:
+		fmt.Fprintf(stderr, "zsimd: received %v, draining (grace %s)\n", sig, *grace)
+		// Stop accepting connections first, then drain the job queue. The
+		// HTTP close is immediate (job execution is asynchronous, handlers
+		// are short-lived); the job drain honours the grace period.
+		_ = httpSrv.Close()
+		srv.Shutdown(*grace)
+		fmt.Fprintln(stderr, "zsimd: drained, exiting")
+		return 0
+	}
+}

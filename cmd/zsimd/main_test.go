@@ -1,0 +1,191 @@
+package main
+
+// End-to-end daemon test: boots the real zsimd entrypoint (flag parsing,
+// listener, signal handling, audit file) in-process on an ephemeral port,
+// hammers it with concurrent submits and cancels, then delivers a real
+// SIGTERM and verifies the graceful drain — exit code 0, every admitted job
+// in a terminal state, and a complete audit trail on disk.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"zsim/internal/serve"
+)
+
+func TestDaemonLifecycleAndSIGTERMDrain(t *testing.T) {
+	auditPath := filepath.Join(t.TempDir(), "audit.jsonl")
+	var stderr bytes.Buffer
+
+	addrCh := make(chan net.Addr, 1)
+	exitCh := make(chan int, 1)
+	go func() {
+		exitCh <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-workers", "2",
+			"-queue", "8",
+			"-grace", "50ms",
+			"-audit", auditPath,
+		}, &stderr, func(a net.Addr) { addrCh <- a })
+	}()
+
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a.String()
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon never became ready; stderr: %s", stderr.String())
+	}
+
+	// Liveness and readiness up front.
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: HTTP %d", path, resp.StatusCode)
+		}
+	}
+
+	// Concurrent submits: a mix of quick jobs, cancelled jobs, and one
+	// endless job that only the SIGTERM drain can stop.
+	submit := func(req *serve.JobRequest) (serve.JobStatus, int) {
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(req); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+"/jobs", "application/json", &buf)
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		defer resp.Body.Close()
+		var st serve.JobStatus
+		if resp.StatusCode == http.StatusAccepted {
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return st, resp.StatusCode
+	}
+
+	endless, code := submit(&serve.JobRequest{
+		Workloads: []serve.WorkloadSpec{{Name: "blackscholes", Threads: 2, Blocks: 1 << 30}},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("endless submit: HTTP %d", code)
+	}
+
+	var mu sync.Mutex
+	var ids []string
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, code := submit(&serve.JobRequest{
+				Workloads: []serve.WorkloadSpec{{Name: "blackscholes", Threads: 1, Blocks: 30}},
+				Seed:      uint64(i + 1),
+			})
+			if code != http.StatusAccepted {
+				return // shed under load is legitimate
+			}
+			mu.Lock()
+			ids = append(ids, st.ID)
+			mu.Unlock()
+			if i%2 == 0 {
+				resp, err := http.Post(base+"/jobs/"+st.ID+"/cancel", "application/json", nil)
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	ids = append(ids, endless.ID)
+
+	// Deliver a real SIGTERM to ourselves; the daemon's handler must catch
+	// it, drain within the grace, cancel the endless job, and return 0.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exitCh:
+		if code != 0 {
+			t.Fatalf("daemon exited %d; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("daemon did not drain after SIGTERM; stderr: %s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "drained") {
+		t.Fatalf("drain not reported: %s", stderr.String())
+	}
+
+	// The audit file is the post-mortem record: every admitted job must have
+	// reached a terminal state (finish event), and the shutdown/drained
+	// markers must be present and flushed to disk.
+	data, err := os.ReadFile(auditPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finished := make(map[string]string)
+	events := make(map[string]int)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		var rec struct {
+			Event string `json:"event"`
+			Job   string `json:"job"`
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad audit line %q: %v", sc.Text(), err)
+		}
+		events[rec.Event]++
+		if rec.Event == "finish" {
+			finished[rec.Job] = rec.State
+		}
+	}
+	for _, id := range ids {
+		state, ok := finished[id]
+		if !ok {
+			t.Fatalf("job %s has no finish record in the audit log:\n%s", id, data)
+		}
+		if state != serve.StateSucceeded && state != serve.StateCancelled {
+			t.Fatalf("job %s drained in state %q", id, state)
+		}
+	}
+	if finished[endless.ID] != serve.StateCancelled {
+		t.Fatalf("endless job should be cancelled by the drain, got %q", finished[endless.ID])
+	}
+	for _, want := range []string{"serve", "shutdown", "drained"} {
+		if events[want] == 0 {
+			t.Fatalf("audit log missing %q event: %v", want, events)
+		}
+	}
+
+	// The daemon is gone: the port no longer accepts.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatalf("daemon still serving after drain")
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &stderr, nil); code != 2 {
+		t.Fatalf("bad flags: exit %d, want 2", code)
+	}
+	if code := run([]string{"-addr", "256.0.0.1:bogus"}, &stderr, nil); code != 1 {
+		t.Fatalf("bad address: exit %d, want 1", code)
+	}
+}

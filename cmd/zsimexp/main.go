@@ -24,13 +24,14 @@ func main() {
 		maxCores = flag.Int("max-cores", 1024, "cap on the simulated core count for the large-chip experiments")
 		hostThr  = flag.Int("host-threads", 0, "host worker threads (0 = all CPUs)")
 		quiet    = flag.Bool("quiet", false, "suppress progress logging")
+		timeout  = flag.Duration("timeout", 0, "per-run wall-clock budget (0 = unlimited); an overrun fails the experiment instead of hanging it")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: zsimexp [flags] <table2|table3|fig2|fig5|fig6perf|fig6speedup|fig6stream|table4|fig7|fig8|fig9|intervals|meshhotspot|all>")
 		os.Exit(2)
 	}
-	opts := harness.Options{Scale: *scale, MaxCores: *maxCores, HostThreads: *hostThr}
+	opts := harness.Options{Scale: *scale, MaxCores: *maxCores, HostThreads: *hostThr, Timeout: *timeout}
 	if !*quiet {
 		opts.Log = os.Stderr
 	}

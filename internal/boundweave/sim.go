@@ -10,6 +10,7 @@ import (
 	"zsim/internal/engine"
 	"zsim/internal/event"
 	"zsim/internal/memctrl"
+	"zsim/internal/runctl"
 	"zsim/internal/trace"
 	"zsim/internal/virt"
 )
@@ -29,6 +30,22 @@ type Options struct {
 	Profiler *InterferenceProfiler
 	// Seed randomizes the interval barrier's thread wake-up order.
 	Seed uint64
+
+	// Ctl is the cooperative cancellation token the run polls at interval
+	// boundaries in both phases (and between bound rounds). Cancelling it
+	// stops the run at the next boundary with partial state intact; nil
+	// gives the run a private, never-cancelled token. Reaching MaxInstrs or
+	// MaxIntervals is a normal completion, not a cancellation.
+	Ctl *runctl.Token
+	// MaxWallTime arms a wall-clock watchdog that cancels Ctl with
+	// ReasonDeadline when the run exceeds it (0 = no limit). Enforcement is
+	// cooperative: the run stops at the first boundary after the watchdog
+	// fires, so overshoot is bounded by one interval's host time.
+	MaxWallTime time.Duration
+	// MaxCycles stops the run with ReasonCycleLimit once the global cycle
+	// reaches it (0 = no limit) — the guard against runaway workloads whose
+	// simulated time advances but whose threads never finish.
+	MaxCycles uint64
 }
 
 // Simulator drives the bound-weave loop over a built System and a scheduler
@@ -81,6 +98,12 @@ type Simulator struct {
 	// cores.
 	instrsTotal atomic.Uint64
 
+	// ctl is the cooperative cancellation token (never nil; a private token
+	// when Options.Ctl was nil), and phase names the phase currently
+	// executing ("bound" or "weave") for fault attribution.
+	ctl   *runctl.Token
+	phase string
+
 	// Run statistics.
 	Intervals     uint64
 	BoundRounds   uint64
@@ -92,6 +115,15 @@ type Simulator struct {
 	// no blocked thread could ever be woken by the passage of simulated time
 	// (a deadlocked workload); previously this spun forever.
 	Stalled bool
+
+	// Failure report: Reason is ReasonNone after a clean run (completion,
+	// MaxInstrs or MaxIntervals reached) and the typed failure otherwise.
+	// On ReasonPanicked, PanicErr carries the recovered capture and
+	// FailPhase the phase that was executing. Partial statistics and the
+	// system's metrics remain valid after any failure.
+	Reason    runctl.Reason
+	PanicErr  *runctl.PanicError
+	FailPhase string
 }
 
 // lastResp remembers a core's latest weave response event and its zero-load
@@ -120,6 +152,10 @@ func NewSimulator(sys *System, sched *virt.Scheduler, opts Options) *Simulator {
 		hostThreads: host,
 		contention:  cfg.Contention,
 		rngState:    opts.Seed*6364136223846793005 + 1442695040888963407,
+	}
+	s.ctl = opts.Ctl
+	if s.ctl == nil {
+		s.ctl = new(runctl.Token)
 	}
 	a := sys.Root.Arena()
 	s.boundTask = s.boundWorker
@@ -249,12 +285,42 @@ func (s *Simulator) Close() {
 	s.pool.Close()
 }
 
-// Run executes the bound-weave loop until every thread finishes or a
-// configured bound (instructions or intervals) is reached. It returns the
-// total number of simulated instructions.
+// Run executes the bound-weave loop until every thread finishes, a
+// configured bound (instructions or intervals) is reached, the cancellation
+// token trips (caller cancel, wall-time watchdog, cycle limit), the workload
+// deadlocks, or a worker panics. It returns the total number of simulated
+// instructions; after an abnormal stop, Reason (and for panics PanicErr /
+// FailPhase) describes the failure and all statistics reflect the partial
+// run. Run never lets a panic escape and always releases the simulator's
+// persistent resources.
 func (s *Simulator) Run() uint64 {
 	defer s.Close()
+	defer func() {
+		if r := recover(); r != nil {
+			// Fault containment: a panic in a pool worker arrives here as a
+			// *runctl.PanicError re-raised by the pool/engine; anything else
+			// (a fault on the driver goroutine itself) is captured now.
+			s.PanicErr = runctl.NewPanicError(r, -1)
+			s.Reason = runctl.ReasonPanicked
+			s.FailPhase = s.phase
+		}
+	}()
+	// The wall-clock watchdog is armed for exactly the duration of Run: it
+	// can only trip the token, which the loop below polls, so enforcement
+	// stays cooperative and the overshoot is bounded by one interval.
+	if w := runctl.Watch(s.ctl, s.opts.MaxWallTime); w != nil {
+		defer w.Stop()
+	}
 	for {
+		// Interval-boundary cancellation point (one atomic load).
+		if r := s.ctl.Reason(); r != runctl.ReasonNone {
+			s.Reason = r
+			break
+		}
+		if s.opts.MaxCycles > 0 && s.globalCycle >= s.opts.MaxCycles {
+			s.Reason = runctl.ReasonCycleLimit
+			break
+		}
 		if s.Sched.LiveThreads() == 0 {
 			break
 		}
@@ -289,6 +355,7 @@ func (s *Simulator) runInterval() bool {
 			// deadlocked (e.g. a barrier no one else will reach). Stop
 			// instead of spinning forever.
 			s.Stalled = true
+			s.Reason = runctl.ReasonDeadlocked
 			return false
 		}
 		if wake > intervalEnd {
@@ -315,9 +382,10 @@ func (s *Simulator) runInterval() bool {
 	// operations in deterministic simulated-time order and immediately
 	// refills cores freed by blocking threads (mid-interval join/leave).
 	boundStart := time.Now()
+	s.phase = "bound"
 	s.intervalEnd = intervalEnd
 	cur, spare := asg, s.asgB
-	for len(cur) > 0 {
+	for len(cur) > 0 && !s.ctl.Cancelled() {
 		s.BoundRounds++
 		s.curAsg = cur
 		s.nextAsg.Store(0)
@@ -337,10 +405,15 @@ func (s *Simulator) runInterval() bool {
 	s.Sched.EndInterval(intervalEnd)
 	s.BoundNanos += time.Since(boundStart).Nanoseconds()
 
-	// Weave phase: retime the recorded accesses with contention models.
-	if s.contention {
+	// Weave phase: retime the recorded accesses with contention models. The
+	// phase boundary is the second cancellation point of the interval: a run
+	// cancelled during the bound phase skips the weave entirely (its partial
+	// interval is being discarded anyway).
+	if s.contention && !s.ctl.Cancelled() {
 		weaveStart := time.Now()
+		s.phase = "weave"
 		s.runWeave()
+		s.phase = "bound"
 		s.WeaveNanos += time.Since(weaveStart).Nanoseconds()
 	}
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 )
 
 // CoreModel selects a core timing model.
@@ -160,6 +161,17 @@ type System struct {
 	// HostThreads caps the number of host worker threads used by the bound
 	// phase barrier (0 = number of host CPUs).
 	HostThreads int `json:"hostThreads"`
+
+	// Run limits (the robustness layer). Both default to 0 = unlimited.
+	//
+	// MaxWallTime bounds the host wall-clock time of a run: a watchdog trips
+	// cooperative cancellation when it expires, and the run stops at the next
+	// interval boundary with partial metrics and a DeadlineExceeded reason.
+	// JSON carries it in nanoseconds (Go time.Duration encoding).
+	MaxWallTime time.Duration `json:"maxWallTimeNs,omitempty"`
+	// MaxCycles bounds simulated time: the run stops at the interval
+	// boundary where the global cycle reaches it, with a CycleLimit reason.
+	MaxCycles uint64 `json:"maxCycles,omitempty"`
 }
 
 // Validate checks the configuration for inconsistencies and fills defaults
@@ -236,6 +248,9 @@ func (s *System) Validate() error {
 	}
 	if s.OOO.IssueWidth == 0 {
 		s.OOO = DefaultOOOParams()
+	}
+	if s.MaxWallTime < 0 {
+		s.MaxWallTime = 0 // negative = unlimited, same as unset
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 )
 
 var osWriteFile = os.WriteFile
@@ -172,4 +173,34 @@ func TestLoadFile(t *testing.T) {
 // writeFile is a tiny helper to avoid importing os in most tests.
 func writeFile(path string, data []byte) error {
 	return osWriteFile(path, data, 0o644)
+}
+
+func TestRunLimitsRoundTripAndDefaults(t *testing.T) {
+	s := SmallTest()
+	s.MaxWallTime = 1500 * time.Millisecond
+	s.MaxCycles = 123456
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.MaxWallTime != 1500*time.Millisecond || got.MaxCycles != 123456 {
+		t.Fatalf("run limits lost in round trip: %v / %d", got.MaxWallTime, got.MaxCycles)
+	}
+	// Unset limits stay zero (= unlimited) and negative wall time is
+	// normalized to unlimited.
+	d := SmallTest()
+	if d.MaxWallTime != 0 || d.MaxCycles != 0 {
+		t.Fatalf("presets must not impose run limits")
+	}
+	d.MaxWallTime = -time.Second
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if d.MaxWallTime != 0 {
+		t.Fatalf("negative MaxWallTime should normalize to unlimited")
+	}
 }

@@ -15,6 +15,9 @@ package engine
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+
+	"zsim/internal/runctl"
 )
 
 // Pool is a fixed-size set of persistent, parked worker goroutines. A Pool is
@@ -32,6 +35,14 @@ type Pool struct {
 	// start carries per-worker wakeups; the channels are unbuffered so a
 	// completed Run leaves no stale tokens behind.
 	start []chan struct{}
+
+	// panicked holds the first panic recovered in a worker during the
+	// in-flight Run. Workers never die from a task panic: the fault is
+	// captured (with the panicking goroutine's stack), the worker parks
+	// again, and Run re-raises the capture on the orchestrating goroutine
+	// once every worker has finished — so a panicking task can neither kill
+	// the process outright nor leak a waiting WaitGroup.
+	panicked atomic.Pointer[runctl.PanicError]
 
 	quit      chan struct{}
 	spawned   bool
@@ -63,6 +74,13 @@ func (p *Pool) Size() int { return p.size }
 // depend on running concurrently with each other. Callers that need true
 // concurrency (e.g. tasks that block on each other) must check those
 // conditions themselves and fall back to a serial algorithm.
+//
+// A panic inside fn does not kill the pool: the first recovered panic is
+// re-raised on the caller as a *runctl.PanicError carrying the panicking
+// worker's stack, after all other workers have finished their invocations.
+// Tasks whose sibling invocations park waiting on each other (rather than
+// returning) must contain panics themselves — Run can only re-raise once
+// every invocation has returned.
 func (p *Pool) Run(n int, fn func(worker int)) {
 	if n > p.size {
 		n = p.size
@@ -71,8 +89,16 @@ func (p *Pool) Run(n int, fn func(worker int)) {
 		return
 	}
 	if n == 1 || p.Closed() || runtime.GOMAXPROCS(0) == 1 {
+		// Same containment contract as the parallel path: every invocation
+		// runs, and the first capture is re-raised once all have finished.
+		var first *runctl.PanicError
 		for w := 0; w < n; w++ {
-			fn(w)
+			if pe := p.invoke(w, fn); pe != nil && first == nil {
+				first = pe
+			}
+		}
+		if first != nil {
+			panic(first)
 		}
 		return
 	}
@@ -84,6 +110,22 @@ func (p *Pool) Run(n int, fn func(worker int)) {
 	}
 	p.wg.Wait()
 	p.fn = nil
+	if pe := p.panicked.Swap(nil); pe != nil {
+		panic(pe)
+	}
+}
+
+// invoke runs one task invocation with panic containment, returning the
+// capture (nil on clean return). The deferred recover is open-coded by the
+// compiler, so the steady-state cost on the hot phase path is nil.
+func (p *Pool) invoke(worker int, fn func(worker int)) (pe *runctl.PanicError) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe = runctl.NewPanicError(r, worker)
+		}
+	}()
+	fn(worker)
+	return nil
 }
 
 // Closed reports whether Close has been called.
@@ -115,7 +157,7 @@ func (p *Pool) ensureWorkers() {
 }
 
 // worker is the persistent goroutine body: park on the start channel, run the
-// current task, repeat.
+// current task (containing any panic), repeat.
 func (p *Pool) worker(id int) {
 	for {
 		select {
@@ -123,7 +165,9 @@ func (p *Pool) worker(id int) {
 		case <-p.quit:
 			return
 		}
-		p.fn(id)
+		if pe := p.invoke(id, p.fn); pe != nil {
+			p.panicked.CompareAndSwap(nil, pe)
+		}
 		p.wg.Done()
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"zsim/internal/runctl"
 )
 
 func TestPoolRunsAllTasks(t *testing.T) {
@@ -96,5 +98,60 @@ func TestPoolSteadyStateAllocs(t *testing.T) {
 	allocs := testing.AllocsPerRun(50, func() { p.Run(4, task) })
 	if allocs != 0 {
 		t.Fatalf("steady-state Run should not allocate, got %v allocs/run", allocs)
+	}
+}
+
+// TestPoolWorkerPanicContained checks the fault-containment contract: a
+// panicking task neither kills the worker goroutines nor deadlocks Run. The
+// capture is re-raised on the orchestrator as a *runctl.PanicError with the
+// worker's stack, and the pool stays fully usable afterwards.
+func TestPoolWorkerPanicContained(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var survivors atomic.Int64
+
+	recovered := func(n int, fn func(w int)) (pe *runctl.PanicError) {
+		defer func() {
+			if r := recover(); r != nil {
+				var ok bool
+				if pe, ok = r.(*runctl.PanicError); !ok {
+					t.Fatalf("re-raised value should be *runctl.PanicError, got %T", r)
+				}
+			}
+		}()
+		p.Run(n, fn)
+		return nil
+	}
+
+	pe := recovered(4, func(w int) {
+		if w == 2 {
+			panic("task fault")
+		}
+		survivors.Add(1)
+	})
+	if pe == nil {
+		t.Fatalf("panic should be re-raised to the Run caller")
+	}
+	if pe.Value != "task fault" {
+		t.Fatalf("capture lost the panic value: %+v", pe.Value)
+	}
+	if survivors.Load() != 3 {
+		t.Fatalf("non-panicking invocations should all finish, got %d", survivors.Load())
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatalf("capture should carry the panicking goroutine's stack")
+	}
+
+	// The pool must be reusable: every worker survived the fault.
+	survivors.Store(0)
+	p.Run(4, func(w int) { survivors.Add(1) })
+	if survivors.Load() != 4 {
+		t.Fatalf("pool should stay fully usable after a contained panic, got %d workers", survivors.Load())
+	}
+
+	// Serial path (n == 1) contains panics the same way.
+	pe = recovered(1, func(w int) { panic("serial fault") })
+	if pe == nil || pe.Value != "serial fault" || pe.Worker != 0 {
+		t.Fatalf("serial Run should wrap panics identically, got %+v", pe)
 	}
 }

@@ -46,6 +46,7 @@ import (
 
 	"zsim/internal/arena"
 	"zsim/internal/engine"
+	"zsim/internal/runctl"
 )
 
 // Executor is the contention-model callback attached to an event: it receives
@@ -354,6 +355,17 @@ type Engine struct {
 	domainTask func(int)
 	closed     atomic.Bool
 
+	// aborted flags a fault in one of the parallel domain workers. Domain
+	// workers cannot rely on the pool's generic panic re-raise: sibling
+	// domains park waiting for cross-domain handoffs, so a dying domain
+	// would leave them parked forever and the pool's WaitGroup waiting. The
+	// panicking worker instead records the capture in domPanic, raises
+	// aborted, wakes every parked domain, and returns normally; the others
+	// observe aborted on their idle path and bail out, and Run re-raises the
+	// capture on the orchestrating goroutine.
+	aborted  atomic.Bool
+	domPanic atomic.Pointer[runctl.PanicError]
+
 	// deterministic (the default) executes multi-domain intervals inline in
 	// the global (cycle, component, sequence) order, which makes weave
 	// results reproducible for a fixed seed regardless of GOMAXPROCS, host
@@ -488,8 +500,25 @@ func (e *Engine) isClosed() bool {
 }
 
 // runDomainByIndex adapts runDomain to the pool's worker-index task shape.
-// It is bound once at construction so Run never allocates a closure.
-func (e *Engine) runDomainByIndex(i int) { e.runDomain(e.domains[i]) }
+// It is bound once at construction so Run never allocates a closure. It also
+// owns the domain-abort protocol: a panic in this domain is captured here,
+// every parked sibling is woken so it can observe the abort, and the worker
+// returns normally (see the aborted field).
+func (e *Engine) runDomainByIndex(i int) {
+	dom := e.domains[i]
+	defer func() {
+		if r := recover(); r != nil {
+			e.domPanic.CompareAndSwap(nil, runctl.NewPanicError(r, i))
+			e.aborted.Store(true)
+			for _, od := range e.domains {
+				if od != dom && od.parked.Load() {
+					od.wake()
+				}
+			}
+		}
+	}()
+	e.runDomain(dom)
+}
 
 // Run executes all enqueued events (and their descendants) to completion.
 // It returns the largest finish cycle observed (the interval's actual end).
@@ -511,13 +540,21 @@ func (e *Engine) Run() uint64 {
 	} else {
 		for _, d := range e.domains {
 			// Drain any stale wakeup left over from the previous interval's
-			// termination broadcast.
+			// termination (or abort) broadcast.
 			select {
 			case <-d.wakeCh:
 			default:
 			}
 		}
 		e.pool.Run(len(e.domains), e.domainTask)
+		if pe := e.domPanic.Swap(nil); pe != nil {
+			// A domain worker panicked: its unexecuted events are abandoned
+			// (the run is being torn down), so re-raise on the orchestrator
+			// after clearing the abort flag. The engine must be Closed, not
+			// reused, after an aborted run.
+			e.aborted.Store(false)
+			panic(pe)
+		}
 	}
 	return e.maxFinish.Load()
 }
@@ -558,7 +595,7 @@ func (e *Engine) runDomain(dom *Domain) {
 	for {
 		item, ok := dom.pop()
 		if !ok {
-			if e.remaining.Load() == 0 {
+			if e.remaining.Load() == 0 || e.aborted.Load() {
 				break
 			}
 			// The domain is idle but other domains still have work that may
@@ -568,13 +605,14 @@ func (e *Engine) runDomain(dom *Domain) {
 				runtime.Gosched()
 				continue
 			}
-			// Bounded parking: publish that we are parked, re-check for work
-			// and for termination (both producers observe parked after their
-			// push / final decrement, so a wakeup cannot be lost), then block.
+			// Bounded parking: publish that we are parked, re-check for work,
+			// for termination and for a sibling's abort (all three producers
+			// observe parked after their push / final decrement / abort
+			// store, so a wakeup cannot be lost), then block.
 			dom.parked.Store(true)
 			if item, ok = dom.pop(); ok {
 				dom.parked.Store(false)
-			} else if e.remaining.Load() == 0 {
+			} else if e.remaining.Load() == 0 || e.aborted.Load() {
 				dom.parked.Store(false)
 				break
 			} else {

@@ -1,10 +1,13 @@
 package event
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
+
+	"zsim/internal/runctl"
 )
 
 func TestSlabAllocAndReset(t *testing.T) {
@@ -569,5 +572,50 @@ func TestEventChainProperties(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestParallelDomainPanicContained pins down the domain-abort protocol: when
+// a domain worker's executor panics in the parallel weave path, sibling
+// domains parked on cross-domain handoffs must be woken and released (not
+// left parked forever, which would also hang the pool's WaitGroup), and the
+// capture must be re-raised on the orchestrating goroutine.
+func TestParallelDomainPanicContained(t *testing.T) {
+	if runtime.GOMAXPROCS(0) == 1 {
+		t.Skip("parallel domain workers need GOMAXPROCS > 1")
+	}
+	eng := NewEngine(2)
+	defer eng.Close()
+	eng.SetDeterministic(false)
+	s := NewSlab(16)
+
+	// The parent lives in domain 0 and panics; its child lives in domain 1,
+	// whose worker therefore parks waiting for a handoff that never comes.
+	parent := s.Alloc()
+	parent.Comp = 0
+	parent.MinCycle = 10
+	parent.Exec = func(_ *Event, c uint64) uint64 { panic("weave fault") }
+	child := s.Alloc()
+	child.Comp = 1
+	parent.AddChild(child)
+	eng.Enqueue(parent)
+
+	done := make(chan interface{}, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		eng.Run()
+		done <- nil
+	}()
+	select {
+	case r := <-done:
+		pe, ok := r.(*runctl.PanicError)
+		if !ok {
+			t.Fatalf("Run should re-raise a *runctl.PanicError, got %T (%v)", r, r)
+		}
+		if pe.Value != "weave fault" {
+			t.Fatalf("capture lost the panic value: %v", pe.Value)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("panicking domain worker left the engine hung")
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"zsim/internal/boundweave"
 	"zsim/internal/config"
 	"zsim/internal/noc"
+	"zsim/internal/runctl"
 	"zsim/internal/stats"
 	"zsim/internal/trace"
 	"zsim/internal/virt"
@@ -37,6 +38,10 @@ type Options struct {
 	// MaxCores caps the number of simulated cores in the large-chip
 	// experiments (0 = the paper's 1024). Tests use 64.
 	MaxCores int
+	// Timeout is a per-run wall-clock budget (0 = unlimited). A run that
+	// exceeds it is stopped by the watchdog and reported as an error rather
+	// than hanging the whole experiment suite.
+	Timeout time.Duration
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -126,10 +131,17 @@ func runZSim(cfg *config.System, workload string, params trace.Params, threads i
 	sim := boundweave.NewSimulator(sys, sched, boundweave.Options{
 		HostThreads: opts.hostThreads(),
 		Seed:        1,
+		MaxWallTime: opts.Timeout,
 	})
 	start := time.Now()
 	sim.Run()
 	elapsed := time.Since(start).Nanoseconds()
+	if r := sim.Reason; r != runctl.ReasonNone {
+		// An experiment run that deadlocks, overruns its budget or panics
+		// must surface as a loud failure, not as silently-wrong table rows.
+		return nil, fmt.Errorf("%s on %s: run %s at interval %d (cycle %d)",
+			workload, cfg.Name, r, sim.Intervals, sim.GlobalCycle())
+	}
 	m := sys.Metrics()
 	m.Workload = workload
 	m.Model = string(cfg.CoreModel)

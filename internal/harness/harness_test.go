@@ -3,6 +3,7 @@ package harness
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"zsim/internal/config"
 	"zsim/internal/trace"
@@ -323,5 +324,20 @@ func TestMeshHotspotSmall(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("Format missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestTimeoutFailsLoudly: a run that blows its wall-clock budget must turn
+// into an explicit error (typed by the watchdog reason), never into
+// silently-truncated table rows or a hung suite.
+func TestTimeoutFailsLoudly(t *testing.T) {
+	opts := tiny()
+	opts.Timeout = 1 * time.Nanosecond // every run overruns immediately
+	p := trace.DefaultParams()
+	p.BlocksPerThread = 100000
+	if _, err := runZSim(config.SmallTest(), "timeout-probe", p, 2, opts); err == nil {
+		t.Fatalf("overrunning run should report an error")
+	} else if !strings.Contains(err.Error(), "deadline-exceeded") {
+		t.Fatalf("error should carry the typed reason, got: %v", err)
 	}
 }

@@ -1,0 +1,212 @@
+// Package serve implements zsimd's HTTP/JSON simulation service: a bounded
+// job queue in front of a fixed worker pool, with per-job deadlines,
+// cooperative cancellation, panic isolation and graceful drain on shutdown.
+//
+// The service is deliberately thin over the zsim facade: a job is one
+// simulator configuration plus its workloads, executed via
+// zsim.Simulator.RunContext so every robustness guarantee of the library
+// (interval-boundary cancellation, wall-time watchdog, cycle limits, typed
+// failure reasons, recovered panics with partial metrics) applies unchanged
+// to service jobs.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"zsim"
+)
+
+// WorkloadSpec names one workload of a job: a registered synthetic workload
+// and its software thread count.
+type WorkloadSpec struct {
+	// Name is a registered workload name (zsim.NamedWorkloads).
+	Name string `json:"name"`
+	// Threads is the number of software threads (defaults to 1).
+	Threads int `json:"threads,omitempty"`
+	// Blocks overrides the workload's per-thread basic-block budget when > 0.
+	Blocks int `json:"blocks,omitempty"`
+}
+
+// JobRequest describes one simulation job. Either Preset or Config selects
+// the simulated system; Config wins when both are set.
+type JobRequest struct {
+	// Preset is a built-in system: "small" (default), "westmere", or "tiled".
+	Preset string `json:"preset,omitempty"`
+	// Tiles is the tile count for the "tiled" preset (default 4).
+	Tiles int `json:"tiles,omitempty"`
+	// CoreModel is the core model for the "tiled" preset ("ooo" or "ipc1").
+	CoreModel string `json:"coreModel,omitempty"`
+	// Config is a full system description; it overrides Preset.
+	Config *zsim.Config `json:"config,omitempty"`
+
+	// Workloads are the processes to simulate (at least one).
+	Workloads []WorkloadSpec `json:"workloads"`
+
+	// MaxInstructions stops the run cleanly after ~n instructions (0 = run
+	// the workloads to completion).
+	MaxInstructions uint64 `json:"maxInstructions,omitempty"`
+	// HostThreads caps the bound-phase worker threads (0 = all host CPUs).
+	HostThreads int `json:"hostThreads,omitempty"`
+	// Seed seeds the interval barrier's wake-up shuffling (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// TimeoutMillis is the per-job wall-time budget in milliseconds. The
+	// effective budget is the tighter of this and the server's -job-timeout;
+	// an overrun fails the job with reason "deadline-exceeded" but keeps its
+	// partial metrics.
+	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`
+}
+
+// buildConfig resolves the request's system description.
+func (r *JobRequest) buildConfig() (*zsim.Config, error) {
+	if r.Config != nil {
+		cfg := *r.Config // copy: Validate mutates defaults in place
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("invalid config: %w", err)
+		}
+		return &cfg, nil
+	}
+	switch r.Preset {
+	case "", "small":
+		return zsim.SmallConfig(), nil
+	case "westmere":
+		return zsim.WestmereConfig(), nil
+	case "tiled":
+		tiles := r.Tiles
+		if tiles == 0 {
+			tiles = 4
+		}
+		model := r.CoreModel
+		if model == "" {
+			model = "ooo"
+		}
+		return zsim.TiledConfig(tiles, model), nil
+	default:
+		return nil, fmt.Errorf("unknown preset %q", r.Preset)
+	}
+}
+
+// validate rejects requests that can never run.
+func (r *JobRequest) validate() error {
+	if len(r.Workloads) == 0 {
+		return fmt.Errorf("job needs at least one workload")
+	}
+	for _, w := range r.Workloads {
+		if _, ok := zsim.LookupWorkload(w.Name); !ok {
+			return fmt.Errorf("unknown workload %q", w.Name)
+		}
+		if w.Threads < 0 || w.Blocks < 0 {
+			return fmt.Errorf("workload %q: negative threads/blocks", w.Name)
+		}
+	}
+	if _, err := r.buildConfig(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Job states, in lifecycle order. A job is terminal in exactly one of
+// StateSucceeded, StateFailed or StateCancelled.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateSucceeded = "succeeded"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// Failure mirrors zsim.RunError for the wire: the typed reason plus the stop
+// point, and the recovered panic message when Reason is "panicked".
+type Failure struct {
+	Reason   string `json:"reason"`
+	Phase    string `json:"phase,omitempty"`
+	Interval uint64 `json:"interval,omitempty"`
+	Cycle    uint64 `json:"cycle,omitempty"`
+	Panic    string `json:"panic,omitempty"`
+}
+
+// JobResult is the outcome of a finished job. Failed and cancelled jobs still
+// carry the metrics accumulated up to the stop point (Partial = true).
+type JobResult struct {
+	Summary     string        `json:"summary,omitempty"`
+	Metrics     *zsim.Metrics `json:"metrics,omitempty"`
+	Intervals   uint64        `json:"intervals"`
+	WeaveEvents uint64        `json:"weaveEvents"`
+	Stalled     bool          `json:"stalled,omitempty"`
+	Partial     bool          `json:"partial,omitempty"`
+	Failure     *Failure      `json:"failure,omitempty"`
+	Error       string        `json:"error,omitempty"`
+}
+
+// JobStatus is the wire form of a job's current state.
+type JobStatus struct {
+	ID        string    `json:"id"`
+	State     string    `json:"state"`
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitzero"`
+	Finished  time.Time `json:"finished,omitzero"`
+	Error     string    `json:"error,omitempty"`
+}
+
+// job is the server-side record of one submitted simulation.
+type job struct {
+	id  string
+	req *JobRequest
+
+	mu        sync.Mutex
+	state     string
+	cancelled bool               // cancel requested while still queued
+	cancel    context.CancelFunc // set while running
+	result    *JobResult
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// status snapshots the job under its lock.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.id,
+		State:     j.state,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+	}
+	if j.result != nil {
+		st.Error = j.result.Error
+	}
+	return st
+}
+
+// terminal reports whether the job has finished (in any terminal state).
+func (j *job) terminal() bool {
+	switch j.state {
+	case StateSucceeded, StateFailed, StateCancelled:
+		return true
+	}
+	return false
+}
+
+// requestCancel delivers a cancellation to the job wherever it is in its
+// lifecycle. It reports whether the cancel was accepted (false once the job
+// already finished).
+func (j *job) requestCancel() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		j.cancelled = true
+		return true
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,428 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"zsim"
+	"zsim/internal/runctl"
+)
+
+// Options configure a Server. Zero values get sensible defaults.
+type Options struct {
+	// Workers is the number of concurrent simulation workers (default 1).
+	// Each worker runs one job at a time through the zsim facade.
+	Workers int
+	// QueueDepth bounds the admission queue (default 16). When the queue is
+	// full, submissions are shed with 503 and a Retry-After hint instead of
+	// blocking or growing without bound.
+	QueueDepth int
+	// JobTimeout is the default per-job wall-time budget (0 = unlimited).
+	// Individual requests can only tighten it, never extend it.
+	JobTimeout time.Duration
+	// Audit receives the append-only JSONL audit log (nil = disabled).
+	Audit io.Writer
+}
+
+// Server is the zsimd job service: an http.Handler plus the worker pool
+// behind it. Create with New, serve with net/http, stop with Shutdown.
+type Server struct {
+	opts  Options
+	mux   *http.ServeMux
+	audit *auditLog
+
+	baseCtx    context.Context // parent of every job context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for stable listings
+	seq      int
+	queue    chan *job
+	draining bool
+
+	workers sync.WaitGroup
+}
+
+// New builds a Server and starts its workers.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 16
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:       opts,
+		mux:        http.NewServeMux(),
+		audit:      newAuditLog(opts.Audit),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*job),
+		queue:      make(chan *job, opts.QueueDepth),
+	}
+	s.routes()
+	s.workers.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker()
+	}
+	s.audit.record("serve", "", "", fmt.Sprintf("workers=%d queue=%d", opts.Workers, opts.QueueDepth))
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON is the single response serializer.
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// handleSubmit admits a job or sheds it. Admission is all-or-nothing under
+// the server lock: the job is registered and enqueued atomically, so a
+// submitted job is always observable via GET /jobs/{id} and always reaches a
+// worker (or a drain-time cancellation) exactly once.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request: " + err.Error()})
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "shutting down"})
+		s.audit.record("shed", "", "", "draining")
+		return
+	}
+	s.seq++
+	j := &job{
+		id:        fmt.Sprintf("job-%d", s.seq),
+		req:       &req,
+		state:     StateQueued,
+		submitted: time.Now().UTC(),
+	}
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+	default:
+		s.seq-- // job was never admitted; don't burn the ID
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "queue full"})
+		s.audit.record("shed", "", "", "queue full")
+		return
+	}
+	s.mu.Unlock()
+
+	s.audit.record("submit", j.id, StateQueued, "")
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) lookup(r *http.Request) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[r.PathValue("id")]
+	return j, ok
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.status())
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Submitted.Before(out[b].Submitted) })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+		return
+	}
+	j.mu.Lock()
+	done := j.terminal()
+	res := j.result
+	j.mu.Unlock()
+	if !done || res == nil {
+		writeJSON(w, http.StatusConflict, errorBody{Error: "job not finished"})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+		return
+	}
+	if !j.requestCancel() {
+		writeJSON(w, http.StatusConflict, errorBody{Error: "job already finished"})
+		return
+	}
+	s.audit.record("cancel", j.id, "", "cancel requested")
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady reports readiness for new work: a draining server is alive
+// (healthz) but no longer ready, which lets a load balancer stop routing to
+// it while in-flight jobs finish.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job end to end: transition to running, execute under a
+// cancellable per-job context, classify the outcome, and audit every step.
+// A panic anywhere in setup or teardown is contained here — one bad job must
+// never take a worker (or the daemon) down.
+func (s *Server) runJob(j *job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+
+	j.mu.Lock()
+	if j.cancelled {
+		j.state = StateCancelled
+		j.finished = time.Now().UTC()
+		j.result = &JobResult{Error: "cancelled before start", Failure: &Failure{Reason: runctl.ReasonCancelled.String()}}
+		j.mu.Unlock()
+		s.audit.record("finish", j.id, StateCancelled, "cancelled while queued")
+		s.audit.flush()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now().UTC()
+	j.cancel = cancel
+	j.mu.Unlock()
+	s.audit.record("start", j.id, StateRunning, "")
+
+	res, err := s.execute(ctx, j.req)
+	result, state := classify(res, err)
+
+	j.mu.Lock()
+	j.state = state
+	j.finished = time.Now().UTC()
+	j.cancel = nil
+	j.result = result
+	j.mu.Unlock()
+	s.audit.record("finish", j.id, state, result.Error)
+	s.audit.flush()
+}
+
+// execute builds and runs the simulation for one request. The zsim facade
+// already recovers panics raised inside the run; the deferred recover here
+// is the service's outer ring, catching construction-time faults so the
+// worker goroutine survives arbitrary job input.
+func (s *Server) execute(ctx context.Context, req *JobRequest) (res *zsim.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe := runctl.NewPanicError(r, -1)
+			err = fmt.Errorf("job setup panicked: %w", pe)
+		}
+	}()
+
+	cfg, err := req.buildConfig()
+	if err != nil {
+		return nil, err
+	}
+	// The effective wall-time budget is the tighter of the request's and the
+	// server's; the library watchdog enforces it and reports
+	// deadline-exceeded with partial metrics.
+	if t := time.Duration(req.TimeoutMillis) * time.Millisecond; t > 0 && (cfg.MaxWallTime == 0 || t < cfg.MaxWallTime) {
+		cfg.MaxWallTime = t
+	}
+	if s.opts.JobTimeout > 0 && (cfg.MaxWallTime == 0 || s.opts.JobTimeout < cfg.MaxWallTime) {
+		cfg.MaxWallTime = s.opts.JobTimeout
+	}
+
+	sim, err := zsim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range req.Workloads {
+		params, ok := zsim.LookupWorkload(w.Name)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q", w.Name)
+		}
+		if w.Blocks > 0 {
+			params.BlocksPerThread = w.Blocks
+		}
+		threads := w.Threads
+		if threads <= 0 {
+			threads = 1
+		}
+		sim.AddWorkload(w.Name, params, threads)
+	}
+	sim.SetMaxInstructions(req.MaxInstructions)
+	sim.SetHostThreads(req.HostThreads)
+	if req.Seed != 0 {
+		sim.SetSeed(req.Seed)
+	}
+	return sim.RunContext(ctx)
+}
+
+// classify maps a run outcome to the job's terminal state and wire result.
+func classify(res *zsim.Result, err error) (*JobResult, string) {
+	out := &JobResult{}
+	if res != nil {
+		out.Summary = res.Summary()
+		out.Metrics = res.Metrics
+		out.Intervals = res.Intervals
+		out.WeaveEvents = res.WeaveEvents
+		out.Stalled = res.Stalled
+	}
+	if err == nil {
+		return out, StateSucceeded
+	}
+	out.Error = err.Error()
+	var re *zsim.RunError
+	if errors.As(err, &re) {
+		out.Partial = true
+		out.Failure = &Failure{
+			Reason:   re.Reason.String(),
+			Phase:    re.Phase,
+			Interval: re.Interval,
+			Cycle:    re.Cycle,
+			Panic:    re.Panic,
+		}
+		if re.Reason == zsim.Cancelled {
+			return out, StateCancelled
+		}
+	}
+	return out, StateFailed
+}
+
+// Shutdown gracefully drains the server: admission stops immediately
+// (submissions get 503, readyz flips to draining), queued and in-flight jobs
+// get the grace period to finish, and whatever is still running after the
+// grace is cooperatively cancelled — those jobs end Cancelled with partial
+// metrics rather than being lost. The audit log is flushed and synced before
+// Shutdown returns. It is idempotent; the first call wins.
+func (s *Server) Shutdown(grace time.Duration) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.waitWorkers()
+		return
+	}
+	s.draining = true
+	close(s.queue) // workers exit after draining what was admitted
+	s.mu.Unlock()
+	s.audit.record("shutdown", "", "", fmt.Sprintf("grace=%s", grace))
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace):
+		// Grace expired: cancel every in-flight (and still-queued) job. Runs
+		// stop at the next interval boundary and report partial results, so
+		// this wait is bounded by one simulation interval per job.
+		s.audit.record("shutdown", "", "", "grace expired; cancelling in-flight jobs")
+		s.cancelAll()
+		<-done
+	}
+	s.baseCancel()
+	s.audit.record("drained", "", "", strconv.Itoa(s.jobCount()))
+	s.audit.close()
+}
+
+// cancelAll delivers a cancel to every non-terminal job.
+func (s *Server) cancelAll() {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		if j.requestCancel() {
+			s.audit.record("cancel", j.id, "", "shutdown: grace expired")
+		}
+	}
+}
+
+func (s *Server) jobCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+func (s *Server) waitWorkers() {
+	s.workers.Wait()
+}

@@ -31,12 +31,14 @@
 package zsim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
 	"zsim/internal/boundweave"
 	"zsim/internal/config"
+	"zsim/internal/runctl"
 	"zsim/internal/stats"
 	"zsim/internal/trace"
 	"zsim/internal/virt"
@@ -76,6 +78,63 @@ func LoadConfig(r io.Reader) (*Config, error) { return config.Load(r) }
 
 // LoadConfigFile reads a JSON configuration from a file.
 func LoadConfigFile(path string) (*Config, error) { return config.LoadFile(path) }
+
+// FailureReason classifies why a run stopped abnormally. A clean completion
+// (all threads finished, or MaxInstructions reached) has no failure reason.
+type FailureReason = runctl.Reason
+
+// The typed reasons a run can fail with. Every abnormal stop returns partial
+// metrics alongside a *RunError carrying one of these.
+const (
+	// Cancelled: the caller's context was cancelled (or a service cancel
+	// request arrived) and the run stopped at the next interval boundary.
+	Cancelled = runctl.ReasonCancelled
+	// DeadlineExceeded: the run exceeded Config.MaxWallTime and the watchdog
+	// stopped it.
+	DeadlineExceeded = runctl.ReasonDeadline
+	// CycleLimit: simulated time reached Config.MaxCycles.
+	CycleLimit = runctl.ReasonCycleLimit
+	// Deadlocked: the workload deadlocked — no thread runnable and none
+	// wakeable by the passage of simulated time.
+	Deadlocked = runctl.ReasonDeadlocked
+	// Panicked: a panic inside the simulation (worker or driver) was
+	// recovered; the process survives and RunError.Stack has the fault site.
+	Panicked = runctl.ReasonPanicked
+)
+
+// RunError is the structured failure report of an abnormal run: the typed
+// reason, where the run was when it stopped (phase, interval, cycle), the
+// recovered panic stack when Reason == Panicked, and the partial results.
+// It is returned as the error of Run/RunContext; the same partial Result is
+// also returned directly alongside it.
+type RunError struct {
+	// Reason is the typed failure classification.
+	Reason FailureReason
+	// Phase is the bound-weave phase that was executing ("bound" or
+	// "weave"); "run" when the run stopped between phases or never started
+	// an interval.
+	Phase string
+	// Interval and Cycle locate the stop point in simulated time.
+	Interval uint64
+	Cycle    uint64
+	// Panic is the formatted panic value and Stack the panicking goroutine's
+	// stack, both set only when Reason == Panicked.
+	Panic string
+	Stack []byte
+	// Partial holds the metrics and statistics accumulated up to the stop
+	// point; it is always non-nil and always internally consistent.
+	Partial *Result
+}
+
+// Error implements error.
+func (e *RunError) Error() string {
+	msg := fmt.Sprintf("zsim: run %s (phase %s, interval %d, cycle %d)",
+		e.Reason, e.Phase, e.Interval, e.Cycle)
+	if e.Reason == Panicked {
+		msg += ": " + e.Panic
+	}
+	return msg
+}
 
 // DefaultWorkloadParams returns a moderate compute-leaning workload parameter
 // set that callers can adjust.
@@ -264,16 +323,40 @@ func (r *Result) Summary() string {
 // without running it. Run calls it implicitly; the construction benchmarks
 // call it directly and Close the result.
 func (s *Simulator) buildSim() *boundweave.Simulator {
+	return s.buildSimCtl(nil)
+}
+
+// buildSimCtl is buildSim with the run-control token and the configuration's
+// run limits wired in.
+func (s *Simulator) buildSimCtl(ctl *runctl.Token) *boundweave.Simulator {
 	return boundweave.NewSimulator(s.sys, s.sched, boundweave.Options{
 		MaxInstrs:   s.maxInstrs,
 		HostThreads: s.hostThreads,
 		Seed:        s.seed,
+		Ctl:         ctl,
+		MaxWallTime: s.cfg.MaxWallTime,
+		MaxCycles:   s.cfg.MaxCycles,
 	})
 }
 
 // Run executes the simulation and returns its results. A simulator can only
-// be run once; build a new one for another run.
+// be run once; build a new one for another run. It is RunContext with a
+// background context: only Config.MaxWallTime / Config.MaxCycles (and a
+// workload deadlock) can stop it early.
 func (s *Simulator) Run() (*Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext executes the simulation under the given context and returns its
+// results. The run stops cooperatively at the next interval boundary when
+// the context is cancelled, when Config.MaxWallTime expires (a wall-clock
+// watchdog), when simulated time reaches Config.MaxCycles, or when the
+// workload deadlocks; panics inside simulation workers are recovered rather
+// than crashing the process. Any abnormal stop returns the partial Result
+// (never nil, always internally consistent) together with a *RunError
+// carrying the typed reason — callers that only care about best-effort
+// metrics can use the Result and log the error.
+func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 	if s.ran {
 		return nil, fmt.Errorf("zsim: simulator already ran; create a new one")
 	}
@@ -281,11 +364,65 @@ func (s *Simulator) Run() (*Result, error) {
 		return nil, fmt.Errorf("zsim: no workloads added")
 	}
 	s.ran = true
-	sim := s.buildSim()
+	ctl := new(runctl.Token)
+	sim := s.buildSimCtl(ctl)
+	// The simulator owns a persistent worker pool and weave engine; Close is
+	// idempotent, and deferring it here guarantees release on every exit
+	// path — including cancellation and panic recovery — not just the happy
+	// path inside sim.Run.
+	defer sim.Close()
+	if ctx != nil && ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() { ctl.Cancel(runctl.ReasonCancelled) })
+		defer stop()
+	}
+
 	start := time.Now()
-	sim.Run()
+	facadePanic := runGuarded(sim)
 	elapsed := time.Since(start)
 
+	res := s.collectResult(sim, elapsed)
+	reason, panicErr, phase := sim.Reason, sim.PanicErr, sim.FailPhase
+	if facadePanic != nil {
+		// A fault that escaped the simulator's own containment (it recovers
+		// everything raised inside Run, so this is the facade's last line).
+		reason, panicErr, phase = Panicked, facadePanic, "run"
+	}
+	if reason == runctl.ReasonNone {
+		return res, nil
+	}
+	if phase == "" {
+		phase = "run"
+	}
+	runErr := &RunError{
+		Reason:   reason,
+		Phase:    phase,
+		Interval: sim.Intervals,
+		Cycle:    sim.GlobalCycle(),
+		Partial:  res,
+	}
+	if panicErr != nil {
+		runErr.Panic = fmt.Sprintf("%v", panicErr.Value)
+		runErr.Stack = panicErr.Stack
+	}
+	return res, runErr
+}
+
+// runGuarded runs the simulation with a facade-level panic guard: anything
+// that escapes the simulator's own recovery is captured and reported instead
+// of unwinding into the caller.
+func runGuarded(sim *boundweave.Simulator) (pe *runctl.PanicError) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe = runctl.NewPanicError(r, -1)
+		}
+	}()
+	sim.Run()
+	return nil
+}
+
+// collectResult assembles the public Result from the simulated system and the
+// finished (or failed) simulator.
+func (s *Simulator) collectResult(sim *boundweave.Simulator, elapsed time.Duration) *Result {
 	m := s.sys.Metrics()
 	m.Model = string(s.cfg.CoreModel)
 	m.HostNanos = elapsed.Nanoseconds()
@@ -316,7 +453,7 @@ func (s *Simulator) Run() (*Result, error) {
 		},
 		NOC:     nocStats,
 		Stalled: sim.Stalled,
-	}, nil
+	}
 }
 
 // WriteStats dumps the full hierarchical statistics tree of the simulated
