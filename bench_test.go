@@ -12,6 +12,7 @@ package zsim
 // benchmark output doubles as the regenerated rows/series.
 
 import (
+	"fmt"
 	"testing"
 
 	"zsim/internal/baseline"
@@ -322,6 +323,41 @@ func BenchmarkMeshHotspot(b *testing.B) {
 		b.ReportMetric(res.ScalingZeroLoad[last], "zeroload-scaling")
 		b.ReportMetric(res.ScalingNoC[last], "noc-scaling")
 		b.ReportMetric(float64(res.QueueDelay[last]), "router-queue-delay")
+	}
+}
+
+// BenchmarkWeaveScaling measures the deterministic parallel weave's scaling
+// on the NoC-on mesh-hotspot workload: GOMAXPROCS 1, 2 and 4 with 4 weave
+// domains. The cells are bit-identical in simulation results (the
+// determinism matrix gates that), so only wall-clock and simulated MIPS
+// vary. The gm4 cell additionally reports its measured wall-clock speedup
+// over a same-process GOMAXPROCS=1 reference run. On a single-vCPU CI host
+// that speedup is ~1.0 and ns/op is noisy; gate B/op, allocs/op and result
+// signatures there, and read speedups from multi-core hosts (see the
+// ROADMAP benchmarking caveat).
+func BenchmarkWeaveScaling(b *testing.B) {
+	for _, gm := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("gm%d", gm), func(b *testing.B) {
+			b.ReportAllocs()
+			var last *harness.WeaveScalingResult
+			for i := 0; i < b.N; i++ {
+				res, err := harness.WeaveScaling(benchOpts(), gm, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.SimMIPS, "sim-MIPS")
+			if gm == 4 {
+				ref, err := harness.WeaveScaling(benchOpts(), 1, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if last.WallNanos > 0 {
+					b.ReportMetric(float64(ref.WallNanos)/float64(last.WallNanos), "weave-speedup-4t")
+				}
+			}
+		})
 	}
 }
 

@@ -31,6 +31,8 @@ func main() {
 		hostThr    = flag.Int("host-threads", 0, "host worker threads (0 = all CPUs)")
 		blocks     = flag.Int("blocks", 0, "override the workload's per-thread basic-block budget")
 		nocCont    = flag.Bool("noc", false, "enable weave-phase NoC contention (implies the weave phase; routed topologies only)")
+		domains    = flag.Int("domains", 0, "weave domain count (0 = config default)")
+		weaveMode  = flag.String("weave-mode", "", "weave execution mode: parallel (deterministic bounded-skew domains, the default) or serial (single-heap escape hatch)")
 		linkBytes  = flag.Int("noc-link-bytes", 0, "NoC link width in bytes (0 = config default)")
 		statsDump  = flag.Bool("stats", false, "dump the full statistics tree after the run")
 		list       = flag.Bool("list", false, "list the registered workloads and exit")
@@ -61,6 +63,12 @@ func main() {
 	}
 	if *timeout > 0 {
 		cfg.MaxWallTime = *timeout
+	}
+	if *domains > 0 {
+		cfg.WeaveDomains = *domains
+	}
+	if *weaveMode != "" {
+		cfg.WeaveModeKind = zsim.WeaveMode(*weaveMode)
 	}
 	sim, err := zsim.New(cfg)
 	if err != nil {

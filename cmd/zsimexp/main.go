@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"zsim/internal/config"
 	"zsim/internal/harness"
 )
 
@@ -25,15 +26,31 @@ func main() {
 		hostThr  = flag.Int("host-threads", 0, "host worker threads (0 = all CPUs)")
 		quiet    = flag.Bool("quiet", false, "suppress progress logging")
 		timeout  = flag.Duration("timeout", 0, "per-run wall-clock budget (0 = unlimited); an overrun fails the experiment instead of hanging it")
+		domains  = flag.Int("domains", 0, "override the weave domain count for every run (0 = per-experiment default)")
+		weave    = flag.String("weave-mode", "", "weave execution mode for every run: parallel (deterministic bounded-skew domains, the default) or serial (single-heap escape hatch)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: zsimexp [flags] <table2|table3|fig2|fig5|fig6perf|fig6speedup|fig6stream|table4|fig7|fig8|fig9|intervals|meshhotspot|all>")
 		os.Exit(2)
 	}
-	opts := harness.Options{Scale: *scale, MaxCores: *maxCores, HostThreads: *hostThr, Timeout: *timeout}
+	opts := harness.Options{Scale: *scale, MaxCores: *maxCores, HostThreads: *hostThr, Timeout: *timeout,
+		WeaveDomains: *domains, WeaveMode: config.WeaveMode(*weave)}
+	if *weave != "" && *weave != string(config.WeaveParallelDet) && *weave != string(config.WeaveSerial) {
+		fmt.Fprintf(os.Stderr, "zsimexp: unknown -weave-mode %q (want parallel or serial)\n", *weave)
+		os.Exit(2)
+	}
 	if !*quiet {
 		opts.Log = os.Stderr
+		mode := *weave
+		if mode == "" {
+			mode = string(config.WeaveParallelDet)
+		}
+		dom := "per-experiment default"
+		if *domains > 0 {
+			dom = fmt.Sprintf("%d", *domains)
+		}
+		fmt.Fprintf(os.Stderr, "weave: mode=%s domains=%s\n", mode, dom)
 	}
 
 	if err := run(flag.Arg(0), opts); err != nil {

@@ -42,6 +42,13 @@ func deterministicRun(t *testing.T, gomaxprocs, hostThreads int, contention bool
 // contention subsystem optionally enabled (on a 2x2 mesh with narrow links,
 // so router ports actually back up and the router event path is exercised).
 func deterministicRunNOC(t *testing.T, gomaxprocs, hostThreads int, contention bool, domains int, nocOn bool) string {
+	return deterministicRunMode(t, gomaxprocs, hostThreads, contention, domains, nocOn, config.WeaveParallelDet)
+}
+
+// deterministicRunMode additionally pins the weave execution mode, so the
+// parallel bounded-skew path can be compared bit-for-bit against the serial
+// reference executor.
+func deterministicRunMode(t *testing.T, gomaxprocs, hostThreads int, contention bool, domains int, nocOn bool, mode config.WeaveMode) string {
 	t.Helper()
 	old := runtime.GOMAXPROCS(gomaxprocs)
 	defer runtime.GOMAXPROCS(old)
@@ -55,6 +62,7 @@ func deterministicRunNOC(t *testing.T, gomaxprocs, hostThreads int, contention b
 	// sequence) order regardless of the domain partition, and the bound
 	// phase still runs on 4 host workers.
 	cfg.WeaveDomains = domains
+	cfg.WeaveModeKind = mode
 	// Generous associativity so the disjoint footprints never force an
 	// eviction whose victim choice could depend on arrival order.
 	cfg.L3.SizeKB = 4096
@@ -182,6 +190,108 @@ func TestDeterministicAcrossDomainCount(t *testing.T) {
 			t.Fatalf("results differ between 1 and %d weave domains:\n  1: %s\n  %d: %s",
 				domains, base, domains, got)
 		}
+	}
+}
+
+// TestDeterministicParallelWeaveMatrix is the PR 7 acceptance gate: the
+// parallel bounded-skew weave executor must be BIT-IDENTICAL to the serial
+// reference executor (the old single-heap (cycle, component, sequence)
+// order) across the full matrix of GOMAXPROCS {1,2,4} x weave domains
+// {1,2,4}, with the NoC contention subsystem both off and on. The serial
+// run is the reference; every parallel cell must reproduce its signature
+// exactly — core cycles, miss counters, router queue delays, everything the
+// signature string carries.
+func TestDeterministicParallelWeaveMatrix(t *testing.T) {
+	for _, nocOn := range []bool{false, true} {
+		name := "noc-off"
+		if nocOn {
+			name = "noc-on"
+		}
+		t.Run(name, func(t *testing.T) {
+			ref := deterministicRunMode(t, 1, 4, true, 1, nocOn, config.WeaveSerial)
+			for _, gm := range []int{1, 2, 4} {
+				for _, domains := range []int{1, 2, 4} {
+					got := deterministicRunMode(t, gm, 4, true, domains, nocOn, config.WeaveParallelDet)
+					if got != ref {
+						t.Fatalf("parallel weave (GOMAXPROCS=%d, domains=%d) diverged from serial reference:\n  serial:   %s\n  parallel: %s",
+							gm, domains, ref, got)
+					}
+				}
+			}
+			if nocOn && (!strings.Contains(ref, "noc(trav=") || strings.Contains(ref, "noc(trav=0 ")) {
+				t.Fatalf("reference run recorded no router traversals: %s", ref)
+			}
+		})
+	}
+}
+
+// sharedTrafficRun runs a heavily write-shared hotspot workload (the
+// mesh-hotspot traffic shape at small scale) with a single bound worker, so
+// the bound phase is deterministic and every difference in the signature
+// comes from the weave phase. Shared traffic matters: it floods the routers
+// and banks with same-cycle events from different cores, exercising the
+// weave order's tie-breaks — which the disjoint pinned workload above never
+// stresses. (A plain push-when-ready heap breaks ties by arrival order,
+// which is unparallelizable and was the source of a real serial-vs-parallel
+// divergence; the engine's (cycle, sequence) total order is tie-exact.)
+func sharedTrafficRun(t *testing.T, gomaxprocs, domains int, mode config.WeaveMode) string {
+	t.Helper()
+	old := runtime.GOMAXPROCS(gomaxprocs)
+	defer runtime.GOMAXPROCS(old)
+
+	cfg := config.TiledChip(4, config.CoreIPC1) // 64 cores on a 2x2 mesh
+	cfg.Contention = true
+	cfg.NOCContention = true
+	cfg.NOCLinkBytes = 4
+	cfg.WeaveDomains = domains
+	cfg.WeaveModeKind = mode
+	sys, err := BuildSystem(cfg)
+	if err != nil {
+		t.Fatalf("BuildSystem: %v", err)
+	}
+	p := trace.DefaultParams()
+	p.BlocksPerThread = 120
+	p.ScaleWork = false
+	p.MemFraction = 0.4
+	p.StoreFraction = 0.5
+	p.SharedWorkingSet = 4 << 10
+	p.SharedFraction = 0.7
+	p.WorkingSet = 128 << 10
+	sched := virt.NewScheduler(cfg.NumCores)
+	sched.AddWorkload(trace.New("shared-hotspot", p, 32))
+	sim := NewSimulator(sys, sched, Options{HostThreads: 1, Seed: 7})
+	sim.Run()
+
+	var sb strings.Builder
+	m := sys.Metrics()
+	fmt.Fprintf(&sb, "cycles=%d instrs=%d l3=%d weave=%d feedback=%d",
+		m.Cycles, m.Instrs, m.L3Misses, sim.WeaveEvents, sim.TotalFeedback)
+	if sys.Fabric != nil {
+		fs := sys.Fabric.TotalStats()
+		fmt.Fprintf(&sb, " noc(trav=%d conflicts=%d stalls=%d delay=%d)",
+			fs.Traversals, fs.PortConflicts, fs.QueueStalls, fs.QueueDelay)
+	}
+	return sb.String()
+}
+
+// TestParallelWeaveSharedTrafficMatchesSerial is the tie-break half of the
+// PR 7 bit-identity gate: under contended shared traffic, the parallel
+// bounded-skew weave (inline fallback at GOMAXPROCS=1 and the concurrent
+// worker path at GOMAXPROCS=4) must reproduce the serial reference exactly,
+// router queue delays included.
+func TestParallelWeaveSharedTrafficMatchesSerial(t *testing.T) {
+	ref := sharedTrafficRun(t, 1, 4, config.WeaveSerial)
+	for _, gm := range []int{1, 4} {
+		for _, domains := range []int{2, 4} {
+			got := sharedTrafficRun(t, gm, domains, config.WeaveParallelDet)
+			if got != ref {
+				t.Fatalf("shared-traffic parallel weave (GOMAXPROCS=%d, domains=%d) diverged:\n  serial:   %s\n  parallel: %s",
+					gm, domains, ref, got)
+			}
+		}
+	}
+	if !strings.Contains(ref, "noc(trav=") || strings.Contains(ref, "noc(trav=0 ") {
+		t.Fatalf("shared-traffic run recorded no router traversals: %s", ref)
 	}
 }
 

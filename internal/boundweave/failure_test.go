@@ -7,6 +7,7 @@ package boundweave
 // reusable for the next simulation.
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -183,6 +184,70 @@ func TestRunWorkerPanicRecovered(t *testing.T) {
 	}
 	if sim.FailPhase != "bound" {
 		t.Fatalf("fault phase = %q, want bound", sim.FailPhase)
+	}
+	runAnother(t)
+}
+
+// panicMemModel is a memctrl.ContentionModel that trips a panic on the Nth
+// request, from inside a weave domain worker's event execution.
+type panicMemModel struct{ countdown int }
+
+func (p *panicMemModel) RequestLatency(lineAddr, cycle uint64, write bool) uint64 {
+	p.countdown--
+	if p.countdown <= 0 {
+		panic("injected weave model fault")
+	}
+	return 100
+}
+func (p *panicMemModel) Reset()       {}
+func (p *panicMemModel) Name() string { return "panic-mem" }
+
+// TestRunWeavePanicRecoveredParallel extends the failure matrix to the
+// deterministic PARALLEL weave: a panic inside one domain's event execution
+// (a poisoned memory-controller contention model) must not deadlock the
+// sibling domains parked on that domain's committed horizon. The engine's
+// abort protocol wakes every parked worker, the panic is re-raised on the
+// caller, and the simulator attributes it to the weave phase and stays
+// reusable.
+func TestRunWeavePanicRecoveredParallel(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	cfg := config.SmallTest()
+	cfg.NumCores = 4
+	cfg.Contention = true
+	cfg.WeaveDomains = 2 // >=2 domains: horizon waiters exist to strand
+	sys, err := BuildSystem(cfg)
+	if err != nil {
+		t.Fatalf("BuildSystem: %v", err)
+	}
+	p := trace.DefaultParams()
+	p.BlocksPerThread = 1 << 30 // endless: only the fault can stop it
+	sched := virt.NewScheduler(cfg.NumCores)
+	sched.AddWorkload(trace.New("weave-fault", p, cfg.NumCores))
+	sim := NewSimulator(sys, sched, Options{HostThreads: 2, Seed: 3, MaxWallTime: time.Minute})
+	// Poison the memory controller's contention model: after a few hundred
+	// weave requests it panics inside whichever domain owns the component.
+	sim.models.mems[sys.MemComp[0]] = &panicMemModel{countdown: 300}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sim.Run() // must return, not crash or hang the process
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("panicking weave domain hung the run (parked siblings not woken?)")
+	}
+	if sim.Reason != runctl.ReasonPanicked {
+		t.Fatalf("reason = %v, want panicked", sim.Reason)
+	}
+	if sim.PanicErr == nil || len(sim.PanicErr.Stack) == 0 {
+		t.Fatalf("panic capture missing: %+v", sim.PanicErr)
+	}
+	if sim.FailPhase != "weave" {
+		t.Fatalf("fault phase = %q, want weave", sim.FailPhase)
 	}
 	runAnother(t)
 }

@@ -166,10 +166,11 @@ func NewSimulator(sys *System, sched *virt.Scheduler, opts Options) *Simulator {
 	}
 
 	// One persistent pool serves both phases: the bound phase wakes up to
-	// hostThreads workers, and a parallel weave phase needs one worker per
-	// domain (the default deterministic weave runs inline on the driver).
+	// hostThreads workers, and the (default) parallel weave needs one worker
+	// per domain — domains park mid-interval waiting on horizons, so they
+	// cannot share workers. Only the serial escape hatch runs weave inline.
 	poolSize := host
-	if s.contention && cfg.WeaveParallel && sys.NumDomains > poolSize {
+	if s.contention && cfg.WeaveModeKind != config.WeaveSerial && sys.NumDomains > poolSize {
 		poolSize = sys.NumDomains
 	}
 	s.pool = engine.NewPool(poolSize)
@@ -235,7 +236,9 @@ func NewSimulator(sys *System, sched *virt.Scheduler, opts Options) *Simulator {
 		// pool: its domains, queues and workers are built once and reused by
 		// every interval.
 		s.engine = event.NewEngineOnPool(sys.NumDomains, s.pool)
-		s.engine.SetDeterministic(!cfg.WeaveParallel)
+		if cfg.WeaveModeKind == config.WeaveSerial {
+			s.engine.SetMode(event.ModeSerial)
+		}
 		for comp, dom := range sys.CompDomain {
 			s.engine.AssignComponent(comp, dom)
 		}

@@ -42,6 +42,23 @@ const (
 	WeaveMemNone        WeaveMemModel = "none"         // no DRAM contention
 )
 
+// WeaveMode selects the weave-phase execution discipline.
+type WeaveMode string
+
+// Supported weave modes.
+const (
+	// WeaveParallelDet (the default) runs the weave domains concurrently:
+	// every event is pre-created in its domain's queue at its bound-phase
+	// lower bound and per-domain committed horizons bound the skew between
+	// domains, so results are bit-identical to WeaveSerial for a fixed seed,
+	// regardless of GOMAXPROCS, host threads or the domain count.
+	WeaveParallelDet WeaveMode = "parallel"
+	// WeaveSerial is the serial-fallback escape hatch: the weave phase runs
+	// inline on one host core in the global (cycle, component, sequence)
+	// reference order. Same results, no host parallelism.
+	WeaveSerial WeaveMode = "serial"
+)
+
 // NetworkKind selects the NoC topology.
 type NetworkKind string
 
@@ -152,12 +169,18 @@ type System struct {
 	Contention   bool          `json:"contention"`
 	WeaveMem     WeaveMemModel `json:"weaveMem"`
 	WeaveDomains int           `json:"weaveDomains"`
-	// WeaveParallel opts the weave phase into the parallel per-domain worker
-	// path. The default (false) executes weave events in the deterministic
-	// global (cycle, component, sequence) order, making results reproducible
-	// across GOMAXPROCS/host-thread settings; parallel mode maximizes host
-	// parallelism but is only reproducible on a fixed host configuration.
-	WeaveParallel bool `json:"weaveParallel"`
+	// WeaveModeKind selects the weave execution discipline. The default
+	// ("" = "parallel") runs the domains concurrently on the host with
+	// results bit-identical to the serial reference order; "serial" is the
+	// escape hatch that keeps the whole weave phase inline on one host core.
+	WeaveModeKind WeaveMode `json:"weaveMode,omitempty"`
+	// WeaveParallel is deprecated and ignored: the parallel weave is now
+	// deterministic (bit-identical to the serial order) and on by default,
+	// so there is no determinism-for-speed trade to opt into. The retired
+	// host-configuration-dependent worker path it used to select no longer
+	// exists; use WeaveModeKind ("serial") if the inline fallback is needed.
+	// The field survives only so pre-existing JSON configs still load.
+	WeaveParallel bool `json:"weaveParallel,omitempty"`
 	// HostThreads caps the number of host worker threads used by the bound
 	// phase barrier (0 = number of host CPUs).
 	HostThreads int `json:"hostThreads"`
@@ -245,6 +268,13 @@ func (s *System) Validate() error {
 	}
 	if s.WeaveDomains <= 0 {
 		s.WeaveDomains = minInt(s.NumCores, 16)
+	}
+	if s.WeaveModeKind == "" {
+		s.WeaveModeKind = WeaveParallelDet
+	}
+	if s.WeaveModeKind != WeaveParallelDet && s.WeaveModeKind != WeaveSerial {
+		return fmt.Errorf("config: unknown weave mode %q (want %q or %q)",
+			s.WeaveModeKind, WeaveParallelDet, WeaveSerial)
 	}
 	if s.OOO.IssueWidth == 0 {
 		s.OOO = DefaultOOOParams()

@@ -204,3 +204,40 @@ func TestRunLimitsRoundTripAndDefaults(t *testing.T) {
 		t.Fatalf("negative MaxWallTime should normalize to unlimited")
 	}
 }
+
+func TestWeaveModeRoundTripAndDefaults(t *testing.T) {
+	// Default: unset normalizes to the parallel-deterministic mode.
+	s := SmallTest()
+	if s.WeaveModeKind != WeaveParallelDet {
+		t.Fatalf("default weave mode should be %q, got %q", WeaveParallelDet, s.WeaveModeKind)
+	}
+	// The serial escape hatch survives a JSON round trip.
+	s.WeaveModeKind = WeaveSerial
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.WeaveModeKind != WeaveSerial {
+		t.Fatalf("weave mode lost in round trip: %q", got.WeaveModeKind)
+	}
+	// Unknown modes are rejected.
+	bad := SmallTest()
+	bad.WeaveModeKind = "fast-and-loose"
+	if err := bad.Validate(); err == nil {
+		t.Fatalf("unknown weave mode should be rejected")
+	}
+	// The deprecated weaveParallel flag still loads (ignored) so existing
+	// configs keep working under DisallowUnknownFields.
+	legacy, err := Load(strings.NewReader(`{"numCores":2,"weaveParallel":true,
+		"l1i":{"sizeKB":16},"l1d":{"sizeKB":16},"l2":{"sizeKB":64},"l3":{"sizeKB":256}}`))
+	if err != nil {
+		t.Fatalf("legacy weaveParallel config should load: %v", err)
+	}
+	if legacy.WeaveModeKind != WeaveParallelDet {
+		t.Fatalf("legacy flag must not change the mode: %q", legacy.WeaveModeKind)
+	}
+}

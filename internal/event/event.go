@@ -10,33 +10,61 @@
 //
 // Components (cache banks, memory controllers, cores) are statically
 // partitioned into domains. Each domain owns a priority queue of events and
-// is driven by its own worker goroutine. When a parent and child live in
-// different domains, the child is handed to its domain when its last parent
-// finishes; because every event has a lower bound, the handoff can enqueue
-// the child directly at its final ready cycle — exactly the scheme of
-// Figure 4 — which is what makes this accurate without conventional PDES
-// synchronization.
+// is driven by its own worker goroutine.
+//
+// # Deterministic parallel weave
+//
+// The engine's default mode (ModeParallel) runs the domains concurrently and
+// still produces results bit-identical to the serial reference order. Three
+// mechanisms make that possible:
+//
+//   - Crossing-event pre-creation: when an interval starts, every event of
+//     the interval — not just the roots — is already sitting in its domain's
+//     priority queue, keyed at its bound-phase lower bound (MinCycle). A
+//     domain-crossing dependency therefore never inserts into a foreign
+//     queue mid-run; the receiving domain already holds a lower-bounded
+//     placeholder, exactly the scheme of the paper's Figure 4. Because
+//     contention can only delay events, keys are only ever raised, so each
+//     domain pops its events in their final (cycle, sequence) order.
+//
+//   - Per-domain committed horizons: each domain publishes, in an atomic
+//     clock, the key of the event at the head of its queue — a lower bound
+//     on every cycle at which the domain can still dispatch or hand off
+//     work. A domain whose head event still has unfinished parents may
+//     execute it at cycle C only once every parent's domain has advanced
+//     past C; until then the head's key is re-raised to the tightest bound
+//     its parents admit (their current queue keys, read atomically), which
+//     is the bounded-skew rule applied per event rather than per domain.
+//
+//   - Bounded-skew parking: when a head's bound cannot be raised (a sending
+//     domain's committed horizon has not yet passed the head's key), the
+//     domain's worker parks on its wake channel. Horizon advances, head
+//     re-keys and parent completions all deliver wakeups, so a lagging
+//     domain stalls exactly the receivers that depend on it and nothing
+//     else.
+//
+// Execution order at every component is therefore the pure (final dispatch
+// cycle, sequence) function of the bound phase — independent of GOMAXPROCS,
+// host threads and domain count — and because contention models are strictly
+// per-component, simulated results are bit-identical to the serial reference
+// order. (An arrival-order tie-break — executing whichever same-cycle event
+// became ready first, as a plain push-when-ready heap does — is inherently
+// serial: it depends on the global pop sequence. The (cycle, sequence) total
+// order is what makes a parallel realisation possible at all.)
+//
+// ModeSerial is the escape hatch: it executes every interval inline on the
+// caller, realising the same (cycle, sequence) order with no worker
+// goroutines.
+//
+// ModeParallel requires parents to be created before their children (a
+// parent's sequence number must be smaller than its child's), which the
+// bound phase guarantees by construction: chains are recorded in program
+// order on per-core slabs.
 //
 // The engine is persistent and rides on the shared worker pool of package
 // internal/engine: the pool's workers are spawned once per simulation and
 // parked between phases, so the steady-state interval loop performs no
 // goroutine spawning and no heap allocation.
-//
-// Ordering and determinism: every heap orders events by the deterministic
-// (dispatch cycle, component, sequence) triple, where the sequence number is
-// assigned at event-creation time by the per-core slabs and is therefore a
-// pure function of the bound phase's (deterministic) trace. By default the
-// engine executes every interval in the global reference order — the
-// lexicographically smallest pending triple each step, inline on the caller
-// — so weave results are reproducible for a fixed seed regardless of
-// GOMAXPROCS, host threads or domain count. SetDeterministic(false) opts
-// into the parallel path: each domain is driven by one pool worker (idle
-// domains spin briefly, then park until a cross-domain handoff or the
-// interval's completion wakes them). The parallel path keeps per-heap order
-// deterministic but admits one reordering the reference order does not:
-// a wall-clock-lagging domain can hand a child event to a domain that
-// already popped a later-cycle event, so its results are reproducible only
-// for a fixed host configuration.
 package event
 
 import (
@@ -48,6 +76,10 @@ import (
 	"zsim/internal/engine"
 	"zsim/internal/runctl"
 )
+
+// maxCycle is the horizon value published by a domain that has drained its
+// queue: it can never send work again.
+const maxCycle = ^uint64(0)
 
 // Executor is the contention-model callback attached to an event: it receives
 // the event itself (whose Ctx/Arg/Flag fields carry the model context) and
@@ -84,6 +116,7 @@ type Event struct {
 	Delay uint64
 
 	children []*Event
+	parents  []*Event
 
 	// Mutable simulation state.
 	pendingParents int32
@@ -92,11 +125,18 @@ type Event struct {
 	done           atomic.Bool
 	enqueued       bool
 
+	// curKey is the cycle the event is currently keyed at in its domain's
+	// queue (parallel mode only). It is monotone non-decreasing and always a
+	// lower bound on the event's final dispatch cycle, so other domains read
+	// it (atomically) to bound their own blocked heads; once the event is
+	// popped for execution it freezes at the final key.
+	curKey atomic.Uint64
+
 	// seq is the event's deterministic creation sequence number (assigned by
-	// its Slab from the slab's base + allocation index). Together with the
-	// component ID it breaks dispatch-cycle ties in the domain heaps, so
-	// same-cycle events at a component execute in a reproducible order
-	// instead of heap-arrival order.
+	// its Slab from the slab's base + allocation index). It breaks
+	// dispatch-cycle ties in the domain heaps, so same-cycle events at a
+	// component execute in a reproducible order instead of heap-arrival
+	// order.
 	seq uint64
 }
 
@@ -104,9 +144,12 @@ type Event struct {
 func (e *Event) Seq() uint64 { return e.seq }
 
 // AddChild declares that child depends on e (child cannot dispatch before e
-// finishes plus child.Delay).
+// finishes plus child.Delay). In ModeParallel the parent must have been
+// allocated before the child (e.seq < child.seq); per-core slabs recording
+// chains in program order satisfy this by construction.
 func (e *Event) AddChild(child *Event) {
 	e.children = append(e.children, child)
+	child.parents = append(child.parents, e)
 	child.pendingParents++
 }
 
@@ -164,9 +207,9 @@ func NewSlabIn(a *arena.Arena, n int) *Slab {
 }
 
 // Alloc returns a cleared event from the slab, growing it by whole chunks as
-// needed. The recycled event's children slice keeps its capacity, so graphs
-// rebuilt interval after interval stop allocating once the slab has warmed
-// up.
+// needed. The recycled event's children and parents slices keep their
+// capacity, so graphs rebuilt interval after interval stop allocating once
+// the slab has warmed up.
 func (s *Slab) Alloc() *Event {
 	if len(s.chunks) == 0 {
 		s.chunks = append(s.chunks, arena.Take[Event](s.arena, s.chunkSize))
@@ -179,7 +222,8 @@ func (s *Slab) Alloc() *Event {
 	}
 	e := &s.chunks[s.cur][s.next]
 	s.next++
-	*e = Event{children: e.children[:0], seq: s.seqBase + uint64(s.inUse)}
+	children, parents := e.children[:0], e.parents[:0]
+	*e = Event{children: children, parents: parents, seq: s.seqBase + uint64(s.inUse)}
 	s.inUse++
 	return e
 }
@@ -199,36 +243,37 @@ func (s *Slab) At(i int) *Event {
 	return &s.chunks[i/s.chunkSize][i%s.chunkSize]
 }
 
-// queueItem orders events by (dispatch cycle, component, sequence): the
-// deterministic total order of the weave heaps. The comp and seq fields are
-// copied out of the event at push time so heap comparisons stay pointer-
-// chase-free.
+// queueItem orders events by (dispatch cycle, sequence). The seq field is
+// copied out of the event at push time so heap comparisons stay
+// pointer-chase-free. Component is deliberately NOT part of the key: every
+// parent→child edge runs from a lower to a higher sequence number, which
+// makes a blocked head's unfinished same-domain parents strictly
+// later-keyed — the invariant that guarantees a blocked head can always be
+// re-keyed strictly upward. (Per-component order is unaffected: events of
+// one component are seq-ordered either way.)
 type queueItem struct {
 	ev    *Event
 	cycle uint64
 	seq   uint64
-	comp  int32
 }
 
-// itemFor builds the heap item for an event at the given dispatch cycle.
-func itemFor(ev *Event, cycle uint64) queueItem {
-	return queueItem{ev: ev, cycle: cycle, seq: ev.seq, comp: int32(ev.Comp)}
+// itemForDet builds the deterministic (cycle, sequence) heap item for an
+// event keyed at the given cycle.
+func itemForDet(ev *Event, cycle uint64) queueItem {
+	return queueItem{ev: ev, cycle: cycle, seq: ev.seq}
 }
 
-// itemLess is the deterministic (cycle, component, sequence) heap order.
+// itemLess is the deterministic (cycle, sequence) heap order.
 func itemLess(a, b *queueItem) bool {
 	if a.cycle != b.cycle {
 		return a.cycle < b.cycle
 	}
-	if a.comp != b.comp {
-		return a.comp < b.comp
-	}
 	return a.seq < b.seq
 }
 
-// eventPQ is a typed binary min-heap over (cycle, component, sequence). It
-// replaces container/heap so pushes and pops move concrete queueItems
-// instead of boxing them through interface{}.
+// eventPQ is a typed binary min-heap over queueItems. It replaces
+// container/heap so pushes and pops move concrete queueItems instead of
+// boxing them through interface{}.
 type eventPQ []queueItem
 
 func (q *eventPQ) push(it queueItem) {
@@ -274,46 +319,71 @@ func (q *eventPQ) pop() (queueItem, bool) {
 	return top, true
 }
 
+// fixHead raises the head's cycle key to newCycle (>= its current key) and
+// restores the heap property by sifting it down. Used by the parallel path,
+// where keys start at lower bounds and are only ever raised.
+func (q *eventPQ) fixHead(newCycle uint64) {
+	s := *q
+	s[0].cycle = newCycle
+	n := len(s)
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && itemLess(&s[r], &s[l]) {
+			m = r
+		}
+		if !itemLess(&s[m], &s[i]) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+}
+
 // Domain is one weave-phase domain: a set of components and a priority queue
 // of their events. Domains are driven concurrently by the Engine's persistent
-// workers. (With lower-bounded events, handoffs enqueue children directly at
-// their final ready cycle, so domains no longer expose a clock for crossings
-// to poll.)
+// workers.
 type Domain struct {
 	id int
 
 	mu sync.Mutex
 	pq eventPQ
 
+	// horizon is the domain's committed-horizon clock: a lower bound on
+	// every cycle at which the domain can still dispatch an event or raise a
+	// child's ready cycle. It is published by the domain's own worker (the
+	// single writer) from the head key of its queue before each step, and
+	// jumps to maxCycle when the queue drains. Other domains read it to
+	// bound their blocked heads (bounded skew).
+	horizon atomic.Uint64
+
 	// parked is set while the domain's worker is blocked on wakeCh; producers
-	// pushing into an empty domain check it to deliver a wakeup.
+	// (parent completions, horizon advances, head re-keys) check it to
+	// deliver a wakeup.
 	parked atomic.Bool
 	// wakeCh carries wakeups to a parked worker (capacity 1: a buffered token
 	// can never be lost, and spurious tokens just cause a re-check).
 	wakeCh chan struct{}
 
 	// Executed counts events executed in this domain (stats / load balance).
+	// It is a pure function of the bound phase (the domain's event set).
 	Executed uint64
 	// CrossRetries counts inter-domain handoffs (synchronization overhead
-	// indicator).
+	// indicator). With multiple cross-domain parents finishing concurrently
+	// its attribution to a domain is host-timing-dependent; the total is not.
 	CrossRetries uint64
+	// HorizonParks counts how often the domain's worker parked waiting for a
+	// sending domain's horizon (host-timing-dependent; stats only, never part
+	// of simulated results).
+	HorizonParks uint64
 }
 
 // ID returns the domain's index.
 func (d *Domain) ID() int { return d.id }
-
-func (d *Domain) push(ev *Event, cycle uint64) {
-	d.mu.Lock()
-	d.pq.push(itemFor(ev, cycle))
-	d.mu.Unlock()
-}
-
-func (d *Domain) pop() (queueItem, bool) {
-	d.mu.Lock()
-	it, ok := d.pq.pop()
-	d.mu.Unlock()
-	return it, ok
-}
 
 // wake delivers a non-blocking wakeup token to the domain's worker.
 func (d *Domain) wake() {
@@ -321,6 +391,29 @@ func (d *Domain) wake() {
 	case d.wakeCh <- struct{}{}:
 	default:
 	}
+}
+
+// Mode selects the weave execution discipline.
+type Mode int
+
+const (
+	// ModeParallel (the default) runs domains concurrently on the worker
+	// pool with pre-created lower-bounded events and committed horizons;
+	// results are bit-identical to ModeSerial for a fixed seed, regardless
+	// of GOMAXPROCS, host threads or domain count. See the package comment.
+	ModeParallel Mode = iota
+	// ModeSerial executes every interval inline on the caller, in the same
+	// deterministic (cycle, sequence) order the parallel workers realise.
+	// It is the escape hatch (no worker goroutines touched) and the
+	// reference the parallel path is tested against.
+	ModeSerial
+)
+
+func (m Mode) String() string {
+	if m == ModeSerial {
+		return "serial"
+	}
+	return "parallel"
 }
 
 // Engine coordinates the weave phase: it owns the domains, maps components to
@@ -338,6 +431,10 @@ type Engine struct {
 	// domains.
 	remaining atomic.Int64
 	maxFinish atomic.Uint64
+
+	// parkedCount counts domains currently parked, so horizon advances can
+	// skip the wake sweep entirely on the (common) no-waiter path.
+	parkedCount atomic.Int32
 
 	// roots collects the events enqueued since the last Run, so Run can
 	// register their descendants without scanning (and copying) the domain
@@ -357,25 +454,16 @@ type Engine struct {
 
 	// aborted flags a fault in one of the parallel domain workers. Domain
 	// workers cannot rely on the pool's generic panic re-raise: sibling
-	// domains park waiting for cross-domain handoffs, so a dying domain
-	// would leave them parked forever and the pool's WaitGroup waiting. The
-	// panicking worker instead records the capture in domPanic, raises
+	// domains park waiting for horizons that a dying domain would never
+	// advance, leaving them parked forever and the pool's WaitGroup waiting.
+	// The panicking worker instead records the capture in domPanic, raises
 	// aborted, wakes every parked domain, and returns normally; the others
-	// observe aborted on their idle path and bail out, and Run re-raises the
-	// capture on the orchestrating goroutine.
+	// observe aborted on their loop and park paths and bail out, and Run
+	// re-raises the capture on the orchestrating goroutine.
 	aborted  atomic.Bool
 	domPanic atomic.Pointer[runctl.PanicError]
 
-	// deterministic (the default) executes multi-domain intervals inline in
-	// the global (cycle, component, sequence) order, which makes weave
-	// results reproducible for a fixed seed regardless of GOMAXPROCS, host
-	// threads or the domain count. SetDeterministic(false) opts into the
-	// parallel per-domain path: one pool worker per domain, maximum host
-	// parallelism, but cross-domain handoff *arrival* order may then deviate
-	// from the reference order when a lagging domain delivers a child whose
-	// ready cycle undercuts events its target already popped, so results are
-	// only reproducible on a fixed host configuration.
-	deterministic bool
+	mode Mode
 }
 
 // NewEngine creates an engine with n domains on a private worker pool. The
@@ -395,7 +483,7 @@ func NewEngineOnPool(nDomains int, pool *engine.Pool) *Engine {
 	if nDomains < 1 {
 		nDomains = 1
 	}
-	e := &Engine{deterministic: true}
+	e := &Engine{}
 	if pool == nil {
 		pool = engine.NewPool(nDomains)
 		e.ownsPool = true
@@ -411,11 +499,13 @@ func NewEngineOnPool(nDomains int, pool *engine.Pool) *Engine {
 	return e
 }
 
-// SetDeterministic selects between the deterministic inline execution order
-// (true, the default) and the parallel per-domain worker path (false). See
-// the deterministic field for the tradeoff. It must not be called while the
-// engine is mid-Run.
-func (e *Engine) SetDeterministic(det bool) { e.deterministic = det }
+// SetMode selects the execution discipline (ModeParallel is the default).
+// It must not be called while events are enqueued or the engine is mid-Run:
+// the mode governs how Enqueue keys the domain queues.
+func (e *Engine) SetMode(m Mode) { e.mode = m }
+
+// GetMode returns the engine's execution discipline.
+func (e *Engine) GetMode() Mode { return e.mode }
 
 // NumDomains returns the number of domains.
 func (e *Engine) NumDomains() int { return len(e.domains) }
@@ -450,21 +540,29 @@ func (e *Engine) DomainOf(comp int) int {
 }
 
 // Enqueue submits a root event (one with no parents) for execution in its
-// component's domain. Events with parents are enqueued automatically when
-// their parents finish; only roots need explicit enqueueing.
+// component's domain. Events with parents are pre-created in their domains'
+// queues when Run starts (parallel mode) or enqueued when their last parent
+// finishes (serial mode); only roots need explicit enqueueing.
 func (e *Engine) Enqueue(ev *Event) {
 	ev.readyCycle = ev.MinCycle
 	ev.enqueued = true
 	e.remaining.Add(1)
 	d := e.domains[e.DomainOf(ev.Comp)]
-	d.push(ev, ev.MinCycle)
+	ev.curKey.Store(ev.MinCycle)
+	d.mu.Lock()
+	d.pq.push(itemForDet(ev, ev.MinCycle))
+	d.mu.Unlock()
 	e.roots = append(e.roots, ev)
 }
 
 // registerDescendants walks the dependency graph from the roots enqueued
-// since the last Run and adds every not-yet-enqueued descendant to the
-// remaining counter, so Run knows when the graph is fully executed. The walk
-// is iterative over a reusable stack: no recursion, no per-Run allocation.
+// since the last Run, adds every not-yet-enqueued descendant to the
+// remaining counter (so Run knows when the graph is fully executed), and
+// pre-creates each descendant in its domain's queue at its lower bound — the
+// crossing-event pre-creation that lets domains run concurrently without
+// mid-run insertions into foreign queues. The walk is iterative over a
+// reusable stack: no recursion, no per-Run allocation (queue capacity is
+// retained across intervals).
 func (e *Engine) registerDescendants() {
 	stack := append(e.stack[:0], e.roots...)
 	for len(stack) > 0 {
@@ -474,6 +572,12 @@ func (e *Engine) registerDescendants() {
 			if !ch.enqueued {
 				ch.enqueued = true
 				e.remaining.Add(1)
+				if ch.readyCycle < ch.MinCycle {
+					ch.readyCycle = ch.MinCycle
+				}
+				ch.curKey.Store(ch.MinCycle)
+				// No lock: workers have not started yet.
+				e.domains[e.DomainOf(ch.Comp)].pq.push(itemForDet(ch, ch.MinCycle))
 				stack = append(stack, ch)
 			}
 		}
@@ -523,110 +627,287 @@ func (e *Engine) runDomainByIndex(i int) {
 // Run executes all enqueued events (and their descendants) to completion.
 // It returns the largest finish cycle observed (the interval's actual end).
 func (e *Engine) Run() uint64 {
-	// Register all descendants so the termination condition is exact.
+	// Register all descendants so the termination condition is exact and
+	// pre-create them in their domain queues at their lower bounds.
 	e.registerDescendants()
 	e.maxFinish.Store(0)
 	if e.remaining.Load() == 0 {
 		return 0
 	}
 
-	if e.deterministic || len(e.domains) == 1 || runtime.GOMAXPROCS(0) == 1 || e.isClosed() ||
-		e.pool.Size() < len(e.domains) {
-		// Deterministic mode, or effective host parallelism is one (or the
-		// workers are gone, or the pool is too small to give every domain its
-		// own worker — domains park mid-run, so they cannot share workers):
-		// execute inline, globally earliest-first in (cycle, comp, seq) order.
-		e.runInline()
-	} else {
-		for _, d := range e.domains {
-			// Drain any stale wakeup left over from the previous interval's
-			// termination (or abort) broadcast.
-			select {
-			case <-d.wakeCh:
-			default:
-			}
+	if e.mode == ModeSerial || len(e.domains) == 1 || runtime.GOMAXPROCS(0) == 1 ||
+		e.isClosed() || e.pool.Size() < len(e.domains) {
+		// Serial mode, or effective host parallelism is one (or the workers
+		// are gone, or the pool is too small to give every domain its own
+		// worker — domains park mid-run, so they cannot share workers): drain
+		// the pre-created queues on the caller, globally earliest-first. Same
+		// discipline, same results, no goroutines.
+		e.runInlinePreloaded()
+		return e.maxFinish.Load()
+	}
+	for _, d := range e.domains {
+		d.horizon.Store(0)
+		// Drain any stale wakeup left over from the previous interval's
+		// termination (or abort) broadcast.
+		select {
+		case <-d.wakeCh:
+		default:
 		}
-		e.pool.Run(len(e.domains), e.domainTask)
-		if pe := e.domPanic.Swap(nil); pe != nil {
-			// A domain worker panicked: its unexecuted events are abandoned
-			// (the run is being torn down), so re-raise on the orchestrator
-			// after clearing the abort flag. The engine must be Closed, not
-			// reused, after an aborted run.
-			e.aborted.Store(false)
-			panic(pe)
-		}
+	}
+	e.parkedCount.Store(0)
+	e.pool.Run(len(e.domains), e.domainTask)
+	if pe := e.domPanic.Swap(nil); pe != nil {
+		// A domain worker panicked: its unexecuted events are abandoned
+		// (the run is being torn down), so re-raise on the orchestrator
+		// after clearing the abort flag. The engine must be Closed, not
+		// reused, after an aborted run.
+		e.aborted.Store(false)
+		panic(pe)
 	}
 	return e.maxFinish.Load()
 }
 
-// runInline drains all domains on the caller's goroutine, executing the
-// globally earliest pending event each step, with ties broken by the
-// deterministic (cycle, component, sequence) order. This is the reference
-// execution order: a fixed seed produces the same weave schedule no matter
-// how many domains the components are partitioned into.
-func (e *Engine) runInline() {
+// runInlinePreloaded is the single-threaded executor: ModeSerial always uses
+// it, and ModeParallel falls back to it when effective host parallelism is
+// one. It drains the pre-created domain queues on the caller, taking the
+// globally smallest (cycle, sequence) head each step and applying the same
+// key-raising discipline as the concurrent workers. Because keys are lower
+// bounds raised toward their final values, this executes every component's
+// events in exactly the order the concurrent path does — and never parks:
+// a blocked global minimum always has a strictly later-keyed unfinished
+// parent, so its key strictly rises.
+func (e *Engine) runInlinePreloaded() {
 	var localMax uint64
-	for e.remaining.Load() > 0 {
+	for {
 		var best *Domain
-		var bestItem queueItem
 		for _, d := range e.domains {
-			if len(d.pq) > 0 && (best == nil || itemLess(&d.pq[0], &bestItem)) {
-				best, bestItem = d, d.pq[0]
+			if len(d.pq) > 0 && (best == nil || itemLess(&d.pq[0], &best.pq[0])) {
+				best = d
 			}
 		}
 		if best == nil {
-			break // unreachable: remaining > 0 implies a non-empty queue
+			break
 		}
-		it, _ := best.pop()
-		if f := e.execute(best, it); f > localMax {
-			localMax = f
+		head := &best.pq[0]
+		ev := head.ev
+		if ev.pendingParents == 0 {
+			if ev.readyCycle > head.cycle {
+				// The key was a lower bound; the final ready cycle is known
+				// now that every parent has finished. Raise and re-place.
+				best.pq.fixHead(ev.readyCycle)
+				ev.curKey.Store(ev.readyCycle)
+				continue
+			}
+			it := *head
+			best.pq.pop()
+			if f := e.execute(best, it); f > localMax {
+				localMax = f
+			}
+			continue
 		}
+		// Blocked global minimum: every unfinished parent is keyed strictly
+		// above it (a parent keyed at the same cycle would sort before its
+		// child and be the global minimum itself), so the bound strictly
+		// raises the key — guaranteed progress without parking.
+		lb := e.blockedBoundInline(ev, head.cycle)
+		best.pq.fixHead(lb)
+		ev.curKey.Store(lb)
 	}
 	e.mergeMaxFinish(localMax)
 }
 
-// runDomain drains one domain's queue, executing events in dispatch-cycle
-// order and handing finished events' children to their domains. An idle
-// domain spins briefly (other domains may hand it events at any moment) and
-// then parks on its wake channel.
+// blockedBoundInline returns the tightest known lower bound on the final key
+// of a blocked head in the single-threaded preloaded path, where every
+// parent's current key can be read directly.
+func (e *Engine) blockedBoundInline(ev *Event, headCycle uint64) uint64 {
+	lb := ev.readyCycle
+	if lb < ev.MinCycle {
+		lb = ev.MinCycle
+	}
+	for _, p := range ev.parents {
+		if p.done.Load() {
+			continue
+		}
+		c := p.curKey.Load() + ev.Delay
+		if c < p.curKey.Load() {
+			c = maxCycle // overflow guard
+		}
+		if c > lb {
+			lb = c
+		}
+	}
+	if lb <= headCycle {
+		panic("event: dependency graph violates creation order (a parent was allocated after its child); ModeParallel requires parent.Seq() < child.Seq()")
+	}
+	return lb
+}
+
+// blockedBound returns a lower bound on the final key of dom's blocked head,
+// using only information that is safe to read concurrently: the head's own
+// ready cycle (guarded by dom.mu, which the caller holds), each unfinished
+// parent's current queue key (atomic, monotone, always a lower bound on its
+// dispatch) and — for cross-domain parents — the sending domain's committed
+// horizon. A bound above the head's current key means the head can be
+// re-keyed and the domain keeps running; a bound at the key means a sending
+// domain has not yet advanced past it and the caller must wait (bounded
+// skew).
+func (e *Engine) blockedBound(dom *Domain, ev *Event, headCycle uint64) uint64 {
+	lb := ev.readyCycle
+	if lb < ev.MinCycle {
+		lb = ev.MinCycle
+	}
+	for _, p := range ev.parents {
+		if p.done.Load() {
+			// The parent finished; its contribution lands in ev.readyCycle
+			// via childReady (if it has not yet, the pending update will
+			// deliver a wakeup — the bound stays conservative either way).
+			continue
+		}
+		b := p.curKey.Load()
+		pd := e.DomainOf(p.Comp)
+		if pd != dom.id {
+			// The sending domain's horizon can be ahead of a stale curKey
+			// read, but never ahead of an *unexecuted* parent's key: re-check
+			// done after loading the horizon so the bound stays valid.
+			h := e.domains[pd].horizon.Load()
+			if p.done.Load() {
+				continue
+			}
+			if h > b {
+				b = h
+			}
+			if p.MinCycle > b {
+				b = p.MinCycle
+			}
+		} else if b <= headCycle {
+			// A same-domain unfinished parent sits in the same queue, so its
+			// key is at least the head's; equality means the parent sorts
+			// after its child — a graph built out of creation order.
+			panic("event: dependency graph violates creation order (a parent was allocated after its child); ModeParallel requires parent.Seq() < child.Seq()")
+		}
+		c := b + ev.Delay
+		if c < b {
+			c = maxCycle // overflow guard
+		}
+		if c > lb {
+			lb = c
+		}
+	}
+	return lb
+}
+
+// rekeyHead raises dom's head key to lb (caller holds dom.mu) and wakes any
+// parked domain holding one of the head's children: their blocked heads may
+// bound against this event's key, and the sending domain's horizon alone
+// does not advertise the raise.
+func (e *Engine) rekeyHead(dom *Domain, ev *Event, lb uint64) {
+	dom.pq.fixHead(lb)
+	ev.curKey.Store(lb)
+	if e.parkedCount.Load() > 0 {
+		for _, ch := range ev.children {
+			if chd := e.domains[e.DomainOf(ch.Comp)]; chd != dom && chd.parked.Load() {
+				chd.wake()
+			}
+		}
+	}
+}
+
+// advanceHorizon publishes c as dom's committed horizon (single writer: the
+// domain's own worker) and wakes parked domains, whose blocked heads may
+// bound against it. The no-waiter fast path is one atomic load.
+func (e *Engine) advanceHorizon(dom *Domain, c uint64) {
+	if dom.horizon.Load() >= c {
+		return
+	}
+	dom.horizon.Store(c)
+	if e.parkedCount.Load() > 0 {
+		for _, od := range e.domains {
+			if od != dom && od.parked.Load() {
+				od.wake()
+			}
+		}
+	}
+}
+
+// runDomain drains one domain's pre-created queue, keeping the domain's
+// committed horizon published and executing events as their keys become
+// final. A head whose bound cannot rise parks on the wake channel until a
+// sending domain advances (bounded skew).
 func (e *Engine) runDomain(dom *Domain) {
 	var localMax uint64
 	idleSpins := 0
 	for {
-		item, ok := dom.pop()
-		if !ok {
-			if e.remaining.Load() == 0 || e.aborted.Load() {
-				break
-			}
-			// The domain is idle but other domains still have work that may
-			// hand events to us at any moment.
-			idleSpins++
-			if idleSpins <= 8 {
-				runtime.Gosched()
-				continue
-			}
-			// Bounded parking: publish that we are parked, re-check for work,
-			// for termination and for a sibling's abort (all three producers
-			// observe parked after their push / final decrement / abort
-			// store, so a wakeup cannot be lost), then block.
-			dom.parked.Store(true)
-			if item, ok = dom.pop(); ok {
-				dom.parked.Store(false)
-			} else if e.remaining.Load() == 0 || e.aborted.Load() {
-				dom.parked.Store(false)
-				break
-			} else {
-				<-dom.wakeCh
-				dom.parked.Store(false)
+		if e.aborted.Load() {
+			break
+		}
+		dom.mu.Lock()
+		if len(dom.pq) == 0 {
+			dom.mu.Unlock()
+			break
+		}
+		head := &dom.pq[0]
+		ev := head.ev
+		headCycle := head.cycle
+		// Publish the committed horizon before acting on the head: nothing
+		// in this domain — including the event about to execute — can
+		// dispatch or finish below the head's key.
+		e.advanceHorizon(dom, headCycle)
+		if ev.pendingParents == 0 {
+			if ev.readyCycle > headCycle {
+				e.rekeyHead(dom, ev, ev.readyCycle)
+				dom.mu.Unlock()
 				idleSpins = 0
 				continue
 			}
+			it := *head
+			dom.pq.pop()
+			dom.mu.Unlock()
+			if f := e.execute(dom, it); f > localMax {
+				localMax = f
+			}
+			idleSpins = 0
+			continue
 		}
+		lb := e.blockedBound(dom, ev, headCycle)
+		if lb > headCycle {
+			e.rekeyHead(dom, ev, lb)
+			dom.mu.Unlock()
+			idleSpins = 0
+			continue
+		}
+		dom.mu.Unlock()
+		// The head is pinned at its key behind a sending domain that has not
+		// committed past it. Spin briefly — horizons advance at event
+		// granularity — then park.
+		idleSpins++
+		if idleSpins <= 8 {
+			runtime.Gosched()
+			continue
+		}
+		// Bounded parking: publish that we are parked, re-check the bound
+		// under the lock (every producer — parent completion, horizon
+		// advance, head re-key, abort — updates state before checking
+		// parked, so a wakeup cannot be lost), then block.
+		dom.parked.Store(true)
+		e.parkedCount.Add(1)
+		canProgress := true
+		dom.mu.Lock()
+		if len(dom.pq) > 0 {
+			h := &dom.pq[0]
+			canProgress = h.ev.pendingParents == 0 ||
+				e.blockedBound(dom, h.ev, h.cycle) > h.cycle
+		}
+		dom.mu.Unlock()
+		if !canProgress && !e.aborted.Load() {
+			dom.HorizonParks++
+			<-dom.wakeCh
+		}
+		dom.parked.Store(false)
+		e.parkedCount.Add(-1)
 		idleSpins = 0
-		if f := e.execute(dom, item); f > localMax {
-			localMax = f
-		}
 	}
+	// Drained (or aborting): this domain can never send work again.
+	e.advanceHorizon(dom, maxCycle)
 	e.mergeMaxFinish(localMax)
 }
 
@@ -673,16 +954,13 @@ func (e *Engine) mergeMaxFinish(v uint64) {
 	}
 }
 
-// childReady records that one parent of ch finished at parentFinish; when the
-// last parent finishes, the child is enqueued in its own domain (directly if
-// same-domain, via an implicit crossing otherwise — with lower-bounded events
-// the crossing reduces to enqueueing at the correct ready cycle, since the
-// child's dispatch can never precede it).
+// childReady records that one parent of ch finished at parentFinish. The
+// child is already sitting in its domain's queue (pre-created at bound
+// time); only its ready cycle and pending count are updated — under the
+// child domain's lock, because two parents in different domains may finish
+// concurrently — and the owning domain is woken if it parked on the bound.
 func (e *Engine) childReady(parentDom *Domain, ch *Event, parentFinish uint64) {
 	ready := parentFinish + ch.Delay
-	// The child's ready cycle and pending-parent count are protected by the
-	// child domain's lock: two parents in different domains may finish
-	// concurrently.
 	chDom := e.domains[e.DomainOf(ch.Comp)]
 	chDom.mu.Lock()
 	if ch.readyCycle < ready {
@@ -693,14 +971,13 @@ func (e *Engine) childReady(parentDom *Domain, ch *Event, parentFinish uint64) {
 	}
 	ch.pendingParents--
 	last := ch.pendingParents == 0
-	if last {
-		chDom.pq.push(itemFor(ch, ch.readyCycle))
-		if chDom != parentDom {
+	chDom.mu.Unlock()
+	if chDom != parentDom {
+		if last {
 			parentDom.CrossRetries++ // count inter-domain handoffs
 		}
-	}
-	chDom.mu.Unlock()
-	if last && chDom != parentDom && chDom.parked.Load() {
-		chDom.wake()
+		if chDom.parked.Load() {
+			chDom.wake()
+		}
 	}
 }

@@ -2,6 +2,7 @@ package event
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -58,11 +59,12 @@ func TestSlabRecyclesChildCapacity(t *testing.T) {
 	if p2.NumChildren() != 0 {
 		t.Fatalf("recycled event must not keep stale children")
 	}
-	// Appending a child to the recycled event must not allocate: the child
-	// slice keeps its capacity across Reset.
+	// Appending a child to the recycled event must not allocate: the children
+	// and parents slices keep their capacity across Reset.
 	c2 := s.Alloc()
 	allocs := testing.AllocsPerRun(1, func() {
 		p2.children = p2.children[:0]
+		c2.parents = c2.parents[:0]
 		p2.AddChild(c2)
 	})
 	if allocs != 0 {
@@ -253,12 +255,15 @@ func TestLowerBoundRespected(t *testing.T) {
 	}
 }
 
-// TestDeterministicTieBreak checks the (cycle, component, sequence) order:
-// same-cycle events execute component-major, then in slab allocation order,
-// regardless of the order they were enqueued in — including across domains
-// on the deterministic inline path.
+// TestDeterministicTieBreak checks the deterministic (cycle, sequence)
+// reference order: same-cycle events execute in slab allocation order,
+// regardless of the order they were enqueued in and regardless of which
+// domain their component maps to. Component is deliberately not part of the
+// tie-break — a pure (cycle, sequence) total order is what both the serial
+// and the parallel executors realise (see the package comment).
 func TestDeterministicTieBreak(t *testing.T) {
 	eng := NewEngine(2)
+	eng.SetMode(ModeSerial)
 	defer eng.Close()
 	s := NewSlab(16)
 	s.SetSeqBase(100)
@@ -282,7 +287,7 @@ func TestDeterministicTieBreak(t *testing.T) {
 		eng.Enqueue(evs[i])
 	}
 	eng.Run()
-	want := []uint64{101, 103, 102, 100} // comp 0 (seq 101, 103), comp 1, comp 3
+	want := []uint64{100, 101, 102, 103} // pure allocation order at the tied cycle
 	if len(order) != len(want) {
 		t.Fatalf("executed %d events, want %d", len(order), len(want))
 	}
@@ -324,10 +329,9 @@ func TestEngineOrderWithinDomain(t *testing.T) {
 
 func TestManyEventsAcrossDomainsParallel(t *testing.T) {
 	// A larger stress test: per-core chains touching shared components,
-	// executed across 4 domains on the opt-in parallel worker path. Every
+	// executed across 4 domains on the default parallel worker path. Every
 	// event must execute exactly once.
 	eng := NewEngine(4)
-	eng.SetDeterministic(false)
 	defer eng.Close()
 	s := NewSlab(1024)
 	var executed atomic.Int64
@@ -535,7 +539,9 @@ func TestEventChainProperties(t *testing.T) {
 		}
 		nd := int(domainsRaw%6) + 1
 		eng := NewEngine(nd)
-		eng.SetDeterministic(latsRaw[0]&1 == 0) // exercise both paths
+		if latsRaw[0]&1 == 0 { // exercise both modes
+			eng.SetMode(ModeSerial)
+		}
 		defer eng.Close()
 		s := NewSlab(128)
 		var chain []*Event
@@ -577,16 +583,16 @@ func TestEventChainProperties(t *testing.T) {
 
 // TestParallelDomainPanicContained pins down the domain-abort protocol: when
 // a domain worker's executor panics in the parallel weave path, sibling
-// domains parked on cross-domain handoffs must be woken and released (not
-// left parked forever, which would also hang the pool's WaitGroup), and the
-// capture must be re-raised on the orchestrating goroutine.
+// domains parked on a horizon that will now never advance must be woken and
+// released (not left parked forever, which would also hang the pool's
+// WaitGroup), and the capture must be re-raised on the orchestrating
+// goroutine.
 func TestParallelDomainPanicContained(t *testing.T) {
 	if runtime.GOMAXPROCS(0) == 1 {
 		t.Skip("parallel domain workers need GOMAXPROCS > 1")
 	}
 	eng := NewEngine(2)
 	defer eng.Close()
-	eng.SetDeterministic(false)
 	s := NewSlab(16)
 
 	// The parent lives in domain 0 and panics; its child lives in domain 1,
@@ -617,5 +623,150 @@ func TestParallelDomainPanicContained(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatalf("panicking domain worker left the engine hung")
+	}
+}
+
+// buildContendedGraph builds a reproducible multi-chain graph whose executors
+// model per-component contention (each component is a serially reusable port:
+// an access occupies it for Arg cycles, so finish cycles depend on the exact
+// per-component execution order). It returns the chains so callers can
+// compare finish cycles across engines.
+func buildContendedGraph(eng *Engine, s *Slab, busy []uint64) [][]*Event {
+	const cores = 8
+	const perCore = 24
+	chains := make([][]*Event, cores)
+	rng := uint64(0x9e3779b97f4a7c15)
+	for c := 0; c < cores; c++ {
+		s.SetSeqBase(uint64(c) << 32)
+		var prev *Event
+		for i := 0; i < perCore; i++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			ev := s.Alloc()
+			ev.Comp = int(rng>>33) % 8
+			ev.MinCycle = uint64(c*3 + i*11)
+			ev.Arg = uint64(ev.Comp)
+			ev.Ctx = busy
+			ev.Exec = portExec
+			if prev == nil {
+				eng.Enqueue(ev)
+			} else {
+				prev.AddChild(ev)
+			}
+			chains[c] = append(chains[c], ev)
+			prev = ev
+		}
+	}
+	return chains
+}
+
+// portExec models a pipelined single-port component: the access waits for the
+// port to free, then occupies it for 4 cycles. Stateful per component, so
+// results depend on per-component execution order.
+func portExec(ev *Event, c uint64) uint64 {
+	busy := ev.Ctx.([]uint64)
+	start := c
+	if busy[ev.Arg] > start {
+		start = busy[ev.Arg]
+	}
+	fin := start + 4
+	busy[ev.Arg] = fin
+	return fin
+}
+
+// TestParallelMatchesSerialReference is the engine-level bit-identity gate:
+// the default parallel mode (pre-created events, committed horizons) must
+// produce exactly the serial reference's finish cycle for every event of a
+// contended multi-chain graph, across domain counts and with real concurrent
+// workers.
+func TestParallelMatchesSerialReference(t *testing.T) {
+	ref := func() [][]*Event {
+		eng := NewEngine(1)
+		eng.SetMode(ModeSerial)
+		defer eng.Close()
+		s := NewSlab(256)
+		busy := make([]uint64, 8)
+		chains := buildContendedGraph(eng, s, busy)
+		eng.Run()
+		return chains
+	}()
+
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for _, nd := range []int{1, 2, 4} {
+		eng := NewEngine(nd)
+		s := NewSlab(256)
+		busy := make([]uint64, 8)
+		chains := buildContendedGraph(eng, s, busy)
+		eng.Run()
+		for c := range chains {
+			for i, ev := range chains[c] {
+				want := ref[c][i]
+				if !ev.Finished() {
+					t.Fatalf("domains=%d: chain %d event %d did not finish", nd, c, i)
+				}
+				if ev.FinishCycle() != want.FinishCycle() {
+					t.Fatalf("domains=%d: chain %d event %d finish=%d, serial reference=%d",
+						nd, c, i, ev.FinishCycle(), want.FinishCycle())
+				}
+			}
+		}
+		eng.Close()
+	}
+}
+
+// TestParallelPerComponentOrder pins the parallel mode's ordering contract:
+// each component sees its events in (final dispatch cycle, sequence) order —
+// the pure function of the bound phase that makes parallel results
+// bit-identical to the serial reference.
+func TestParallelPerComponentOrder(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	eng := NewEngine(4)
+	defer eng.Close()
+	s := NewSlab(256)
+	const comps = 8
+	type rec struct {
+		cycle uint64
+		seq   uint64
+	}
+	var mu [comps]sync.Mutex
+	orders := make([][]rec, comps)
+	record := func(ev *Event, c uint64) uint64 {
+		mu[ev.Comp].Lock()
+		orders[ev.Comp] = append(orders[ev.Comp], rec{c, ev.Seq()})
+		mu[ev.Comp].Unlock()
+		return c + ev.Arg
+	}
+	for core := 0; core < 8; core++ {
+		s.SetSeqBase(uint64(core) << 32)
+		var prevEv *Event
+		for i := 0; i < 20; i++ {
+			ev := s.Alloc()
+			ev.Comp = (core + i) % comps
+			ev.MinCycle = uint64(i * 5)
+			ev.Arg = uint64(core%3) + 1
+			ev.Exec = record
+			if prevEv == nil {
+				eng.Enqueue(ev)
+			} else {
+				prevEv.AddChild(ev)
+			}
+			prevEv = ev
+		}
+	}
+	eng.Run()
+	total := 0
+	for comp, seen := range orders {
+		total += len(seen)
+		for i := 1; i < len(seen); i++ {
+			a, b := seen[i-1], seen[i]
+			if a.cycle > b.cycle || (a.cycle == b.cycle && a.seq > b.seq) {
+				t.Fatalf("comp %d executed out of (cycle, seq) order: (%d,%d) before (%d,%d)",
+					comp, a.cycle, a.seq, b.cycle, b.seq)
+			}
+		}
+	}
+	if total != 8*20 {
+		t.Fatalf("expected %d executions, got %d", 8*20, total)
 	}
 }

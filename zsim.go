@@ -52,6 +52,17 @@ type Config = config.System
 // CoreModel selects the core timing model in a Config ("ooo" or "ipc1").
 type CoreModel = config.CoreModel
 
+// WeaveMode selects the weave-phase execution mode in a Config:
+// WeaveParallel (deterministic bounded-skew domain parallelism, the default)
+// or WeaveSerial (the single-heap serial escape hatch).
+type WeaveMode = config.WeaveMode
+
+// The weave execution modes.
+const (
+	WeaveParallel = config.WeaveParallelDet
+	WeaveSerial   = config.WeaveSerial
+)
+
 // WorkloadParams are the behavioural parameters of a synthetic workload.
 type WorkloadParams = trace.Params
 
@@ -296,6 +307,12 @@ type Result struct {
 	// WeaveEvents is the number of weave-phase events simulated (0 when the
 	// configuration disables contention).
 	WeaveEvents uint64
+	// WeaveMode is the effective weave execution mode ("parallel" —
+	// deterministic bounded-skew domains — or the "serial" escape hatch).
+	WeaveMode string
+	// WeaveDomains is the effective weave domain count after validation
+	// clamped it to the system size.
+	WeaveDomains int
 	// Sched reports the scheduling activity of the virtualization layer.
 	Sched SchedStats
 	// NOC reports the NoC contention subsystem's activity (zero when
@@ -312,10 +329,11 @@ func (r *Result) Summary() string {
 	return fmt.Sprintf(
 		"simulated %d instructions on %d cores in %d cycles (IPC %.2f) — "+
 			"L1D %.2f MPKI, L2 %.2f MPKI, L3 %.2f MPKI — "+
-			"host time %v, %.1f MIPS, %d intervals, %d weave events",
+			"host time %v, %.1f MIPS, %d intervals, %d weave events (%s weave, %d domains)",
 		m.Instrs, m.Cores, m.Cycles, m.IPC,
 		m.L1DMPKI, m.L2MPKI, m.L3MPKI,
-		r.HostTime.Round(time.Millisecond), m.SimMIPS, r.Intervals, r.WeaveEvents)
+		r.HostTime.Round(time.Millisecond), m.SimMIPS, r.Intervals, r.WeaveEvents,
+		r.WeaveMode, r.WeaveDomains)
 }
 
 // buildSim constructs the bound-weave simulator state (recorders, event
@@ -451,8 +469,10 @@ func (s *Simulator) collectResult(sim *boundweave.Simulator, elapsed time.Durati
 			BarrierWaits:     s.sched.BarrierWaits.Load(),
 			SyscallBlocks:    s.sched.SyscallBlocks.Load(),
 		},
-		NOC:     nocStats,
-		Stalled: sim.Stalled,
+		NOC:          nocStats,
+		Stalled:      sim.Stalled,
+		WeaveMode:    string(s.cfg.WeaveModeKind),
+		WeaveDomains: s.sys.NumDomains,
 	}
 }
 
