@@ -376,3 +376,58 @@ func BenchmarkOversubscribedClientServer(b *testing.B) {
 		b.ReportMetric(float64(res.MidIntervalJoins), "mid-interval-joins")
 	}
 }
+
+// BenchmarkJobThroughput measures the warm-simulator reuse path against
+// fresh per-job construction — the zsimd serving scenario where many small
+// jobs of one configuration shape arrive back to back. "fresh" pays full
+// construction (system, recorders, slabs, engine, worker pool) per job;
+// "warm" builds once and Reset-rewinds between jobs, so per-job allocations
+// collapse to near zero and throughput is bounded by simulation alone.
+// Gate on jobs/sec ratio and allocs/op, not ns/op (1-vCPU CI host).
+func BenchmarkJobThroughput(b *testing.B) {
+	jobCfg := func() *Config {
+		cfg := TiledConfig(16, "ipc1") // 64 cores: construction-dominated jobs
+		cfg.Contention = true
+		return cfg
+	}
+	runJob := func(b *testing.B, sim *Simulator) {
+		b.Helper()
+		params, _ := LookupWorkload("fluidanimate")
+		params.BlocksPerThread = 25
+		sim.AddWorkload("fluidanimate", params, 2)
+		sim.SetHostThreads(2)
+		sim.SetSeed(7)
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sim, err := New(jobCfg())
+			if err != nil {
+				b.Fatal(err)
+			}
+			runJob(b, sim)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
+	})
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		sim, err := New(jobCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.SetReusable(true)
+		defer sim.Close()
+		runJob(b, sim) // establish the arena working set off the clock
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sim.Reset(nil); err != nil {
+				b.Fatal(err)
+			}
+			runJob(b, sim)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
+	})
+}

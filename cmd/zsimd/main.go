@@ -48,6 +48,8 @@ func run(args []string, stderr io.Writer, onReady func(net.Addr)) int {
 		jobTimeout = fs.Duration("job-timeout", 0, "default per-job wall-time budget (0 = unlimited)")
 		grace      = fs.Duration("grace", 10*time.Second, "shutdown grace period before in-flight jobs are cancelled")
 		auditPath  = fs.String("audit", "", "append-only JSONL audit log file (empty = disabled)")
+		poolSize   = fs.Int("pool-size", 8, "warm-simulator pool: total simulators retained across shapes (0 = disabled)")
+		poolShape  = fs.Int("pool-per-shape", 2, "warm-simulator pool: simulators retained per configuration shape")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -70,14 +72,16 @@ func run(args []string, stderr io.Writer, onReady func(net.Addr)) int {
 		return 1
 	}
 	srv := serve.New(serve.Options{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		JobTimeout: *jobTimeout,
-		Audit:      auditW,
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		JobTimeout:   *jobTimeout,
+		Audit:        auditW,
+		PoolSize:     *poolSize,
+		PoolPerShape: *poolShape,
 	})
 	httpSrv := &http.Server{Handler: srv}
 
-	fmt.Fprintf(stderr, "zsimd: listening on %s (workers=%d queue=%d)\n", ln.Addr(), *workers, *queueDepth)
+	fmt.Fprintf(stderr, "zsimd: listening on %s (workers=%d queue=%d pool=%d)\n", ln.Addr(), *workers, *queueDepth, *poolSize)
 	if onReady != nil {
 		onReady(ln.Addr())
 	}

@@ -7,12 +7,15 @@
 // the root stats.Registry) and feeds cache sets, stripe state, predictor
 // tables, statistics counters and weave-event slabs.
 //
-// Objects taken from an arena are never returned individually: the arena
-// lives exactly as long as the simulator it built, which is the same
-// lifetime the individual allocations had. Memory handed out is always
-// zeroed (chunks come fresh from the Go allocator and are carved linearly),
-// so zero-value-initialized structures — biased branch-predictor counters,
-// Invalid cache lines, statistics counters — need no separate init pass.
+// Objects taken from an arena are never returned individually, but a whole
+// arena can be rewound: Reset retains every allocated chunk and rewinds the
+// carve offsets, so the next construction pass re-Takes the same warm memory
+// with zero new chunk allocations (the basis of warm-simulator reuse).
+// Memory handed out is always zeroed — chunks come fresh from the Go
+// allocator, and Reset re-zeroes the carved prefix of every chunk — so
+// zero-value-initialized structures (biased branch-predictor counters,
+// Invalid cache lines, statistics counters) need no separate init pass,
+// fresh or reused.
 //
 // All entry points accept a nil *Arena and fall back to plain make, so
 // components remain constructible in isolation (tests, examples) without
@@ -35,9 +38,10 @@ const (
 	maxChunkBytes = 256 << 10
 )
 
-// Arena is a grow-only, type-segregated slab allocator. It is safe for
-// concurrent use (construction is mostly single-threaded, but lazily
-// allocated cache sets take from the arena during the parallel bound phase).
+// Arena is a type-segregated slab allocator that only grows between Resets.
+// It is safe for concurrent use (construction is mostly single-threaded, but
+// lazily allocated cache sets take from the arena during the parallel bound
+// phase).
 type Arena struct {
 	mu    sync.Mutex
 	pools map[reflect.Type]any
@@ -52,7 +56,9 @@ func New() *Arena {
 }
 
 // Stats reports the number of chunk allocations performed and the total bytes
-// reserved so far (diagnostics for construction benchmarks).
+// reserved so far (diagnostics for construction benchmarks and job results).
+// Both are monotone: Reset retains chunks, so a warm arena's stats stop
+// growing once its working set is established.
 func (a *Arena) Stats() (chunks int, bytes uint64) {
 	if a == nil {
 		return 0, 0
@@ -62,11 +68,49 @@ func (a *Arena) Stats() (chunks int, bytes uint64) {
 	return a.chunks, a.bytes
 }
 
-// pool is the per-type chunk state: the tail of the current chunk and the
-// size the next chunk will have (geometric growth).
+// resetter lets Arena.Reset rewind a pool without knowing its element type.
+type resetter interface{ reset() }
+
+// Reset rewinds the arena: every chunk is retained, its carved prefix is
+// re-zeroed, and carving restarts from the first chunk. Slices previously
+// Taken become dangling aliases of memory the arena will hand out again —
+// callers must drop every reference rooted in the arena before resetting
+// (the warm-pool discipline: the whole object graph built from the arena is
+// torn down or rebuilt together).
+func (a *Arena) Reset() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, p := range a.pools {
+		p.(resetter).reset()
+	}
+}
+
+// chunk is one retained slab of a pool: its backing storage and how much of
+// it has been carved.
+type chunk[T any] struct {
+	buf  []T
+	used int
+}
+
+// pool is the per-type chunk state: the retained chunks, the index of the
+// chunk currently being carved, and the size the next new chunk will have
+// (geometric growth, preserved across Resets).
 type pool[T any] struct {
-	buf       []T
+	chunks    []chunk[T]
+	cur       int
 	nextBytes int
+}
+
+func (p *pool[T]) reset() {
+	for i := range p.chunks {
+		ch := &p.chunks[i]
+		clear(ch.buf[:ch.used])
+		ch.used = 0
+	}
+	p.cur = 0
 }
 
 // Take returns a zeroed slice of n Ts with len == cap == n, carved from the
@@ -101,7 +145,13 @@ func TakeCap[T any](a *Arena, n, c int) []T {
 		p = &pool[T]{}
 		a.pools[key] = p
 	}
-	if len(p.buf) < c {
+	// Advance past retained chunks that cannot fit this request. After a
+	// Reset this walks forward through warm chunks; before any Reset, cur is
+	// always the last chunk, matching the original single-tail behavior.
+	for p.cur < len(p.chunks) && len(p.chunks[p.cur].buf)-p.chunks[p.cur].used < c {
+		p.cur++
+	}
+	if p.cur == len(p.chunks) {
 		var zero T
 		size := int(unsafe.Sizeof(zero))
 		if p.nextBytes < minChunkBytes {
@@ -116,12 +166,13 @@ func TakeCap[T any](a *Arena, n, c int) []T {
 		if p.nextBytes < maxChunkBytes {
 			p.nextBytes *= 2
 		}
-		p.buf = make([]T, elems)
+		p.chunks = append(p.chunks, chunk[T]{buf: make([]T, elems)})
 		a.chunks++
 		a.bytes += uint64(elems * size)
 	}
-	s := p.buf[:c:c]
-	p.buf = p.buf[c:]
+	ch := &p.chunks[p.cur]
+	s := ch.buf[ch.used : ch.used+c : ch.used+c]
+	ch.used += c
 	return s[:n]
 }
 

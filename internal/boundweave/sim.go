@@ -1,6 +1,7 @@
 package boundweave
 
 import (
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -46,6 +47,12 @@ type Options struct {
 	// reaches it (0 = no limit) — the guard against runaway workloads whose
 	// simulated time advances but whose threads never finish.
 	MaxCycles uint64
+	// Reusable keeps the simulator's persistent resources (worker pool,
+	// weave engine, slabs, recorders) alive after Run returns so the
+	// instance can be rewound with Reset and run again. The owner must call
+	// Close when done with the simulator. When false (the default), Run
+	// closes the simulator itself on return.
+	Reusable bool
 }
 
 // Simulator drives the bound-weave loop over a built System and a scheduler
@@ -288,16 +295,117 @@ func (s *Simulator) Close() {
 	s.pool.Close()
 }
 
+// Reset rewinds a reusable simulator — and the System underneath it — to the
+// state a freshly built pair would have, so the same instance can serve
+// another run without reconstruction. Everything expensive stays warm: the
+// construction arena's chunks, the worker pool, the weave engine with its
+// domains and queues, the per-core recorders, event slabs and contention
+// models. Only their mutable state rewinds, so a Reset simulator produces
+// bit-identical results to a fresh build for the same options and workloads.
+//
+// opts may vary the run-variable knobs (seed, limits, cancellation token,
+// profiler); shape-defining state (interval length, contention models,
+// domain count, pool size) comes from the System and is retained. The
+// scheduler is not touched — the caller clears and repopulates it with
+// workloads before the next Run.
+//
+// Reset requires a quiescent simulator whose last Run did not panic: an
+// aborted engine may hold parked workers in an undefined state and must be
+// Closed instead (Reset returns an error and leaves the simulator untouched).
+func (s *Simulator) Reset(opts Options) error {
+	if s.Reason == runctl.ReasonPanicked {
+		return errors.New("boundweave: cannot Reset a simulator after a panicked run; Close it and build a fresh one")
+	}
+	opts.Reusable = true
+	s.Sys.Reset()
+
+	// Core resets detach recorders and observers; re-install them.
+	if s.contention {
+		for coreID, c := range s.Sys.Cores {
+			rec := s.recorders[coreID]
+			rec.Reset()
+			rec.Dropped = 0
+			c.SetRecorder(rec)
+		}
+		for _, slab := range s.slabs {
+			slab.Reset()
+		}
+		for _, b := range s.models.banks {
+			if b != nil {
+				b.Reset()
+				b.Accesses, b.PortConflicts, b.MSHRStalls = 0, 0, 0
+			}
+		}
+		for _, m := range s.models.mems {
+			if m != nil {
+				m.Reset()
+			}
+		}
+		s.engine.Reset()
+		for i := range s.last {
+			s.last[i] = lastResp{}
+		}
+	}
+	if opts.Profiler != nil {
+		for _, c := range s.Sys.Cores {
+			c.SetObserver(opts.Profiler)
+		}
+	}
+
+	host := opts.HostThreads
+	if host <= 0 {
+		host = s.Sys.Cfg.HostThreads
+	}
+	if host <= 0 {
+		host = runtime.NumCPU()
+	}
+	s.opts = opts
+	s.hostThreads = host // Pool.Run clamps to the pool's built size
+	s.rngState = opts.Seed*6364136223846793005 + 1442695040888963407
+	s.ctl = opts.Ctl
+	if s.ctl == nil {
+		s.ctl = new(runctl.Token)
+	}
+
+	s.globalCycle = 0
+	s.curAsg = nil
+	s.nextAsg.Store(0)
+	s.intervalEnd = 0
+	s.asgA = s.asgA[:0]
+	s.asgB = s.asgB[:0]
+	clear(s.coreCycles)
+	for i := range s.lastTid {
+		s.lastTid[i] = -1
+	}
+	s.instrsTotal.Store(0)
+	s.phase = ""
+
+	s.Intervals = 0
+	s.BoundRounds = 0
+	s.WeaveEvents = 0
+	s.TotalFeedback = 0
+	s.BoundNanos = 0
+	s.WeaveNanos = 0
+	s.Stalled = false
+	s.Reason = runctl.ReasonNone
+	s.PanicErr = nil
+	s.FailPhase = ""
+	return nil
+}
+
 // Run executes the bound-weave loop until every thread finishes, a
 // configured bound (instructions or intervals) is reached, the cancellation
 // token trips (caller cancel, wall-time watchdog, cycle limit), the workload
 // deadlocks, or a worker panics. It returns the total number of simulated
 // instructions; after an abnormal stop, Reason (and for panics PanicErr /
 // FailPhase) describes the failure and all statistics reflect the partial
-// run. Run never lets a panic escape and always releases the simulator's
-// persistent resources.
+// run. Run never lets a panic escape. Unless Options.Reusable is set it
+// releases the simulator's persistent resources on return; a reusable
+// simulator keeps them warm for Reset and relies on its owner to Close.
 func (s *Simulator) Run() uint64 {
-	defer s.Close()
+	if !s.opts.Reusable {
+		defer s.Close()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			// Fault containment: a panic in a pool worker arrives here as a

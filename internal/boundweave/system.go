@@ -282,6 +282,40 @@ func BuildSystem(cfg *config.System) (*System, error) {
 	return sys, nil
 }
 
+// Reset rewinds the built system to its just-constructed state for warm
+// reuse: every counter in the stats registry tree is zeroed and every
+// stateful component (cores, caches, memory controllers, NoC routers)
+// restores its architectural and timing state. The construction arena is
+// deliberately NOT reset — it owns the components' live backing storage.
+// Core recorders and observers are detached by the core resets; the caller
+// (Simulator.Reset) re-installs them.
+func (s *System) Reset() {
+	s.Root.Reset()
+	for _, c := range s.Cores {
+		c.Reset()
+	}
+	for _, c := range s.L1I {
+		c.Reset()
+	}
+	for _, c := range s.L1D {
+		c.Reset()
+	}
+	for _, c := range s.L2 {
+		c.Reset()
+	}
+	for _, b := range s.Banks {
+		b.Reset()
+	}
+	for _, m := range s.Mems {
+		if r, ok := m.(interface{ Reset() }); ok {
+			r.Reset()
+		}
+	}
+	if s.Fabric != nil {
+		s.Fabric.Reset()
+	}
+}
+
 func oooConfigFrom(p config.OOOParams) core.OOOConfig {
 	cfg := core.OOOWestmere()
 	if p.IssueWidth > 0 {

@@ -25,6 +25,9 @@ type Predictor interface {
 	// Update trains the predictor with the resolved outcome of the branch at
 	// pc.
 	Update(pc uint64, taken bool)
+	// Reset restores the predictor to its just-constructed state (tables
+	// cleared, history zeroed) for warm-simulator reuse.
+	Reset()
 	// Name returns a short identifier for stats and configs.
 	Name() string
 }
@@ -48,6 +51,9 @@ func (*AlwaysTaken) Predict(uint64) bool { return true }
 
 // Update is a no-op.
 func (*AlwaysTaken) Update(uint64, bool) {}
+
+// Reset is a no-op (the predictor is stateless).
+func (*AlwaysTaken) Reset() {}
 
 // Name returns "always-taken".
 func (*AlwaysTaken) Name() string { return "always-taken" }
@@ -111,6 +117,10 @@ func (b *Bimodal) Update(pc uint64, taken bool) {
 	i := b.index(pc)
 	b.table[i] = b.table[i].update(taken)
 }
+
+// Reset clears the counter table (the biased encoding's zero value is the
+// fresh "weakly taken" state).
+func (b *Bimodal) Reset() { clear(b.table) }
 
 // Name returns "bimodal".
 func (b *Bimodal) Name() string { return "bimodal" }
@@ -179,6 +189,13 @@ func (g *TwoLevel) Update(pc uint64, taken bool) {
 	g.history &= (1 << g.histBits) - 1
 }
 
+// Reset clears the counter table and the global history register, restoring
+// the just-constructed state (zeroed biased counters decode to weakly taken).
+func (g *TwoLevel) Reset() {
+	clear(g.table)
+	g.history = 0
+}
+
 // Name returns "two-level".
 func (g *TwoLevel) Name() string { return "two-level" }
 
@@ -208,6 +225,12 @@ func (s *Stats) PredictAndUpdate(pc uint64, taken bool) bool {
 		s.Mispredicts++
 	}
 	return correct
+}
+
+// Reset zeroes the counts and resets the wrapped predictor.
+func (s *Stats) Reset() {
+	s.Predictions, s.Mispredicts = 0, 0
+	s.P.Reset()
 }
 
 // MispredictRate returns mispredictions / predictions (0 if no predictions).

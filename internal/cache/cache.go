@@ -313,6 +313,25 @@ func New(cfg Config, compID int, reg *stats.Registry) *Cache {
 	return c
 }
 
+// Reset restores the cache to its just-constructed state for warm reuse:
+// every touched set is cleared back to all-Invalid zero lines (lazily
+// allocated way arrays are kept — a zeroed array behaves exactly like the
+// nil array a fresh cache starts with), and each stripe's replacement clock
+// and random-replacement RNG are re-seeded with the construction formula.
+// Statistics counters are registry-owned and zeroed by Registry.Reset.
+// Callers must be quiescent (no concurrent accesses).
+func (c *Cache) Reset() {
+	for _, s := range c.setArr {
+		if s != nil {
+			clear(s)
+		}
+	}
+	for i := range c.stripes {
+		c.stripes[i].useCt = 0
+		c.stripes[i].rng = uint64(c.compID)*0x9e3779b97f4a7c15 + uint64(i)*0xbf58476d1ce4e5b9 + 0xdeadbeef
+	}
+}
+
 // Name returns the cache's name, formatting prefix-indexed names on demand.
 // It never writes cache state (no lazy memoization), so it is safe to call
 // concurrently with accesses; Name is off the hot path.

@@ -7,8 +7,10 @@
 package config
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 	"time"
@@ -174,13 +176,6 @@ type System struct {
 	// results bit-identical to the serial reference order; "serial" is the
 	// escape hatch that keeps the whole weave phase inline on one host core.
 	WeaveModeKind WeaveMode `json:"weaveMode,omitempty"`
-	// WeaveParallel is deprecated and ignored: the parallel weave is now
-	// deterministic (bit-identical to the serial order) and on by default,
-	// so there is no determinism-for-speed trade to opt into. The retired
-	// host-configuration-dependent worker path it used to select no longer
-	// exists; use WeaveModeKind ("serial") if the inline fallback is needed.
-	// The field survives only so pre-existing JSON configs still load.
-	WeaveParallel bool `json:"weaveParallel,omitempty"`
 	// HostThreads caps the number of host worker threads used by the bound
 	// phase barrier (0 = number of host CPUs).
 	HostThreads int `json:"hostThreads"`
@@ -290,6 +285,46 @@ func minInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// UnmarshalJSON decodes a System, rejecting unknown fields itself (a custom
+// unmarshaler never inherits the outer decoder's DisallowUnknownFields). The
+// retired weaveParallel flag — removed from the struct; the deterministic
+// parallel weave made it meaningless — is still accepted with a warning for
+// one release so pre-existing JSON configs keep loading.
+func (s *System) UnmarshalJSON(data []byte) error {
+	type bare System // method-free alias: plain field decoding, no recursion
+	shadow := struct {
+		*bare
+		WeaveParallel *bool `json:"weaveParallel"`
+	}{bare: (*bare)(s)}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&shadow); err != nil {
+		return err
+	}
+	if shadow.WeaveParallel != nil {
+		fmt.Fprintln(os.Stderr, "config: warning: weaveParallel is deprecated and ignored (the parallel weave is deterministic and on by default; use weaveMode \"serial\" for the inline fallback) — it will be rejected in a future release")
+	}
+	return nil
+}
+
+// ShapeKey hashes every construction-shape field of the configuration: the
+// fields that determine what BuildSystem and NewSimulator allocate and wire
+// (core counts and models, hierarchy geometry, network, controllers, weave
+// mode and domains, host threads). Run-variable fields — the name and the
+// run limits, which Options carry per run — are excluded, so two configs
+// with equal shape keys can share one warm simulator via Reset. Validate
+// both configs first: validation fills defaults, and an unvalidated config
+// hashes differently from its validated self.
+func (s *System) ShapeKey() uint64 {
+	shape := *s
+	shape.Name = ""
+	shape.MaxWallTime = 0
+	shape.MaxCycles = 0
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", shape)
+	return h.Sum64()
 }
 
 // NumTiles returns the number of tiles in the configuration.

@@ -51,6 +51,12 @@ type Core interface {
 	// SetObserver installs a line-granularity access observer (used by the
 	// path-altering-interference profiler); nil disables it.
 	SetObserver(obs cache.AccessObserver)
+	// Reset restores the core to its just-constructed state (clocks, branch
+	// predictor, pipeline structures, transient fetch state) for
+	// warm-simulator reuse. Registry-owned counters are zeroed separately by
+	// the stats tree's Reset; installed recorders and observers are removed
+	// (the simulator re-installs them). The core must be quiescent.
+	Reset()
 	// ID returns the core's index in the simulated chip.
 	ID() int
 	// Name returns the core model's name ("ipc1" or "ooo").
@@ -105,6 +111,17 @@ func (m *memUnit) SetRecorder(rec AccessRecorder) { m.rec = rec }
 
 // SetObserver installs the line-access observer.
 func (m *memUnit) SetObserver(obs cache.AccessObserver) { m.obs = obs }
+
+// reset clears the unit's transient state (in-flight request, installed
+// recorder and observer) while keeping the identity, ports and the recycled
+// hop buffer's capacity. A fresh core's hop buffer is nil and a reused one is
+// a zero-length warm buffer; both are fully overwritten before any read.
+func (m *memUnit) reset() {
+	m.rec = nil
+	m.obs = nil
+	m.req = cache.Request{}
+	m.hopBuf = m.hopBuf[:0]
+}
 
 // access issues one request to a cache port, recording hops when a recorder
 // is installed. The request struct and the hop buffer are reused across
@@ -219,6 +236,14 @@ func (c *IPC1) SetCycle(cycle uint64) {
 // thread is placed on the core, so the incoming thread refetches its first
 // I-cache line instead of inheriting the outgoing thread's.
 func (c *IPC1) ContextSwitch() { c.lastFetch = ^uint64(0) }
+
+// Reset restores the just-constructed state for warm reuse.
+func (c *IPC1) Reset() {
+	c.memUnit.reset()
+	c.cycle = 0
+	c.lastFetch = 0
+	c.pred.Reset()
+}
 
 // SimulateBlock simulates one dynamic block on the simple core.
 func (c *IPC1) SimulateBlock(b *trace.DynBlock) {

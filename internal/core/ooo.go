@@ -202,6 +202,31 @@ func (c *OOO) SetCycle(cycle uint64) {
 // I-cache line instead of inheriting the outgoing thread's.
 func (c *OOO) ContextSwitch() { c.lastFetchLine = ^uint64(0) }
 
+// Reset restores the just-constructed state for warm reuse: every stage
+// clock, the scoreboard, the port window, the ROB and the load/store queues
+// go back to zero, keeping their arena-backed capacity. The per-block
+// done-cycle scratch is kept as-is: every entry is written before it is read
+// within a block, so stale values can never leak into timing.
+func (c *OOO) Reset() {
+	c.memUnit.reset()
+	c.fetchClock, c.decodeClock, c.issueClock, c.retireClock = 0, 0, 0, 0
+	c.scoreboard = [isa.NumRegs]uint64{}
+	for i := range c.portBusy {
+		c.portBusy[i] = [isa.NumPorts]bool{}
+	}
+	c.windowBase = 0
+	clear(c.rob)
+	c.robHead = 0
+	c.issuedThisCycle, c.issueCycle = 0, 0
+	c.retiredThisCycle, c.retireCycle = 0, 0
+	c.storeQ = c.storeQ[:0]
+	c.loadQ = c.loadQ[:0]
+	c.lastFetchLine = 0
+	c.pendingRedirect = 0
+	c.fenceUntil = 0
+	c.pred.Reset()
+}
+
 // SimulateBlock simulates one dynamic basic block: the instruction fetch
 // (including branch prediction and I-cache access), the frontend decode
 // stalls, and every µop's dispatch, port scheduling, execution and

@@ -586,6 +586,19 @@ func (e *Engine) registerDescendants() {
 	e.roots = e.roots[:0]
 }
 
+// Reset zeroes the per-domain statistics for warm-simulator reuse. The
+// engine must be quiescent (between Runs) and must not have aborted: an
+// aborted engine's queues may still hold unexecuted events and must be
+// Closed, not reused. Component-to-domain assignments, queue capacities and
+// the worker pool all persist — they are pure functions of the system shape.
+func (e *Engine) Reset() {
+	for _, d := range e.domains {
+		d.Executed = 0
+		d.CrossRetries = 0
+		d.HorizonParks = 0
+	}
+}
+
 // Close marks the engine closed (subsequent Runs use the inline path) and
 // shuts down its worker pool if the engine owns one. Close is idempotent and
 // safe to call on an engine that never ran; it must not be called on a

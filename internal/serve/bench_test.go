@@ -1,0 +1,100 @@
+package serve_test
+
+// Serve-level throughput benchmark for the warm-simulator pool: the same
+// stream of identical-shape jobs through a zsimd server, with pooling off
+// (every job constructs a 64-core chip) and on (jobs after the first are
+// served by a Reset warm simulator). Gate on the fresh/warm jobs/sec ratio,
+// not absolute ns/op (1-vCPU CI host).
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"zsim/internal/serve"
+)
+
+// benchJob is a small job on a construction-dominated 64-core tiled shape —
+// the shape mix BenchmarkJobThroughput uses at the library layer.
+func benchJob() *serve.JobRequest {
+	return &serve.JobRequest{
+		Preset:      "tiled",
+		Tiles:       16,
+		CoreModel:   "ipc1",
+		Workloads:   []serve.WorkloadSpec{{Name: "fluidanimate", Threads: 2, Blocks: 25}},
+		HostThreads: 2,
+		Seed:        7,
+	}
+}
+
+func benchSubmit(b *testing.B, ts *httptest.Server, req *serve.JobRequest) string {
+	b.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(req); err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", &buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		b.Fatal(err)
+	}
+	return st.ID
+}
+
+func benchWait(b *testing.B, ts *httptest.Server, id string) {
+	b.Helper()
+	for {
+		resp, err := http.Get(ts.URL + "/jobs/" + id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var st serve.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			resp.Body.Close()
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		switch st.State {
+		case serve.StateSucceeded:
+			return
+		case serve.StateFailed, serve.StateCancelled:
+			b.Fatalf("job %s ended %q (%s)", id, st.State, st.Error)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+func BenchmarkServeJobThroughput(b *testing.B) {
+	run := func(b *testing.B, poolSize int) {
+		srv := serve.New(serve.Options{Workers: 1, QueueDepth: b.N + 1, PoolSize: poolSize})
+		ts := httptest.NewServer(srv)
+		defer func() {
+			srv.Shutdown(time.Minute)
+			ts.Close()
+		}()
+		// One job off the clock: HTTP warm-up, and with pooling on it
+		// stocks the pool so the timed stream measures steady state.
+		benchWait(b, ts, benchSubmit(b, ts, benchJob()))
+		b.ResetTimer()
+		ids := make([]string, b.N)
+		for i := range ids {
+			ids[i] = benchSubmit(b, ts, benchJob())
+		}
+		for _, id := range ids {
+			benchWait(b, ts, id)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
+	}
+	b.Run("fresh", func(b *testing.B) { run(b, 0) })
+	b.Run("warm", func(b *testing.B) { run(b, 2) })
+}

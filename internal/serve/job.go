@@ -138,6 +138,14 @@ type JobResult struct {
 	Partial     bool          `json:"partial,omitempty"`
 	Failure     *Failure      `json:"failure,omitempty"`
 	Error       string        `json:"error,omitempty"`
+	// Reused marks jobs served by a warm simulator from the shape-keyed
+	// pool (Reset + rerun) instead of a fresh construction.
+	Reused bool `json:"reused,omitempty"`
+	// ArenaChunks/ArenaBytes report the simulator's arena footprint; on a
+	// warm simulator they stay flat across jobs once the working set is
+	// established.
+	ArenaChunks int    `json:"arenaChunks,omitempty"`
+	ArenaBytes  uint64 `json:"arenaBytes,omitempty"`
 }
 
 // JobStatus is the wire form of a job's current state.

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"sync"
+
+	"zsim"
+)
+
+// simPool is the server's shape-keyed warm-simulator pool. Simulators whose
+// configurations hash to the same shape key (zsim.Config.ShapeKey: identical
+// construction shape, run-variable knobs free to differ) are interchangeable
+// after a Reset, so a worker picking up a job first tries to check out a warm
+// simulator of the job's shape and only constructs on a miss. Clean jobs
+// return their simulator; panicked jobs discard it (a panicked simulator
+// cannot be rewound).
+//
+// The pool bounds both the total number of retained simulators (size) and
+// the number per shape (perShape), so a burst of one-off shapes cannot pin
+// unbounded memory. get and put are O(1) under one mutex; the simulators
+// themselves are only ever used by the single worker that checked them out.
+type simPool struct {
+	mu       sync.Mutex
+	size     int // total retained simulators across shapes
+	perShape int // retained simulators per shape key
+	shapes   map[uint64][]*zsim.Simulator
+	total    int
+	closed   bool
+
+	hits     uint64
+	misses   uint64
+	returns  uint64
+	discards uint64
+}
+
+// poolStats is the wire form of the pool's occupancy and effectiveness
+// counters, reported by /healthz.
+type poolStats struct {
+	Enabled   bool    `json:"enabled"`
+	Size      int     `json:"size"`
+	PerShape  int     `json:"perShape"`
+	Occupancy int     `json:"occupancy"`
+	Shapes    int     `json:"shapes"`
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Returns   uint64  `json:"returns"`
+	Discards  uint64  `json:"discards"`
+	HitRate   float64 `json:"hitRate"`
+}
+
+// newSimPool creates a pool retaining up to size simulators, at most perShape
+// per shape key. size <= 0 disables pooling (newSimPool returns nil, and the
+// nil receiver methods behave as a permanently empty pool).
+func newSimPool(size, perShape int) *simPool {
+	if size <= 0 {
+		return nil
+	}
+	if perShape <= 0 {
+		perShape = 2
+	}
+	if perShape > size {
+		perShape = size
+	}
+	return &simPool{
+		size:     size,
+		perShape: perShape,
+		shapes:   make(map[uint64][]*zsim.Simulator),
+	}
+}
+
+// get checks out a warm simulator for the given shape key, or nil on a miss.
+// The caller owns the returned simulator until it puts it back or Closes it.
+func (p *simPool) get(key uint64) *zsim.Simulator {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sims := p.shapes[key]
+	if len(sims) == 0 {
+		p.misses++
+		return nil
+	}
+	sim := sims[len(sims)-1]
+	sims[len(sims)-1] = nil
+	if len(sims) == 1 {
+		delete(p.shapes, key)
+	} else {
+		p.shapes[key] = sims[:len(sims)-1]
+	}
+	p.total--
+	p.hits++
+	return sim
+}
+
+// put returns a simulator to the pool under its shape key. It reports whether
+// the pool retained it; on false (pool full, per-shape cap reached, or pool
+// closed) the caller must Close the simulator.
+func (p *simPool) put(key uint64, sim *zsim.Simulator) bool {
+	if p == nil || sim == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.total >= p.size || len(p.shapes[key]) >= p.perShape {
+		p.discards++
+		return false
+	}
+	p.shapes[key] = append(p.shapes[key], sim)
+	p.total++
+	p.returns++
+	return true
+}
+
+// stats snapshots the pool counters. Safe on a nil (disabled) pool.
+func (p *simPool) stats() poolStats {
+	if p == nil {
+		return poolStats{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := poolStats{
+		Enabled:   true,
+		Size:      p.size,
+		PerShape:  p.perShape,
+		Occupancy: p.total,
+		Shapes:    len(p.shapes),
+		Hits:      p.hits,
+		Misses:    p.misses,
+		Returns:   p.returns,
+		Discards:  p.discards,
+	}
+	if lookups := p.hits + p.misses; lookups > 0 {
+		st.HitRate = float64(p.hits) / float64(lookups)
+	}
+	return st
+}
+
+// close releases every retained simulator's persistent resources (worker
+// pools, weave engines) and marks the pool closed; later puts are refused so
+// in-flight jobs finishing after shutdown close their simulators themselves.
+func (p *simPool) close() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	shapes := p.shapes
+	p.shapes = make(map[uint64][]*zsim.Simulator)
+	p.total = 0
+	p.closed = true
+	p.mu.Unlock()
+	for _, sims := range shapes {
+		for _, sim := range sims {
+			sim.Close()
+		}
+	}
+}

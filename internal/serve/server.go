@@ -30,6 +30,13 @@ type Options struct {
 	JobTimeout time.Duration
 	// Audit receives the append-only JSONL audit log (nil = disabled).
 	Audit io.Writer
+	// PoolSize bounds the warm-simulator pool: finished simulators are
+	// retained keyed by configuration shape and rewound (Reset) for the next
+	// same-shape job instead of being reconstructed. 0 disables pooling.
+	PoolSize int
+	// PoolPerShape bounds retained simulators per shape key (default 2 when
+	// pooling is enabled), so one hot shape cannot monopolize the pool.
+	PoolPerShape int
 }
 
 // Server is the zsimd job service: an http.Handler plus the worker pool
@@ -38,6 +45,7 @@ type Server struct {
 	opts  Options
 	mux   *http.ServeMux
 	audit *auditLog
+	pool  *simPool // warm-simulator pool (nil when Options.PoolSize == 0)
 
 	baseCtx    context.Context // parent of every job context
 	baseCancel context.CancelFunc
@@ -65,6 +73,7 @@ func New(opts Options) *Server {
 		opts:       opts,
 		mux:        http.NewServeMux(),
 		audit:      newAuditLog(opts.Audit),
+		pool:       newSimPool(opts.PoolSize, opts.PoolPerShape),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*job),
@@ -75,7 +84,7 @@ func New(opts Options) *Server {
 	for i := 0; i < opts.Workers; i++ {
 		go s.worker()
 	}
-	s.audit.record("serve", "", "", fmt.Sprintf("workers=%d queue=%d", opts.Workers, opts.QueueDepth))
+	s.audit.record("serve", "", "", fmt.Sprintf("workers=%d queue=%d pool=%d", opts.Workers, opts.QueueDepth, opts.PoolSize))
 	return s
 }
 
@@ -218,8 +227,15 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.status())
 }
 
+// healthBody is the /healthz payload: liveness plus the warm-pool occupancy
+// and hit-rate counters (all zero with pooling disabled).
+type healthBody struct {
+	Status string    `json:"status"`
+	Pool   poolStats `json:"pool"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, healthBody{Status: "ok", Pool: s.pool.stats()})
 }
 
 // handleReady reports readiness for new work: a draining server is alive
@@ -268,8 +284,9 @@ func (s *Server) runJob(j *job) {
 	j.mu.Unlock()
 	s.audit.record("start", j.id, StateRunning, "")
 
-	res, err := s.execute(ctx, j.req)
+	res, reused, err := s.execute(ctx, j.req)
 	result, state := classify(res, err)
+	result.Reused = reused
 
 	j.mu.Lock()
 	j.state = state
@@ -277,25 +294,38 @@ func (s *Server) runJob(j *job) {
 	j.cancel = nil
 	j.result = result
 	j.mu.Unlock()
-	s.audit.record("finish", j.id, state, result.Error)
+	detail := result.Error
+	if reused {
+		detail = "reused=true"
+		if result.Error != "" {
+			detail += " " + result.Error
+		}
+	}
+	s.audit.record("finish", j.id, state, detail)
 	s.audit.flush()
 }
 
-// execute builds and runs the simulation for one request. The zsim facade
-// already recovers panics raised inside the run; the deferred recover here
-// is the service's outer ring, catching construction-time faults so the
-// worker goroutine survives arbitrary job input.
-func (s *Server) execute(ctx context.Context, req *JobRequest) (res *zsim.Result, err error) {
+// execute builds (or checks out of the warm pool) and runs the simulation
+// for one request, reporting whether a warm simulator served it. The zsim
+// facade already recovers panics raised inside the run; the deferred recover
+// here is the service's outer ring, catching construction-time faults so the
+// worker goroutine survives arbitrary job input — and discarding whatever
+// simulator was in hand, since a panicked setup leaves it unrewindable.
+func (s *Server) execute(ctx context.Context, req *JobRequest) (res *zsim.Result, reused bool, err error) {
+	var sim *zsim.Simulator
 	defer func() {
 		if r := recover(); r != nil {
 			pe := runctl.NewPanicError(r, -1)
 			err = fmt.Errorf("job setup panicked: %w", pe)
+			if sim != nil {
+				sim.Close()
+			}
 		}
 	}()
 
 	cfg, err := req.buildConfig()
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	// The effective wall-time budget is the tighter of the request's and the
 	// server's; the library watchdog enforces it and reports
@@ -307,14 +337,31 @@ func (s *Server) execute(ctx context.Context, req *JobRequest) (res *zsim.Result
 		cfg.MaxWallTime = s.opts.JobTimeout
 	}
 
-	sim, err := zsim.New(cfg)
-	if err != nil {
-		return nil, err
+	// Warm path: a pooled simulator of this shape rewinds to serve the job.
+	// Reset validates the shape match itself; a refusal (which shouldn't
+	// happen for a pool hit) falls back to fresh construction.
+	key := cfg.ShapeKey()
+	if pooled := s.pool.get(key); pooled != nil {
+		if rerr := pooled.Reset(cfg); rerr != nil {
+			pooled.Close()
+		} else {
+			sim, reused = pooled, true
+		}
+	}
+	if sim == nil {
+		sim, err = zsim.New(cfg)
+		if err != nil {
+			return nil, false, err
+		}
+		if s.pool != nil {
+			sim.SetReusable(true)
+		}
 	}
 	for _, w := range req.Workloads {
 		params, ok := zsim.LookupWorkload(w.Name)
 		if !ok {
-			return nil, fmt.Errorf("unknown workload %q", w.Name)
+			sim.Close()
+			return nil, reused, fmt.Errorf("unknown workload %q", w.Name)
 		}
 		if w.Blocks > 0 {
 			params.BlocksPerThread = w.Blocks
@@ -330,7 +377,23 @@ func (s *Server) execute(ctx context.Context, req *JobRequest) (res *zsim.Result
 	if req.Seed != 0 {
 		sim.SetSeed(req.Seed)
 	}
-	return sim.RunContext(ctx)
+	res, err = sim.RunContext(ctx)
+
+	// Return the simulator to the pool unless the run panicked (an aborted
+	// engine cannot be rewound; the facade already released its resources) or
+	// the pool is full/closed. Cancelled and deadline-exceeded runs stop at
+	// clean interval boundaries and rewind safely.
+	discard := false
+	if err != nil {
+		var re *zsim.RunError
+		if !errors.As(err, &re) || re.Reason == zsim.Panicked {
+			discard = true
+		}
+	}
+	if discard || !s.pool.put(key, sim) {
+		sim.Close()
+	}
+	return res, reused, err
 }
 
 // classify maps a run outcome to the job's terminal state and wire result.
@@ -342,6 +405,8 @@ func classify(res *zsim.Result, err error) (*JobResult, string) {
 		out.Intervals = res.Intervals
 		out.WeaveEvents = res.WeaveEvents
 		out.Stalled = res.Stalled
+		out.ArenaChunks = res.ArenaChunks
+		out.ArenaBytes = res.ArenaBytes
 	}
 	if err == nil {
 		return out, StateSucceeded
@@ -398,6 +463,7 @@ func (s *Server) Shutdown(grace time.Duration) {
 		<-done
 	}
 	s.baseCancel()
+	s.pool.close()
 	s.audit.record("drained", "", "", strconv.Itoa(s.jobCount()))
 	s.audit.close()
 }

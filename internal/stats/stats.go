@@ -348,6 +348,32 @@ func (r *Registry) AddChild(c *Registry) {
 	r.children = append(r.children, c)
 }
 
+// Reset zeroes every statistic in the subtree (counters, atomics, gauges,
+// vectors, histograms) without disturbing the tree structure or names. It is
+// the statistics half of warm-simulator reuse: a reused system starts from
+// the exact zero state a freshly built stats tree has.
+func (r *Registry) Reset() {
+	for _, c := range r.counters {
+		c.V = 0
+	}
+	for _, c := range r.atomics {
+		c.Set(0)
+	}
+	for _, g := range r.gauges {
+		g.V = 0
+	}
+	for _, v := range r.vectors {
+		clear(v.Vals)
+	}
+	for _, h := range r.hists {
+		clear(h.Buckets)
+		h.Overflow, h.Count, h.Sum, h.MaxSample = 0, 0, 0, 0
+	}
+	for _, ch := range r.children {
+		ch.Reset()
+	}
+}
+
 // Lookup returns the value of a counter addressed by a dotted path such as
 // "core-0.instrs". It returns false if the path does not resolve.
 func (r *Registry) Lookup(path string) (uint64, bool) {

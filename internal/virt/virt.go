@@ -404,6 +404,38 @@ func NewScheduler(numCores int) *Scheduler {
 // NumCores returns the number of simulated cores.
 func (s *Scheduler) NumCores() int { return s.numCores }
 
+// Reset restores the scheduler to its just-constructed (empty) state for
+// warm-simulator reuse: all processes, threads, synchronization state and
+// statistics are dropped while every slice, map and shard keeps its
+// capacity, so re-adding the same workloads allocates (almost) nothing. The
+// scheduler must be quiescent (no concurrent entry points).
+func (s *Scheduler) Reset() {
+	s.procs = s.procs[:0]
+	s.threads = s.threads[:0]
+	s.runQueue = s.runQueue[:0]
+	for i := range s.running {
+		s.running[i] = -1
+	}
+	for i := range s.lockShards {
+		clear(s.lockShards[i].m)
+	}
+	clear(s.barriers)
+	s.runnable.Store(0)
+	s.live.Store(0)
+	s.procLive = s.procLive[:0]
+	s.wakeQ = s.wakeQ[:0]
+	s.ffPending = s.ffPending[:0]
+	s.ops = s.ops[:0]
+	s.freeCores = s.freeCores[:0]
+	s.wakeScr = s.wakeScr[:0]
+	s.barScr = s.barScr[:0]
+	s.ContextSwitches.Store(0)
+	s.MidIntervalJoins.Store(0)
+	s.LockBlocks.Store(0)
+	s.BarrierWaits.Store(0)
+	s.SyscallBlocks.Store(0)
+}
+
 // AddProcess registers a process and its threads. Threads inherit the
 // process's affinity unless they have their own.
 func (s *Scheduler) AddProcess(p *Process) {

@@ -1,0 +1,353 @@
+package zsim
+
+// Warm-simulator reuse tests: a reusable Simulator that is Reset between
+// runs must be indistinguishable — bit-identical simulated results — from a
+// freshly constructed one, across weave modes, NoC contention on/off, host
+// parallelism levels, and after aborted (cancelled / cycle-limited) runs.
+// Panicked runs are the exception: Reset must refuse them.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"zsim/internal/config"
+)
+
+// reuseCfg returns a small contention-enabled configuration for the given
+// weave mode and NoC setting. Each call returns a fresh copy (Validate and
+// the facade mutate configs in place). Like the boundweave determinism
+// tests, the L3 gets generous associativity so the disjoint per-process
+// footprints never force an eviction whose victim choice could depend on
+// bound-phase arrival order.
+func reuseCfg(mode WeaveMode, noc bool) *Config {
+	cfg := SmallConfig()
+	cfg.Contention = true
+	cfg.WeaveModeKind = mode
+	cfg.L3.SizeKB = 4096
+	cfg.L3.Ways = 32
+	if noc {
+		cfg.Network = config.NetMesh // 4 single-core tiles -> a 2x2 mesh
+		cfg.NetRouterStage = 1
+		cfg.NOCContention = true
+		cfg.NOCLinkBytes = 4 // 18-flit packets: ports back up under load
+	}
+	return cfg
+}
+
+// reuseRun drives one full run on sim, inside the documented determinism
+// envelope (DESIGN.md "Determinism model"): 8 single-thread processes in
+// disjoint address-space slices, two pinned per core, with locks and
+// blocking syscalls so the mid-interval scheduler is exercised without
+// thread migration. blocks scales run length; ctx == nil means Background.
+func reuseRun(t *testing.T, sim *Simulator, ctx context.Context, blocks int) (*Result, error) {
+	t.Helper()
+	for i := 0; i < 8; i++ {
+		p := DefaultWorkloadParams()
+		p.Seed = uint64(1000 + 17*i)
+		p.AddrSpace = uint64(i + 1) // disjoint address-space slices
+		p.SharedFraction = 0
+		p.WorkingSet = 8 << 10
+		p.StaticBlocks = 16
+		p.BlocksPerThread = blocks
+		p.LockEvery = 16
+		p.NumLocks = 2
+		p.LockHoldBlocks = 3
+		p.BlockedSyscallEvery = 48
+		p.BlockedSyscallCycles = 2500
+		sim.AddPinnedWorkload(fmt.Sprintf("proc-%d", i), p, 1, []int{i % 4})
+	}
+	sim.SetHostThreads(4)
+	sim.SetSeed(99)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return sim.RunContext(ctx)
+}
+
+// normalizeResult zeroes the host-time-derived (and allocation-history)
+// fields that legitimately differ between two otherwise identical runs.
+func normalizeResult(r *Result) {
+	if r == nil {
+		return
+	}
+	r.HostTime = 0
+	r.ArenaChunks = 0
+	r.ArenaBytes = 0
+	if r.Metrics != nil {
+		r.Metrics.HostNanos = 0
+		r.Metrics.SimMIPS = 0
+	}
+}
+
+func requireIdentical(t *testing.T, stage string, want, got *Result) {
+	t.Helper()
+	normalizeResult(want)
+	normalizeResult(got)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("%s: reused simulator diverged from fresh:\n fresh:  %+v\n metrics %+v\n reused: %+v\n metrics %+v",
+			stage, want, want.Metrics, got, got.Metrics)
+	}
+}
+
+// TestReuseBitIdentityMatrix is the fresh-vs-reused identity matrix:
+// GOMAXPROCS {1,4} x weave mode {serial,parallel} x NoC {off,on}, with the
+// reused simulator exercised after a clean run, after a cycle-limit abort,
+// and after a cancellation — every subsequent clean run must match the fresh
+// baseline exactly.
+func TestReuseBitIdentityMatrix(t *testing.T) {
+	modes := []struct {
+		name string
+		mode WeaveMode
+		noc  bool
+	}{
+		{"serial", WeaveSerial, false},
+		{"parallel", WeaveParallel, false},
+		{"serial-noc", WeaveSerial, true},
+		{"parallel-noc", WeaveParallel, true},
+	}
+	for _, gmp := range []int{1, 4} {
+		for _, m := range modes {
+			t.Run(fmt.Sprintf("gomaxprocs-%d/%s", gmp, m.name), func(t *testing.T) {
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(gmp))
+
+				// Fresh baseline: ordinary single-use simulator.
+				fresh, err := New(reuseCfg(m.mode, m.noc))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := reuseRun(t, fresh, nil, 300)
+				if err != nil {
+					t.Fatalf("fresh run: %v", err)
+				}
+
+				// Reusable simulator, run 1: must match fresh.
+				sim, err := New(reuseCfg(m.mode, m.noc))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sim.SetReusable(true)
+				defer sim.Close()
+				got, err := reuseRun(t, sim, nil, 300)
+				if err != nil {
+					t.Fatalf("reusable run 1: %v", err)
+				}
+				requireIdentical(t, "first run", want, got)
+
+				// Reset + run 2 (clean -> clean).
+				if err := sim.Reset(nil); err != nil {
+					t.Fatalf("Reset after clean run: %v", err)
+				}
+				got, err = reuseRun(t, sim, nil, 300)
+				if err != nil {
+					t.Fatalf("reusable run 2: %v", err)
+				}
+				requireIdentical(t, "after clean run", want, got)
+
+				// Reset into a cycle-limited abort, then Reset back to clean.
+				limited := reuseCfg(m.mode, m.noc)
+				limited.MaxCycles = 3000
+				if err := sim.Reset(limited); err != nil {
+					t.Fatalf("Reset to limited cfg: %v", err)
+				}
+				if _, err = reuseRun(t, sim, nil, 300); err == nil {
+					t.Fatalf("cycle-limited run should report a RunError")
+				} else {
+					var re *RunError
+					if !errors.As(err, &re) || re.Reason != CycleLimit {
+						t.Fatalf("cycle-limited run: %v", err)
+					}
+				}
+				if err := sim.Reset(reuseCfg(m.mode, m.noc)); err != nil {
+					t.Fatalf("Reset after cycle-limit abort: %v", err)
+				}
+				got, err = reuseRun(t, sim, nil, 300)
+				if err != nil {
+					t.Fatalf("run after abort: %v", err)
+				}
+				requireIdentical(t, "after cycle-limit abort", want, got)
+
+				// Reset into a cancelled run, then Reset back to clean.
+				cancelled, cancel := context.WithCancel(context.Background())
+				cancel()
+				if err := sim.Reset(nil); err != nil {
+					t.Fatalf("Reset before cancelled run: %v", err)
+				}
+				// A long workload guarantees the (asynchronously delivered)
+				// cancellation lands mid-run rather than after completion.
+				if _, err = reuseRun(t, sim, cancelled, 100000); err == nil {
+					t.Fatalf("cancelled run should report a RunError")
+				} else {
+					var re *RunError
+					if !errors.As(err, &re) || re.Reason != Cancelled {
+						t.Fatalf("cancelled run: %v", err)
+					}
+				}
+				if err := sim.Reset(nil); err != nil {
+					t.Fatalf("Reset after cancellation: %v", err)
+				}
+				got, err = reuseRun(t, sim, nil, 300)
+				if err != nil {
+					t.Fatalf("run after cancellation: %v", err)
+				}
+				requireIdentical(t, "after cancellation", want, got)
+			})
+		}
+	}
+}
+
+// panicObserver is an access observer that faults after a fixed number of
+// observed accesses — the injected-fault vector for the panic-discard tests.
+type panicObserver struct{ fuse int }
+
+func (p *panicObserver) ObserveAccess(lineAddr uint64, write bool, coreID int, cycle uint64) {
+	p.fuse--
+	if p.fuse <= 0 {
+		panic("injected observer fault")
+	}
+}
+
+// TestReuseRefusedAfterPanic injects a panic into a reusable simulator's run
+// and requires (a) the run to be contained and typed, (b) Reset to refuse the
+// panicked simulator, and (c) a replacement fresh simulator to still produce
+// the baseline results — the discard-and-rebuild path the serve pool uses.
+func TestReuseRefusedAfterPanic(t *testing.T) {
+	fresh, err := New(reuseCfg(WeaveParallel, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := reuseRun(t, fresh, nil, 300)
+	if err != nil {
+		t.Fatalf("fresh run: %v", err)
+	}
+
+	sim, err := New(reuseCfg(WeaveParallel, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetReusable(true)
+	defer sim.Close()
+	sim.sys.Cores[0].SetObserver(&panicObserver{fuse: 100})
+	_, err = reuseRun(t, sim, nil, 300)
+	var re *RunError
+	if !errors.As(err, &re) || re.Reason != Panicked {
+		t.Fatalf("injected fault not typed as panic: %v", err)
+	}
+	if err := sim.Reset(nil); err == nil {
+		t.Fatalf("Reset must refuse a panicked simulator")
+	}
+
+	replacement, err := New(reuseCfg(WeaveParallel, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reuseRun(t, replacement, nil, 300)
+	if err != nil {
+		t.Fatalf("replacement run: %v", err)
+	}
+	requireIdentical(t, "replacement after panic-discard", want, got)
+}
+
+// TestReuseShapeKeyGuards pins the Reset preconditions: non-reusable
+// simulators refuse Reset, and a shape-changing configuration is rejected
+// while a run-variable-only change is accepted.
+func TestReuseShapeKeyGuards(t *testing.T) {
+	plain, err := New(reuseCfg(WeaveParallel, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Reset(nil); err == nil {
+		t.Fatalf("Reset on a non-reusable simulator must fail")
+	}
+
+	sim, err := New(reuseCfg(WeaveParallel, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetReusable(true)
+	defer sim.Close()
+	if _, err := reuseRun(t, sim, nil, 300); err != nil {
+		t.Fatal(err)
+	}
+
+	other := reuseCfg(WeaveParallel, false)
+	other.NumCores = 8
+	if err := sim.Reset(other); err == nil {
+		t.Fatalf("shape-changing Reset must fail")
+	}
+
+	same := reuseCfg(WeaveParallel, false)
+	same.Name = "renamed"
+	same.MaxCycles = 1 << 40
+	if err := sim.Reset(same); err != nil {
+		t.Fatalf("run-variable-only Reset should succeed: %v", err)
+	}
+
+	// The shape key itself: insensitive to run-variable fields, sensitive to
+	// construction shape.
+	a, b := reuseCfg(WeaveParallel, false), reuseCfg(WeaveParallel, false)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b.Name, b.MaxCycles, b.MaxWallTime = "x", 123, 456
+	if a.ShapeKey() != b.ShapeKey() {
+		t.Fatalf("shape key must ignore run-variable fields")
+	}
+	b.L3.Banks = 4
+	if a.ShapeKey() == b.ShapeKey() {
+		t.Fatalf("shape key must see construction shape changes")
+	}
+}
+
+// TestReuseArenaFootprintFlat pins the warm-memory claim: once a reusable
+// simulator has served one run, further Reset+run cycles allocate no new
+// arena chunks — the construction and per-run arenas serve every subsequent
+// run from retained memory.
+func TestReuseArenaFootprintFlat(t *testing.T) {
+	sim, err := New(reuseCfg(WeaveParallel, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetReusable(true)
+	defer sim.Close()
+	first, err := reuseRun(t, sim, nil, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.ArenaChunks == 0 || first.ArenaBytes == 0 {
+		t.Fatalf("arena stats missing from result: %+v", first)
+	}
+	for i := 0; i < 3; i++ {
+		if err := sim.Reset(nil); err != nil {
+			t.Fatal(err)
+		}
+		res, err := reuseRun(t, sim, nil, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ArenaChunks != first.ArenaChunks || res.ArenaBytes != first.ArenaBytes {
+			t.Fatalf("reuse %d grew the arenas: %d chunks / %d B, first run had %d / %d",
+				i+1, res.ArenaChunks, res.ArenaBytes, first.ArenaChunks, first.ArenaBytes)
+		}
+	}
+}
+
+// TestConfigShapeKeyStability double-checks ShapeKey through the config
+// package's own types (it is the key the serve pool indexes by).
+func TestConfigShapeKeyStability(t *testing.T) {
+	a := config.SmallTest()
+	b := config.SmallTest()
+	if a.ShapeKey() != b.ShapeKey() {
+		t.Fatalf("identical configs must agree on shape")
+	}
+	b.CoreModel = config.CoreOOO
+	if a.ShapeKey() == b.ShapeKey() {
+		t.Fatalf("core model is construction shape")
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"io"
 	"time"
 
+	"zsim/internal/arena"
 	"zsim/internal/boundweave"
 	"zsim/internal/config"
 	"zsim/internal/runctl"
@@ -166,6 +167,10 @@ type Simulator struct {
 	sys   *boundweave.System
 	sched *virt.Scheduler
 
+	// runArena backs per-run state (workload decode caches); Reset rewinds
+	// it, unlike the construction arena that owns the system itself.
+	runArena *arena.Arena
+
 	// Options.
 	maxInstrs   uint64
 	hostThreads int
@@ -174,6 +179,13 @@ type Simulator struct {
 	workloads int
 	usedAddr  map[uint64]bool
 	ran       bool
+
+	// Warm-reuse state: when reusable is set, bw is the persistent
+	// bound-weave simulator kept alive across runs, and lastReason remembers
+	// how the previous run ended (Reset refuses to rewind after a panic).
+	reusable   bool
+	bw         *boundweave.Simulator
+	lastReason runctl.Reason
 }
 
 // assignAddrSpace places a new process in its own simulated address-space
@@ -203,11 +215,79 @@ func New(cfg *Config) (*Simulator, error) {
 		return nil, err
 	}
 	return &Simulator{
-		cfg:   cfg,
-		sys:   sys,
-		sched: virt.NewScheduler(cfg.NumCores),
-		seed:  1,
+		cfg:      cfg,
+		sys:      sys,
+		sched:    virt.NewScheduler(cfg.NumCores),
+		runArena: arena.New(),
+		seed:     1,
 	}, nil
+}
+
+// SetReusable marks the simulator for warm reuse: RunContext keeps the
+// bound-weave engine, worker pool and all per-core weave state alive after
+// the run, and Reset rewinds the whole simulator for another run without
+// reconstruction. A reusable simulator must be Closed by its owner when no
+// longer needed. Call before the first run.
+func (s *Simulator) SetReusable(v bool) { s.reusable = v }
+
+// ShapeKey returns the configuration's construction-shape hash: two
+// simulators with equal shape keys are structurally interchangeable, and a
+// Reset may swap in any same-shape configuration. See Config.ShapeKey.
+func (s *Simulator) ShapeKey() uint64 { return s.cfg.ShapeKey() }
+
+// Close releases the persistent resources of a reusable simulator (worker
+// pool, weave engine). It is idempotent and a no-op for simulators that were
+// never marked reusable (their resources are released when Run returns).
+func (s *Simulator) Close() {
+	if s.bw != nil {
+		s.bw.Close()
+		s.bw = nil
+	}
+}
+
+// Reset rewinds a reusable simulator to its just-built state so it can serve
+// another run: all statistics, core/cache/predictor/contention state, the
+// scheduler and the per-run arena rewind; the construction arena, worker
+// pool and weave engine stay warm. cfg supplies the next run's
+// configuration; it must have the same ShapeKey as the simulator's (only
+// run-variable fields — name, seeds, limits — may differ), and nil keeps the
+// current one. Workloads and options are cleared: re-add workloads and
+// re-apply Set* options before the next run.
+//
+// Reset fails (leaving the simulator unusable for further runs) when the
+// previous run panicked: an aborted engine cannot be safely rewound, so the
+// caller must Close this simulator and build a fresh one.
+func (s *Simulator) Reset(cfg *Config) error {
+	if !s.reusable {
+		return fmt.Errorf("zsim: Reset requires a reusable simulator (SetReusable)")
+	}
+	if s.lastReason == Panicked {
+		return fmt.Errorf("zsim: cannot Reset after a panicked run; Close and build a fresh simulator")
+	}
+	if cfg == nil {
+		cfg = s.cfg
+	} else {
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+		if cfg.ShapeKey() != s.cfg.ShapeKey() {
+			return fmt.Errorf("zsim: Reset config shape mismatch (got %#x, simulator built for %#x)", cfg.ShapeKey(), s.cfg.ShapeKey())
+		}
+	}
+	s.cfg = cfg
+	s.sys.Cfg = cfg
+	s.sched.Reset()
+	// The run arena backed the previous run's workload decode state, which the
+	// scheduler reset just dropped; rewinding it lets the next run's workloads
+	// decode into the same warm chunks.
+	s.runArena.Reset()
+	s.workloads = 0
+	s.usedAddr = nil
+	s.ran = false
+	s.maxInstrs = 0
+	s.hostThreads = 0
+	s.seed = 1
+	return nil
 }
 
 // SetMaxInstructions bounds the run to approximately n simulated instructions
@@ -227,9 +307,9 @@ func (s *Simulator) SetSeed(seed uint64) { s.seed = seed }
 // process ID.
 func (s *Simulator) AddWorkload(name string, params WorkloadParams, threads int) int {
 	s.assignAddrSpace(&params)
-	// Workload static code (blocks + decoder cache) shares the system's
-	// construction arena.
-	w := trace.NewIn(s.sys.Root.Arena(), name, params, threads)
+	// Workload static code (blocks + decoder cache) lives in the per-run
+	// arena so Reset can rewind it for the next run's workloads.
+	w := trace.NewIn(s.runArena, name, params, threads)
 	p := s.sched.AddWorkload(w)
 	s.workloads++
 	return p.ID
@@ -250,7 +330,7 @@ func (s *Simulator) AddNamedWorkload(name string, threads int) (int, error) {
 // describes for multiprogrammed runs).
 func (s *Simulator) AddPinnedWorkload(name string, params WorkloadParams, threads int, cores []int) int {
 	s.assignAddrSpace(&params)
-	w := trace.NewIn(s.sys.Root.Arena(), name, params, threads)
+	w := trace.NewIn(s.runArena, name, params, threads)
 	p := &virt.Process{ID: s.workloads, Name: name, Affinity: cores}
 	for i := 0; i < threads; i++ {
 		p.Threads = append(p.Threads, &virt.Thread{Stream: w.NewThread(i)})
@@ -321,6 +401,13 @@ type Result struct {
 	// Stalled reports that the run stopped because the workload deadlocked
 	// (no thread runnable and none wakeable by simulated time).
 	Stalled bool
+	// ArenaChunks and ArenaBytes report the simulator's arena footprint
+	// (construction arena plus the per-run workload arena). Both are
+	// monotone over a simulator's lifetime: on a warm-reused simulator they
+	// stop growing once the working set is established, so equal values
+	// across runs demonstrate allocation-free reuse.
+	ArenaChunks int
+	ArenaBytes  uint64
 }
 
 // Summary returns a one-paragraph human-readable summary of the run.
@@ -347,18 +434,42 @@ func (s *Simulator) buildSim() *boundweave.Simulator {
 // buildSimCtl is buildSim with the run-control token and the configuration's
 // run limits wired in.
 func (s *Simulator) buildSimCtl(ctl *runctl.Token) *boundweave.Simulator {
-	return boundweave.NewSimulator(s.sys, s.sched, boundweave.Options{
+	return boundweave.NewSimulator(s.sys, s.sched, s.runOptions(ctl))
+}
+
+// runOptions assembles the bound-weave options for one run.
+func (s *Simulator) runOptions(ctl *runctl.Token) boundweave.Options {
+	return boundweave.Options{
 		MaxInstrs:   s.maxInstrs,
 		HostThreads: s.hostThreads,
 		Seed:        s.seed,
 		Ctl:         ctl,
 		MaxWallTime: s.cfg.MaxWallTime,
 		MaxCycles:   s.cfg.MaxCycles,
-	})
+		Reusable:    s.reusable,
+	}
 }
 
-// Run executes the simulation and returns its results. A simulator can only
-// be run once; build a new one for another run. It is RunContext with a
+// acquireSim returns the bound-weave simulator for this run: a fresh build on
+// the first run (or always, when not reusable), a warm Reset of the retained
+// one on every run after that.
+func (s *Simulator) acquireSim(ctl *runctl.Token) (*boundweave.Simulator, error) {
+	if !s.reusable {
+		return s.buildSimCtl(ctl), nil
+	}
+	if s.bw == nil {
+		s.bw = s.buildSimCtl(ctl)
+		return s.bw, nil
+	}
+	if err := s.bw.Reset(s.runOptions(ctl)); err != nil {
+		return nil, err
+	}
+	return s.bw, nil
+}
+
+// Run executes the simulation and returns its results. A simulator runs
+// once; build a new one for another run, or mark it reusable (SetReusable)
+// and Reset it between runs. It is RunContext with a
 // background context: only Config.MaxWallTime / Config.MaxCycles (and a
 // workload deadlock) can stop it early.
 func (s *Simulator) Run() (*Result, error) {
@@ -383,12 +494,18 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 	}
 	s.ran = true
 	ctl := new(runctl.Token)
-	sim := s.buildSimCtl(ctl)
-	// The simulator owns a persistent worker pool and weave engine; Close is
-	// idempotent, and deferring it here guarantees release on every exit
-	// path — including cancellation and panic recovery — not just the happy
-	// path inside sim.Run.
-	defer sim.Close()
+	sim, err := s.acquireSim(ctl)
+	if err != nil {
+		return nil, err
+	}
+	if !s.reusable {
+		// The simulator owns a persistent worker pool and weave engine; Close
+		// is idempotent, and deferring it here guarantees release on every
+		// exit path — including cancellation and panic recovery — not just
+		// the happy path inside sim.Run. A reusable simulator instead keeps
+		// these warm for the next Reset, and its owner Closes it.
+		defer sim.Close()
+	}
 	if ctx != nil && ctx.Done() != nil {
 		stop := context.AfterFunc(ctx, func() { ctl.Cancel(runctl.ReasonCancelled) })
 		defer stop()
@@ -404,6 +521,12 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 		// A fault that escaped the simulator's own containment (it recovers
 		// everything raised inside Run, so this is the facade's last line).
 		reason, panicErr, phase = Panicked, facadePanic, "run"
+	}
+	s.lastReason = reason
+	if reason == Panicked {
+		// An aborted engine cannot be rewound; release the warm state now so
+		// a reusable simulator fails closed instead of leaking its pool.
+		s.Close()
 	}
 	if reason == runctl.ReasonNone {
 		return res, nil
@@ -456,12 +579,16 @@ func (s *Simulator) collectResult(sim *boundweave.Simulator, elapsed time.Durati
 			MaxRouterDelay: fs.MaxRouterDelay,
 		}
 	}
+	sysChunks, sysBytes := s.sys.Root.Arena().Stats()
+	runChunks, runBytes := s.runArena.Stats()
 	return &Result{
 		Metrics:     m,
 		Intervals:   sim.Intervals,
 		BoundRounds: sim.BoundRounds,
 		HostTime:    elapsed,
 		WeaveEvents: sim.WeaveEvents,
+		ArenaChunks: sysChunks + runChunks,
+		ArenaBytes:  sysBytes + runBytes,
 		Sched: SchedStats{
 			ContextSwitches:  s.sched.ContextSwitches.Load(),
 			MidIntervalJoins: s.sched.MidIntervalJoins.Load(),
