@@ -377,6 +377,43 @@ func BenchmarkOversubscribedClientServer(b *testing.B) {
 	}
 }
 
+// BenchmarkPhaseBreakdown splits a contention-on run's host wall time by
+// engine phase using the telemetry probe: bound-phase and weave-phase
+// nanoseconds per job, plus the time weave domain workers spent parked on
+// committed horizons (stall). The breakdown is diagnostic — it shows where a
+// perf regression landed, not just that one happened — so record it into
+// BENCH_6.json but gate on allocs/op and the simulated signature metrics,
+// never the ns splits themselves (1-vCPU CI host, ROADMAP noise caveat).
+func BenchmarkPhaseBreakdown(b *testing.B) {
+	b.ReportAllocs()
+	var boundNS, weaveNS, stallNS, intervals float64
+	for i := 0; i < b.N; i++ {
+		cfg := config.TiledChip(2, config.CoreIPC1)
+		cfg.Contention = true
+		sim, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		params := trace.MustLookup("ocean")
+		params.BlocksPerThread = 100
+		sim.AddWorkload("ocean", params, cfg.NumCores)
+		sim.SetHostThreads(2)
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+		snap := sim.Probe().Snapshot()
+		boundNS += float64(snap.BoundNanos)
+		weaveNS += float64(snap.WeaveNanos)
+		stallNS += float64(snap.StallNanos)
+		intervals += float64(snap.Intervals)
+	}
+	n := float64(b.N)
+	b.ReportMetric(boundNS/n, "bound-ns/op")
+	b.ReportMetric(weaveNS/n, "weave-ns/op")
+	b.ReportMetric(stallNS/n, "stall-ns/op")
+	b.ReportMetric(intervals/n, "intervals")
+}
+
 // BenchmarkJobThroughput measures the warm-simulator reuse path against
 // fresh per-job construction — the zsimd serving scenario where many small
 // jobs of one configuration shape arrive back to back. "fresh" pays full

@@ -8,6 +8,7 @@
 //	zsim -preset westmere -workload mcf -threads 1
 //	zsim -preset tiled -tiles 16 -workload fluidanimate -threads 256 -stats
 //	zsim -config mychip.json -workload stream -threads 8 -max-instrs 50000000
+//	zsim -preset tiled -tiles 16 -workload stream -threads 64 -progress -trace-out run.trace.json
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"zsim"
 )
@@ -37,6 +39,10 @@ func main() {
 		statsDump  = flag.Bool("stats", false, "dump the full statistics tree after the run")
 		list       = flag.Bool("list", false, "list the registered workloads and exit")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the run (0 = unlimited); an overrun exits non-zero with partial results")
+		progress   = flag.Bool("progress", false, "print a live progress heartbeat on stderr while the run executes")
+		progEvery  = flag.Duration("progress-interval", 2*time.Second, "heartbeat period for -progress")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON file of the run's phases and weave domains (load in Perfetto)")
+		traceCap   = flag.Int("trace-events", 0, "trace-event capacity for -trace-out (0 = default bound; excess events are dropped and counted)")
 	)
 	flag.Parse()
 
@@ -85,7 +91,23 @@ func main() {
 	sim.SetMaxInstructions(*maxInstrs)
 	sim.SetHostThreads(*hostThr)
 
+	var sink *zsim.TraceSink
+	if *traceOut != "" {
+		sink = zsim.NewTraceSink(*traceCap)
+		sim.SetTrace(sink)
+	}
+	stopHeartbeat := func() {}
+	if *progress {
+		stopHeartbeat = zsim.StartHeartbeat(os.Stderr, sim.Probe(), "zsim: ", *progEvery)
+	}
+
 	res, err := sim.Run()
+	stopHeartbeat() // always prints one final line, even for sub-period runs
+	if sink != nil {
+		if werr := writeTrace(*traceOut, sink); werr != nil {
+			fmt.Fprintln(os.Stderr, "zsim: trace-out:", werr)
+		}
+	}
 	if err != nil {
 		// Abnormal stops still carry partial results: print the diagnostic
 		// and whatever was simulated, then exit non-zero so scripts notice.
@@ -126,6 +148,19 @@ func loadConfig(path, preset string, tiles int, coreModel string) (*zsim.Config,
 	default:
 		return nil, fmt.Errorf("unknown preset %q", preset)
 	}
+}
+
+// writeTrace exports the run's trace slices as Chrome trace-event JSON.
+func writeTrace(path string, sink *zsim.TraceSink) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sink.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -9,8 +9,10 @@
 //	GET  /jobs/{id}         job status
 //	GET  /jobs/{id}/result  job result (409 until finished; partial metrics on failures)
 //	POST /jobs/{id}/cancel  cancel a queued or running job
-//	GET  /healthz           liveness
+//	GET  /healthz           liveness plus queue/worker/pool gauges
 //	GET  /readyz            readiness (503 while draining)
+//	GET  /metrics           Prometheus text exposition (plain text, not JSON)
+//	GET  /debug/pprof/      net/http/pprof profiles (only with -pprof)
 //
 // SIGTERM/SIGINT stop admission, let in-flight jobs finish within -grace,
 // then cooperatively cancel whatever remains (those jobs report partial
@@ -50,6 +52,7 @@ func run(args []string, stderr io.Writer, onReady func(net.Addr)) int {
 		auditPath  = fs.String("audit", "", "append-only JSONL audit log file (empty = disabled)")
 		poolSize   = fs.Int("pool-size", 8, "warm-simulator pool: total simulators retained across shapes (0 = disabled)")
 		poolShape  = fs.Int("pool-per-shape", 2, "warm-simulator pool: simulators retained per configuration shape")
+		pprofOn    = fs.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -78,6 +81,7 @@ func run(args []string, stderr io.Writer, onReady func(net.Addr)) int {
 		Audit:        auditW,
 		PoolSize:     *poolSize,
 		PoolPerShape: *poolShape,
+		Pprof:        *pprofOn,
 	})
 	httpSrv := &http.Server{Handler: srv}
 

@@ -13,35 +13,53 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"zsim/internal/config"
 	"zsim/internal/harness"
 )
 
 func main() {
+	os.Exit(cliMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// cliMain is main without the process-global bits, so tests can drive the
+// full flag-parse/run/print path in-process and capture both streams.
+func cliMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("zsimexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		scale    = flag.Float64("scale", 0.25, "instruction-budget scale factor (1.0 = full EXPERIMENTS.md sizes)")
-		maxCores = flag.Int("max-cores", 1024, "cap on the simulated core count for the large-chip experiments")
-		hostThr  = flag.Int("host-threads", 0, "host worker threads (0 = all CPUs)")
-		quiet    = flag.Bool("quiet", false, "suppress progress logging")
-		timeout  = flag.Duration("timeout", 0, "per-run wall-clock budget (0 = unlimited); an overrun fails the experiment instead of hanging it")
-		domains  = flag.Int("domains", 0, "override the weave domain count for every run (0 = per-experiment default)")
-		weave    = flag.String("weave-mode", "", "weave execution mode for every run: parallel (deterministic bounded-skew domains, the default) or serial (single-heap escape hatch)")
+		scale    = fs.Float64("scale", 0.25, "instruction-budget scale factor (1.0 = full EXPERIMENTS.md sizes)")
+		maxCores = fs.Int("max-cores", 1024, "cap on the simulated core count for the large-chip experiments")
+		hostThr  = fs.Int("host-threads", 0, "host worker threads (0 = all CPUs)")
+		quiet    = fs.Bool("quiet", false, "suppress progress logging")
+		timeout  = fs.Duration("timeout", 0, "per-run wall-clock budget (0 = unlimited); an overrun fails the experiment instead of hanging it")
+		domains  = fs.Int("domains", 0, "override the weave domain count for every run (0 = per-experiment default)")
+		weave    = fs.String("weave-mode", "", "weave execution mode for every run: parallel (deterministic bounded-skew domains, the default) or serial (single-heap escape hatch)")
+		progress = fs.Bool("progress", false, "print a live per-run heartbeat on stderr (phase, intervals, cycles, sim-MIPS)")
+		progIvl  = fs.Duration("progress-interval", 2*time.Second, "heartbeat period for -progress")
 	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: zsimexp [flags] <table2|table3|fig2|fig5|fig6perf|fig6speedup|fig6stream|table4|fig7|fig8|fig9|intervals|meshhotspot|all>")
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: zsimexp [flags] <table2|table3|fig2|fig5|fig6perf|fig6speedup|fig6stream|table4|fig7|fig8|fig9|intervals|meshhotspot|all>")
+		return 2
 	}
 	opts := harness.Options{Scale: *scale, MaxCores: *maxCores, HostThreads: *hostThr, Timeout: *timeout,
 		WeaveDomains: *domains, WeaveMode: config.WeaveMode(*weave)}
 	if *weave != "" && *weave != string(config.WeaveParallelDet) && *weave != string(config.WeaveSerial) {
-		fmt.Fprintf(os.Stderr, "zsimexp: unknown -weave-mode %q (want parallel or serial)\n", *weave)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "zsimexp: unknown -weave-mode %q (want parallel or serial)\n", *weave)
+		return 2
+	}
+	if *progress {
+		opts.Progress = stderr
+		opts.ProgressPeriod = *progIvl
 	}
 	if !*quiet {
-		opts.Log = os.Stderr
+		opts.Log = stderr
 		mode := *weave
 		if mode == "" {
 			mode = string(config.WeaveParallelDet)
@@ -50,29 +68,30 @@ func main() {
 		if *domains > 0 {
 			dom = fmt.Sprintf("%d", *domains)
 		}
-		fmt.Fprintf(os.Stderr, "weave: mode=%s domains=%s\n", mode, dom)
+		fmt.Fprintf(stderr, "weave: mode=%s domains=%s\n", mode, dom)
 	}
 
-	if err := run(flag.Arg(0), opts); err != nil {
-		fmt.Fprintln(os.Stderr, "zsimexp:", err)
-		os.Exit(1)
+	if err := run(fs.Arg(0), opts, stdout); err != nil {
+		fmt.Fprintln(stderr, "zsimexp:", err)
+		return 1
 	}
+	return 0
 }
 
-func run(name string, opts harness.Options) error {
+func run(name string, opts harness.Options, stdout io.Writer) error {
 	type formatter interface{ Format() string }
 	emit := func(r formatter, err error) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(r.Format())
+		fmt.Fprintln(stdout, r.Format())
 		return nil
 	}
 	switch name {
 	case "table2":
-		fmt.Println(harness.Table2())
+		fmt.Fprintln(stdout, harness.Table2())
 	case "table3":
-		fmt.Println(harness.Table3(64))
+		fmt.Fprintln(stdout, harness.Table3(64))
 	case "fig2":
 		return emit(harness.Figure2(opts))
 	case "fig5":
@@ -96,10 +115,10 @@ func run(name string, opts harness.Options) error {
 	case "meshhotspot":
 		return emit(harness.MeshHotspot(opts))
 	case "all":
-		fmt.Println(harness.Table2())
-		fmt.Println(harness.Table3(64))
+		fmt.Fprintln(stdout, harness.Table2())
+		fmt.Fprintln(stdout, harness.Table3(64))
 		for _, exp := range []string{"fig2", "fig5", "fig6perf", "fig6speedup", "fig6stream", "table4", "fig7", "fig8", "fig9", "intervals", "meshhotspot"} {
-			if err := run(exp, opts); err != nil {
+			if err := run(exp, opts, stdout); err != nil {
 				return fmt.Errorf("%s: %w", exp, err)
 			}
 		}

@@ -11,9 +11,20 @@ import (
 
 	"zsim/internal/cache"
 	"zsim/internal/config"
+	"zsim/internal/telemetry"
 	"zsim/internal/trace"
 	"zsim/internal/virt"
 )
+
+// telemetryOpts attaches a live probe and a deliberately tiny trace sink to
+// the alloc-gate simulators: publishing samples is atomic stores only, and a
+// sink past capacity exercises the drop path — so the steady-state allocation
+// contract must hold with full telemetry enabled, not just without it.
+func telemetryOpts(o Options) Options {
+	o.Probe = new(telemetry.Probe)
+	o.Trace = telemetry.NewTraceSink(256)
+	return o
+}
 
 // newContentionSim builds a small contended system whose weave path can be
 // driven directly.
@@ -31,7 +42,7 @@ func newContentionSim(t *testing.T) *Simulator {
 	p := trace.DefaultParams()
 	p.BlocksPerThread = 10
 	sched.AddWorkload(trace.New("alloc", p, cfg.NumCores))
-	return NewSimulator(sys, sched, Options{HostThreads: 1, Seed: 1})
+	return NewSimulator(sys, sched, telemetryOpts(Options{HostThreads: 1, Seed: 1}))
 }
 
 // fillRecorders injects one synthetic shared-touching trace per core, using
@@ -135,7 +146,7 @@ func TestRunWeaveSteadyStateAllocsNOC(t *testing.T) {
 	p := trace.DefaultParams()
 	p.BlocksPerThread = 10
 	sched.AddWorkload(trace.New("alloc-noc", p, cfg.NumCores))
-	sim := NewSimulator(sys, sched, Options{HostThreads: 1, Seed: 1})
+	sim := NewSimulator(sys, sched, telemetryOpts(Options{HostThreads: 1, Seed: 1}))
 	defer sim.engine.Close()
 
 	bankComp := sim.Sys.BankComp[0]
@@ -191,7 +202,7 @@ func TestBoundPhaseSteadyStateAllocs(t *testing.T) {
 	p.BlockedSyscallEvery = 40 // syscall leave/join rounds
 	p.BlockedSyscallCycles = 1500
 	sched.AddWorkload(trace.New("alloc-bound", p, 6)) // oversubscribed: 6 threads, 4 cores
-	sim := NewSimulator(sys, sched, Options{HostThreads: 2, Seed: 3})
+	sim := NewSimulator(sys, sched, telemetryOpts(Options{HostThreads: 2, Seed: 3}))
 	iteration := func() { sim.runInterval() }
 	// Long warmup: beyond queues and slabs, the lazily allocated cache set
 	// arrays must all have been touched before measuring.

@@ -12,6 +12,7 @@ import (
 	"zsim/internal/event"
 	"zsim/internal/memctrl"
 	"zsim/internal/runctl"
+	"zsim/internal/telemetry"
 	"zsim/internal/trace"
 	"zsim/internal/virt"
 )
@@ -53,6 +54,15 @@ type Options struct {
 	// Close when done with the simulator. When false (the default), Run
 	// closes the simulator itself on return.
 	Reusable bool
+
+	// Probe, when non-nil, receives a telemetry sample (atomic stores only)
+	// at every interval boundary, plus phase-transition gauges. Observation
+	// only: results are bit-identical with or without a probe.
+	Probe *telemetry.Probe
+	// Trace, when non-nil, receives bounded Chrome-trace slices: one
+	// bound/weave slice per interval on the phases track and per-domain
+	// execution/stall slices from the weave workers.
+	Trace *telemetry.TraceSink
 }
 
 // Simulator drives the bound-weave loop over a built System and a scheduler
@@ -110,6 +120,13 @@ type Simulator struct {
 	// executing ("bound" or "weave") for fault attribution.
 	ctl   *runctl.Token
 	phase string
+
+	// probe and traceSink are the run's telemetry taps (both optional, both
+	// nil-safe at every call site). lastWorkers is the worker count of the
+	// most recent bound round (the pool-occupancy gauge).
+	probe       *telemetry.Probe
+	traceSink   *telemetry.TraceSink
+	lastWorkers int
 
 	// Run statistics.
 	Intervals     uint64
@@ -252,6 +269,11 @@ func NewSimulator(sys *System, sched *virt.Scheduler, opts Options) *Simulator {
 		s.last = arena.Take[lastResp](a, len(sys.Cores))
 	}
 	s.instrsTotal.Store(s.totalInstrs())
+	s.probe = opts.Probe
+	s.traceSink = opts.Trace
+	if s.engine != nil {
+		s.engine.SetTrace(opts.Trace)
+	}
 	if opts.Profiler != nil {
 		for _, c := range sys.Cores {
 			c.SetObserver(opts.Profiler)
@@ -379,6 +401,12 @@ func (s *Simulator) Reset(opts Options) error {
 	}
 	s.instrsTotal.Store(0)
 	s.phase = ""
+	s.probe = opts.Probe
+	s.traceSink = opts.Trace
+	if s.engine != nil {
+		s.engine.SetTrace(opts.Trace)
+	}
+	s.lastWorkers = 0
 
 	s.Intervals = 0
 	s.BoundRounds = 0
@@ -422,6 +450,15 @@ func (s *Simulator) Run() uint64 {
 	if w := runctl.Watch(s.ctl, s.opts.MaxWallTime); w != nil {
 		defer w.Stop()
 	}
+	s.probe.BeginRun(s.opts.MaxCycles)
+	defer func() {
+		// Final publication (runs first on the defer stack, so it also fires
+		// while a panic is unwinding toward the containment recover above;
+		// the pool is quiescent by then). Everything it reads is valid after
+		// any termination.
+		s.publishTelemetry()
+		s.probe.SetPhase(telemetry.PhaseDone)
+	}()
 	for {
 		// Interval-boundary cancellation point (one atomic load).
 		if r := s.ctl.Reason(); r != runctl.ReasonNone {
@@ -474,6 +511,7 @@ func (s *Simulator) runInterval() bool {
 		} else {
 			s.globalCycle = intervalEnd
 		}
+		s.publishTelemetry()
 		return true
 	}
 
@@ -494,6 +532,7 @@ func (s *Simulator) runInterval() bool {
 	// refills cores freed by blocking threads (mid-interval join/leave).
 	boundStart := time.Now()
 	s.phase = "bound"
+	s.probe.SetPhase(telemetry.PhaseBound)
 	s.intervalEnd = intervalEnd
 	cur, spare := asg, s.asgB
 	for len(cur) > 0 && !s.ctl.Cancelled() {
@@ -504,6 +543,7 @@ func (s *Simulator) runInterval() bool {
 		if workers > len(cur) {
 			workers = len(cur)
 		}
+		s.lastWorkers = workers
 		s.pool.Run(workers, s.boundTask)
 		for i, c := range s.Sys.Cores {
 			s.coreCycles[i] = c.Cycle()
@@ -514,7 +554,9 @@ func (s *Simulator) runInterval() bool {
 	s.asgA, s.asgB = cur, spare
 	s.curAsg = nil
 	s.Sched.EndInterval(intervalEnd)
-	s.BoundNanos += time.Since(boundStart).Nanoseconds()
+	boundDur := time.Since(boundStart)
+	s.BoundNanos += boundDur.Nanoseconds()
+	s.traceSink.Add(telemetry.TrackPhases, "bound", boundStart, boundDur, s.Intervals)
 
 	// Weave phase: retime the recorded accesses with contention models. The
 	// phase boundary is the second cancellation point of the interval: a run
@@ -523,13 +565,46 @@ func (s *Simulator) runInterval() bool {
 	if s.contention && !s.ctl.Cancelled() {
 		weaveStart := time.Now()
 		s.phase = "weave"
+		s.probe.SetPhase(telemetry.PhaseWeave)
 		s.runWeave()
 		s.phase = "bound"
-		s.WeaveNanos += time.Since(weaveStart).Nanoseconds()
+		s.probe.SetPhase(telemetry.PhaseBound)
+		weaveDur := time.Since(weaveStart)
+		s.WeaveNanos += weaveDur.Nanoseconds()
+		s.traceSink.Add(telemetry.TrackPhases, "weave", weaveStart, weaveDur, s.Intervals)
 	}
 
 	s.globalCycle = intervalEnd
+	s.publishTelemetry()
 	return true
+}
+
+// publishTelemetry stores the run's current counters into the probe: one
+// Sample built on the stack and written with atomic stores, so it adds no
+// allocation to the interval loop. All sources are quiescent at interval
+// boundaries (the pool's workers are parked between phases).
+func (s *Simulator) publishTelemetry() {
+	if s.probe == nil {
+		return
+	}
+	sc := s.Sched.Counts()
+	smp := telemetry.Sample{
+		Intervals:       s.Intervals,
+		BoundRounds:     s.BoundRounds,
+		Cycles:          s.globalCycle,
+		Instrs:          s.instrsTotal.Load(),
+		WeaveEvents:     s.WeaveEvents,
+		BoundNanos:      s.BoundNanos,
+		WeaveNanos:      s.WeaveNanos,
+		PoolWorkers:     s.lastWorkers,
+		LiveThreads:     sc.Live,
+		RunnableThreads: sc.Runnable,
+	}
+	smp.PoolRuns, smp.PoolWakes = s.pool.Stats()
+	if s.engine != nil {
+		smp.HorizonParks, smp.DomainWakes, smp.CrossHandoffs, smp.StallNanos = s.engine.Telemetry()
+	}
+	s.probe.Publish(smp)
 }
 
 // boundWorker is the persistent bound-phase worker body: it draws core

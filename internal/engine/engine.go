@@ -47,6 +47,12 @@ type Pool struct {
 	quit      chan struct{}
 	spawned   bool
 	closeOnce sync.Once
+
+	// Telemetry: total Run invocations and total worker wakeups delivered
+	// (channel sends on the parallel path; serial fallbacks wake no one).
+	// Atomic so telemetry snapshots can read them while a Run is in flight.
+	runs  atomic.Uint64
+	wakes atomic.Uint64
 }
 
 // NewPool creates a pool of n workers (n < 1 is clamped to 1). The worker
@@ -66,6 +72,13 @@ func NewPool(n int) *Pool {
 
 // Size returns the number of workers in the pool.
 func (p *Pool) Size() int { return p.size }
+
+// Stats returns the pool's lifetime telemetry counters: total Run calls and
+// total worker wakeups delivered (parallel-path channel sends). Safe to call
+// concurrently with Run.
+func (p *Pool) Stats() (runs, wakes uint64) {
+	return p.runs.Load(), p.wakes.Load()
+}
 
 // Run invokes fn(w) for every worker index w in [0, n) and returns once all
 // invocations have finished. n is clamped to the pool size. When effective
@@ -88,6 +101,7 @@ func (p *Pool) Run(n int, fn func(worker int)) {
 	if n <= 0 {
 		return
 	}
+	p.runs.Add(1)
 	if n == 1 || p.Closed() || runtime.GOMAXPROCS(0) == 1 {
 		// Same containment contract as the parallel path: every invocation
 		// runs, and the first capture is re-raised once all have finished.
@@ -105,6 +119,7 @@ func (p *Pool) Run(n int, fn func(worker int)) {
 	p.ensureWorkers()
 	p.fn = fn
 	p.wg.Add(n)
+	p.wakes.Add(uint64(n))
 	for w := 0; w < n; w++ {
 		p.start[w] <- struct{}{}
 	}

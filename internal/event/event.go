@@ -71,10 +71,12 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"zsim/internal/arena"
 	"zsim/internal/engine"
 	"zsim/internal/runctl"
+	"zsim/internal/telemetry"
 )
 
 // maxCycle is the horizon value published by a domain that has drained its
@@ -380,6 +382,14 @@ type Domain struct {
 	// sending domain's horizon (host-timing-dependent; stats only, never part
 	// of simulated results).
 	HorizonParks uint64
+	// Wakes counts wakeup tokens delivered to this domain's worker (atomic:
+	// producers in other domains deliver them; host-timing-dependent, stats
+	// only).
+	Wakes atomic.Uint64
+	// StallNanos accumulates host wall time the domain's worker spent parked
+	// waiting on horizons. Single writer (the domain's own worker); read at
+	// interval boundaries, between Runs. Stats only.
+	StallNanos int64
 }
 
 // ID returns the domain's index.
@@ -389,6 +399,7 @@ func (d *Domain) ID() int { return d.id }
 func (d *Domain) wake() {
 	select {
 	case d.wakeCh <- struct{}{}:
+		d.Wakes.Add(1)
 	default:
 	}
 }
@@ -463,6 +474,10 @@ type Engine struct {
 	aborted  atomic.Bool
 	domPanic atomic.Pointer[runctl.PanicError]
 
+	// trace, when set, receives per-domain execution and stall slices
+	// (Chrome-trace export). Written between Runs, read by domain workers.
+	trace *telemetry.TraceSink
+
 	mode Mode
 }
 
@@ -506,6 +521,24 @@ func (e *Engine) SetMode(m Mode) { e.mode = m }
 
 // GetMode returns the engine's execution discipline.
 func (e *Engine) GetMode() Mode { return e.mode }
+
+// SetTrace attaches (or, with nil, detaches) a trace sink that receives one
+// "weave" slice per domain per parallel Run plus a "stall" slice for every
+// horizon park. Must be called between Runs.
+func (e *Engine) SetTrace(t *telemetry.TraceSink) { e.trace = t }
+
+// Telemetry sums the per-domain skew diagnostics: horizon parks, delivered
+// wakeups, inter-domain handoffs and parked wall time. Call between Runs (the
+// counters are written by domain workers while a Run is in flight).
+func (e *Engine) Telemetry() (parks, wakes, handoffs uint64, stallNanos int64) {
+	for _, d := range e.domains {
+		parks += d.HorizonParks
+		wakes += d.Wakes.Load()
+		handoffs += d.CrossRetries
+		stallNanos += d.StallNanos
+	}
+	return
+}
 
 // NumDomains returns the number of domains.
 func (e *Engine) NumDomains() int { return len(e.domains) }
@@ -596,6 +629,8 @@ func (e *Engine) Reset() {
 		d.Executed = 0
 		d.CrossRetries = 0
 		d.HorizonParks = 0
+		d.Wakes.Store(0)
+		d.StallNanos = 0
 	}
 }
 
@@ -634,6 +669,13 @@ func (e *Engine) runDomainByIndex(i int) {
 			}
 		}
 	}()
+	if e.trace != nil {
+		t0 := time.Now()
+		before := dom.Executed
+		e.runDomain(dom)
+		e.trace.Add(telemetry.TrackDomain(dom.id), "weave", t0, time.Since(t0), dom.Executed-before)
+		return
+	}
 	e.runDomain(dom)
 }
 
@@ -913,7 +955,11 @@ func (e *Engine) runDomain(dom *Domain) {
 		dom.mu.Unlock()
 		if !canProgress && !e.aborted.Load() {
 			dom.HorizonParks++
+			t0 := time.Now()
 			<-dom.wakeCh
+			stall := time.Since(t0)
+			dom.StallNanos += int64(stall)
+			e.trace.Add(telemetry.TrackDomain(dom.id), "stall", t0, stall, dom.HorizonParks)
 		}
 		dom.parked.Store(false)
 		e.parkedCount.Add(-1)

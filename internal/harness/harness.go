@@ -23,6 +23,7 @@ import (
 	"zsim/internal/noc"
 	"zsim/internal/runctl"
 	"zsim/internal/stats"
+	"zsim/internal/telemetry"
 	"zsim/internal/trace"
 	"zsim/internal/virt"
 )
@@ -51,6 +52,13 @@ type Options struct {
 	WeaveMode config.WeaveMode
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+	// Progress, when non-nil, receives a live heartbeat line for every
+	// simulation run (phase, intervals, cycles, sim-MIPS), fed from the
+	// simulator's telemetry probe. The -progress flag of cmd/zsimexp.
+	Progress io.Writer
+	// ProgressPeriod is the heartbeat period (0 = 2s). Every run also emits
+	// one final line regardless of period, so short runs are still visible.
+	ProgressPeriod time.Duration
 }
 
 // DefaultOptions returns full-scale experiment options.
@@ -141,14 +149,27 @@ func runZSim(cfg *config.System, workload string, params trace.Params, threads i
 	w := trace.NewIn(sys.Root.Arena(), workload, params, threads)
 	sched := virt.NewScheduler(cfg.NumCores)
 	sched.AddWorkload(w)
-	sim := boundweave.NewSimulator(sys, sched, boundweave.Options{
+	bwOpts := boundweave.Options{
 		HostThreads: opts.hostThreads(),
 		Seed:        1,
 		MaxWallTime: opts.Timeout,
-	})
+	}
+	stopHeartbeat := func() {}
+	if opts.Progress != nil {
+		period := opts.ProgressPeriod
+		if period <= 0 {
+			period = 2 * time.Second
+		}
+		probe := new(telemetry.Probe)
+		bwOpts.Probe = probe
+		prefix := fmt.Sprintf("%s/%s: ", cfg.Name, workload)
+		stopHeartbeat = telemetry.StartHeartbeat(opts.Progress, probe, prefix, period)
+	}
+	sim := boundweave.NewSimulator(sys, sched, bwOpts)
 	start := time.Now()
 	sim.Run()
 	elapsed := time.Since(start).Nanoseconds()
+	stopHeartbeat()
 	if r := sim.Reason; r != runctl.ReasonNone {
 		// An experiment run that deadlocks, overruns its budget or panics
 		// must surface as a loud failure, not as silently-wrong table rows.

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"zsim"
+	"zsim/internal/telemetry"
 )
 
 // WorkloadSpec names one workload of a job: a registered synthetic workload
@@ -148,6 +149,27 @@ type JobResult struct {
 	ArenaBytes  uint64 `json:"arenaBytes,omitempty"`
 }
 
+// JobProgress is the live-progress block of a running job's status, fed from
+// the simulator's telemetry probe (interval-boundary snapshots; reading it
+// never touches the simulation).
+type JobProgress struct {
+	// Phase is the engine phase currently executing ("bound", "weave";
+	// "idle" before the first interval, "done" after the run).
+	Phase string `json:"phase"`
+	// Intervals, Cycles and Instructions are the run's progress counters.
+	Intervals    uint64 `json:"intervals"`
+	Cycles       uint64 `json:"cycles"`
+	Instructions uint64 `json:"instructions"`
+	// SimMIPS is the run's simulation rate so far (simulated MIPS).
+	SimMIPS float64 `json:"simMIPS"`
+	// PctMaxCycles is simulated progress toward the run's MaxCycles budget in
+	// percent (omitted when the run has no cycle budget).
+	PctMaxCycles float64 `json:"pctMaxCycles,omitempty"`
+	// LiveThreads / RunnableThreads are the scheduler's population gauges.
+	LiveThreads     int `json:"liveThreads"`
+	RunnableThreads int `json:"runnableThreads"`
+}
+
 // JobStatus is the wire form of a job's current state.
 type JobStatus struct {
 	ID        string    `json:"id"`
@@ -156,6 +178,8 @@ type JobStatus struct {
 	Started   time.Time `json:"started,omitzero"`
 	Finished  time.Time `json:"finished,omitzero"`
 	Error     string    `json:"error,omitempty"`
+	// Progress is present while the job is running.
+	Progress *JobProgress `json:"progress,omitempty"`
 }
 
 // job is the server-side record of one submitted simulation.
@@ -171,6 +195,17 @@ type job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+	// probe is the running simulation's telemetry probe, set for the span of
+	// the run (attached after the simulator is acquired, detached before it
+	// can return to the warm pool).
+	probe *telemetry.Probe
+}
+
+// setProbe publishes (or, with nil, withdraws) the job's telemetry probe.
+func (j *job) setProbe(p *telemetry.Probe) {
+	j.mu.Lock()
+	j.probe = p
+	j.mu.Unlock()
 }
 
 // status snapshots the job under its lock.
@@ -186,6 +221,19 @@ func (j *job) status() JobStatus {
 	}
 	if j.result != nil {
 		st.Error = j.result.Error
+	}
+	if j.state == StateRunning && j.probe != nil {
+		snap := j.probe.Snapshot()
+		st.Progress = &JobProgress{
+			Phase:           snap.Phase,
+			Intervals:       snap.Intervals,
+			Cycles:          snap.Cycles,
+			Instructions:    snap.Instrs,
+			SimMIPS:         snap.SimMIPS(time.Now().UnixNano()),
+			PctMaxCycles:    snap.PctMaxCycles(),
+			LiveThreads:     snap.LiveThreads,
+			RunnableThreads: snap.RunnableThreads,
+		}
 	}
 	return st
 }

@@ -135,6 +135,25 @@ func (p *simPool) stats() poolStats {
 	return st
 }
 
+// arenaBytes sums the arena footprint of every retained simulator (retained
+// means idle: no worker touches a pooled simulator, so reading its arena
+// stats under the pool mutex is safe). Zero on a nil (disabled) pool.
+func (p *simPool) arenaBytes() uint64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var total uint64
+	for _, sims := range p.shapes {
+		for _, sim := range sims {
+			_, b := sim.ArenaStats()
+			total += b
+		}
+	}
+	return total
+}
+
 // close releases every retained simulator's persistent resources (worker
 // pools, weave engines) and marks the pool closed; later puts are refused so
 // in-flight jobs finishing after shutdown close their simulators themselves.

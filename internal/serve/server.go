@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"sync"
@@ -14,6 +15,7 @@ import (
 
 	"zsim"
 	"zsim/internal/runctl"
+	"zsim/internal/telemetry"
 )
 
 // Options configure a Server. Zero values get sensible defaults.
@@ -37,15 +39,19 @@ type Options struct {
 	// PoolPerShape bounds retained simulators per shape key (default 2 when
 	// pooling is enabled), so one hot shape cannot monopolize the pool.
 	PoolPerShape int
+	// Pprof mounts net/http/pprof under /debug/pprof/ (off by default: the
+	// profiling surface stays dark unless explicitly requested with -pprof).
+	Pprof bool
 }
 
 // Server is the zsimd job service: an http.Handler plus the worker pool
 // behind it. Create with New, serve with net/http, stop with Shutdown.
 type Server struct {
-	opts  Options
-	mux   *http.ServeMux
-	audit *auditLog
-	pool  *simPool // warm-simulator pool (nil when Options.PoolSize == 0)
+	opts    Options
+	mux     *http.ServeMux
+	audit   *auditLog
+	pool    *simPool // warm-simulator pool (nil when Options.PoolSize == 0)
+	metrics *metrics // /metrics scrape registry
 
 	baseCtx    context.Context // parent of every job context
 	baseCancel context.CancelFunc
@@ -74,6 +80,7 @@ func New(opts Options) *Server {
 		mux:        http.NewServeMux(),
 		audit:      newAuditLog(opts.Audit),
 		pool:       newSimPool(opts.PoolSize, opts.PoolPerShape),
+		metrics:    newMetrics(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*job),
@@ -96,6 +103,14 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.opts.Pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -136,6 +151,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		w.Header().Set("Retry-After", "5")
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "shutting down"})
+		s.metrics.shed("draining")
 		s.audit.record("shed", "", "", "draining")
 		return
 	}
@@ -151,11 +167,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.jobs[j.id] = j
 		s.order = append(s.order, j.id)
 	default:
-		s.seq-- // job was never admitted; don't burn the ID
+		// The job was never admitted (not registered, not queued), but its ID
+		// stays burned so the shed audit record is attributable and IDs never
+		// repeat.
 		s.mu.Unlock()
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "queue full"})
-		s.audit.record("shed", "", "", "queue full")
+		s.metrics.shed("queue_full")
+		s.audit.record("shed", j.id, "", "queue full")
 		return
 	}
 	s.mu.Unlock()
@@ -223,19 +242,34 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusConflict, errorBody{Error: "job already finished"})
 		return
 	}
+	s.metrics.cancelRequested()
 	s.audit.record("cancel", j.id, "", "cancel requested")
 	writeJSON(w, http.StatusAccepted, j.status())
 }
 
-// healthBody is the /healthz payload: liveness plus the warm-pool occupancy
-// and hit-rate counters (all zero with pooling disabled).
+// healthBody is the /healthz payload: liveness, uptime, queue and worker
+// occupancy, plus the warm-pool occupancy and hit-rate counters (all zero
+// with pooling disabled).
 type healthBody struct {
-	Status string    `json:"status"`
-	Pool   poolStats `json:"pool"`
+	Status        string    `json:"status"`
+	Uptime        string    `json:"uptime"`
+	QueueDepth    int       `json:"queueDepth"`
+	QueueCapacity int       `json:"queueCapacity"`
+	InFlight      int       `json:"inFlight"`
+	Workers       int       `json:"workers"`
+	Pool          poolStats `json:"pool"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, healthBody{Status: "ok", Pool: s.pool.stats()})
+	writeJSON(w, http.StatusOK, healthBody{
+		Status:        "ok",
+		Uptime:        s.metrics.uptimeString(),
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+		InFlight:      s.metrics.inflightCount(),
+		Workers:       s.opts.Workers,
+		Pool:          s.pool.stats(),
+	})
 }
 
 // handleReady reports readiness for new work: a draining server is alive
@@ -279,12 +313,14 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	j.state = StateRunning
-	j.started = time.Now().UTC()
+	started := time.Now()
+	j.started = started.UTC()
 	j.cancel = cancel
 	j.mu.Unlock()
+	s.metrics.jobStarted()
 	s.audit.record("start", j.id, StateRunning, "")
 
-	res, reused, err := s.execute(ctx, j.req)
+	res, reused, shape, err := s.execute(ctx, j)
 	result, state := classify(res, err)
 	result.Reused = reused
 
@@ -294,6 +330,7 @@ func (s *Server) runJob(j *job) {
 	j.cancel = nil
 	j.result = result
 	j.mu.Unlock()
+	s.metrics.jobDone(state, shapeLabel(shape), time.Since(started), reused)
 	detail := result.Error
 	if reused {
 		detail = "reused=true"
@@ -306,13 +343,31 @@ func (s *Server) runJob(j *job) {
 }
 
 // execute builds (or checks out of the warm pool) and runs the simulation
-// for one request, reporting whether a warm simulator served it. The zsim
-// facade already recovers panics raised inside the run; the deferred recover
-// here is the service's outer ring, catching construction-time faults so the
-// worker goroutine survives arbitrary job input — and discarding whatever
-// simulator was in hand, since a panicked setup leaves it unrewindable.
-func (s *Server) execute(ctx context.Context, req *JobRequest) (res *zsim.Result, reused bool, err error) {
+// for one job, reporting whether a warm simulator served it and the config's
+// shape key (0 when the config never built). The zsim facade already recovers
+// panics raised inside the run; the deferred recover here is the service's
+// outer ring, catching construction-time faults so the worker goroutine
+// survives arbitrary job input — and discarding whatever simulator was in
+// hand, since a panicked setup leaves it unrewindable.
+//
+// While the run executes, the simulator's telemetry probe is published in two
+// places: on the job (GET /jobs/{id} progress) and in the metrics registry's
+// live aggregate. Both are detached — and the final snapshot folded into the
+// completed engine totals — before the simulator can reach the warm pool,
+// where the next job would rewind the probe.
+func (s *Server) execute(ctx context.Context, j *job) (res *zsim.Result, reused bool, shape uint64, err error) {
+	req := j.req
 	var sim *zsim.Simulator
+	var probe *telemetry.Probe
+	detached := false
+	detach := func() {
+		if probe == nil || detached {
+			return
+		}
+		detached = true
+		j.setProbe(nil)
+		s.metrics.detachProbe(probe, probe.Snapshot())
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			pe := runctl.NewPanicError(r, -1)
@@ -321,11 +376,12 @@ func (s *Server) execute(ctx context.Context, req *JobRequest) (res *zsim.Result
 				sim.Close()
 			}
 		}
+		detach()
 	}()
 
 	cfg, err := req.buildConfig()
 	if err != nil {
-		return nil, false, err
+		return nil, false, 0, err
 	}
 	// The effective wall-time budget is the tighter of the request's and the
 	// server's; the library watchdog enforces it and reports
@@ -341,6 +397,7 @@ func (s *Server) execute(ctx context.Context, req *JobRequest) (res *zsim.Result
 	// Reset validates the shape match itself; a refusal (which shouldn't
 	// happen for a pool hit) falls back to fresh construction.
 	key := cfg.ShapeKey()
+	shape = key
 	if pooled := s.pool.get(key); pooled != nil {
 		if rerr := pooled.Reset(cfg); rerr != nil {
 			pooled.Close()
@@ -351,17 +408,20 @@ func (s *Server) execute(ctx context.Context, req *JobRequest) (res *zsim.Result
 	if sim == nil {
 		sim, err = zsim.New(cfg)
 		if err != nil {
-			return nil, false, err
+			return nil, false, shape, err
 		}
 		if s.pool != nil {
 			sim.SetReusable(true)
 		}
 	}
+	probe = sim.Probe()
+	j.setProbe(probe)
+	s.metrics.attachProbe(probe)
 	for _, w := range req.Workloads {
 		params, ok := zsim.LookupWorkload(w.Name)
 		if !ok {
 			sim.Close()
-			return nil, reused, fmt.Errorf("unknown workload %q", w.Name)
+			return nil, reused, shape, fmt.Errorf("unknown workload %q", w.Name)
 		}
 		if w.Blocks > 0 {
 			params.BlocksPerThread = w.Blocks
@@ -378,6 +438,9 @@ func (s *Server) execute(ctx context.Context, req *JobRequest) (res *zsim.Result
 		sim.SetSeed(req.Seed)
 	}
 	res, err = sim.RunContext(ctx)
+	// Fold the final telemetry snapshot into the completed totals before the
+	// simulator becomes poolable (see detach's contract above).
+	detach()
 
 	// Return the simulator to the pool unless the run panicked (an aborted
 	// engine cannot be rewound; the facade already released its resources) or
@@ -393,7 +456,7 @@ func (s *Server) execute(ctx context.Context, req *JobRequest) (res *zsim.Result
 	if discard || !s.pool.put(key, sim) {
 		sim.Close()
 	}
-	return res, reused, err
+	return res, reused, shape, err
 }
 
 // classify maps a run outcome to the job's terminal state and wire result.

@@ -490,6 +490,32 @@ func (s *Scheduler) LiveThreads() int { return int(s.live.Load()) }
 // NumRunnable returns the number of runnable threads (atomic snapshot).
 func (s *Scheduler) NumRunnable() int { return int(s.runnable.Load()) }
 
+// SchedCounts is an atomic snapshot of the scheduler's statistics counters
+// and thread-population gauges, for telemetry publication.
+type SchedCounts struct {
+	Live             int
+	Runnable         int
+	ContextSwitches  uint64
+	MidIntervalJoins uint64
+	LockBlocks       uint64
+	BarrierWaits     uint64
+	SyscallBlocks    uint64
+}
+
+// Counts snapshots the scheduler's counters. Safe to call concurrently with
+// scheduling; each field is individually atomic.
+func (s *Scheduler) Counts() SchedCounts {
+	return SchedCounts{
+		Live:             int(s.live.Load()),
+		Runnable:         int(s.runnable.Load()),
+		ContextSwitches:  s.ContextSwitches.Load(),
+		MidIntervalJoins: s.MidIntervalJoins.Load(),
+		LockBlocks:       s.LockBlocks.Load(),
+		BarrierWaits:     s.BarrierWaits.Load(),
+		SyscallBlocks:    s.SyscallBlocks.Load(),
+	}
+}
+
 // setState transitions a thread's state, maintaining the runnable and live
 // counters. Callers must own the thread (one scheduling context at a time).
 func (s *Scheduler) setState(t *Thread, st ThreadState) {

@@ -41,6 +41,7 @@ import (
 	"zsim/internal/config"
 	"zsim/internal/runctl"
 	"zsim/internal/stats"
+	"zsim/internal/telemetry"
 	"zsim/internal/trace"
 	"zsim/internal/virt"
 )
@@ -69,6 +70,34 @@ type WorkloadParams = trace.Params
 
 // Metrics are the derived results of a run (IPC, MPKIs, simulation MIPS...).
 type Metrics = stats.Metrics
+
+// Probe is the live-telemetry publication point of a running simulation:
+// phase, intervals, simulated cycles, per-phase wall time, weave skew
+// diagnostics. Every Simulator owns one (see Simulator.Probe); readers take
+// Snapshots at any time without perturbing the run.
+type Probe = telemetry.Probe
+
+// ProgressSnapshot is a point-in-time copy of a Probe's published counters.
+type ProgressSnapshot = telemetry.Snapshot
+
+// TraceSink collects bounded Chrome trace-event slices from a run (phases
+// track + one track per weave domain), exportable as Perfetto-loadable JSON
+// via WriteJSON. Attach one with Simulator.SetTrace.
+type TraceSink = telemetry.TraceSink
+
+// NewTraceSink builds a trace sink holding at most capacity events (<= 0
+// selects the default bound). Recording past capacity drops events and counts
+// them, so a trace can never grow without bound.
+func NewTraceSink(capacity int) *TraceSink { return telemetry.NewTraceSink(capacity) }
+
+// StartHeartbeat starts a background goroutine that writes one progress line
+// to w every period, fed from the probe's snapshots (phase, intervals, cycles,
+// sim-MIPS). The returned stop function halts the goroutine and always emits
+// one final line, so even a run shorter than period produces output. Backs the
+// -progress flag of cmd/zsim and cmd/zsimexp.
+func StartHeartbeat(w io.Writer, p *Probe, prefix string, period time.Duration) (stop func()) {
+	return telemetry.StartHeartbeat(w, p, prefix, period)
+}
 
 // WestmereConfig returns the paper's Table 2 validation configuration: a
 // 6-core Westmere-class chip.
@@ -186,6 +215,12 @@ type Simulator struct {
 	reusable   bool
 	bw         *boundweave.Simulator
 	lastReason runctl.Reason
+
+	// probe is the simulator's always-on telemetry publication point (cheap:
+	// atomic stores at interval boundaries); traceSink is the optional
+	// Chrome-trace sink.
+	probe     *telemetry.Probe
+	traceSink *telemetry.TraceSink
 }
 
 // assignAddrSpace places a new process in its own simulated address-space
@@ -220,7 +255,28 @@ func New(cfg *Config) (*Simulator, error) {
 		sched:    virt.NewScheduler(cfg.NumCores),
 		runArena: arena.New(),
 		seed:     1,
+		probe:    new(telemetry.Probe),
 	}, nil
+}
+
+// Probe returns the simulator's telemetry probe. Snapshot it at any time —
+// including while RunContext is executing on another goroutine — for live
+// progress (phase, intervals, cycles, sim-MIPS). The probe rewinds at the
+// start of every run.
+func (s *Simulator) Probe() *Probe { return s.probe }
+
+// SetTrace attaches a Chrome-trace sink to subsequent runs (nil detaches).
+// Call before Run; use sink.WriteJSON after the run to export. Tracing is
+// observation only — results are bit-identical with tracing on or off.
+func (s *Simulator) SetTrace(sink *TraceSink) { s.traceSink = sink }
+
+// ArenaStats reports the simulator's current arena footprint (construction
+// arena plus the per-run workload arena) without running it, for pool/memory
+// telemetry.
+func (s *Simulator) ArenaStats() (chunks int, bytes uint64) {
+	sysChunks, sysBytes := s.sys.Root.Arena().Stats()
+	runChunks, runBytes := s.runArena.Stats()
+	return sysChunks + runChunks, sysBytes + runBytes
 }
 
 // SetReusable marks the simulator for warm reuse: RunContext keeps the
@@ -287,6 +343,8 @@ func (s *Simulator) Reset(cfg *Config) error {
 	s.maxInstrs = 0
 	s.hostThreads = 0
 	s.seed = 1
+	s.traceSink = nil // a Set* option: re-apply per run
+	s.probe.Reset()   // the next run's BeginRun rewinds it too; clear eagerly
 	return nil
 }
 
@@ -447,6 +505,8 @@ func (s *Simulator) runOptions(ctl *runctl.Token) boundweave.Options {
 		MaxWallTime: s.cfg.MaxWallTime,
 		MaxCycles:   s.cfg.MaxCycles,
 		Reusable:    s.reusable,
+		Probe:       s.probe,
+		Trace:       s.traceSink,
 	}
 }
 
