@@ -5,14 +5,23 @@
 // API (JSON bodies everywhere):
 //
 //	POST /jobs              submit a job; 202 + status, or 503 + Retry-After when shedding
-//	GET  /jobs              list all jobs
-//	GET  /jobs/{id}         job status
+//	GET  /jobs              list retained jobs
+//	GET  /jobs/{id}         job status (410 once evicted by -retain)
 //	GET  /jobs/{id}/result  job result (409 until finished; partial metrics on failures)
 //	POST /jobs/{id}/cancel  cancel a queued or running job
-//	GET  /healthz           liveness plus queue/worker/pool gauges
+//	POST /campaigns         submit a design-space sweep (base job × axes)
+//	GET  /campaigns         list campaigns
+//	GET  /campaigns/{id}    campaign progress + live aggregates (curves, percentiles)
+//	POST /campaigns/{id}/cancel  stop a campaign; outstanding children are cancelled
+//	GET  /results           query recent result rows (?campaign= ?shape= ?outcome= ?job= ?limit=)
+//	GET  /healthz           liveness plus queue/worker/pool/store gauges
 //	GET  /readyz            readiness (503 while draining)
 //	GET  /metrics           Prometheus text exposition (plain text, not JSON)
 //	GET  /debug/pprof/      net/http/pprof profiles (only with -pprof)
+//
+// Jobs are admitted by priority class ("high"/"normal"/"low"): campaign
+// children default to low so sweeps cannot starve interactive jobs, and shed
+// responses derive Retry-After from queue depth and observed job latency.
 //
 // SIGTERM/SIGINT stop admission, let in-flight jobs finish within -grace,
 // then cooperatively cancel whatever remains (those jobs report partial
@@ -20,6 +29,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -30,8 +41,36 @@ import (
 	"syscall"
 	"time"
 
+	"zsim"
 	"zsim/internal/serve"
 )
+
+// loadPrewarmConfigs reads a -prewarm file: one config object, or an array of
+// them. Each config goes through the same strict decoding as -config files
+// (unknown fields rejected).
+func loadPrewarmConfigs(path string) ([]*zsim.Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("prewarm: %w", err)
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	var cfgs []*zsim.Config
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		if err := json.Unmarshal(data, &cfgs); err != nil {
+			return nil, fmt.Errorf("prewarm %s: %w", path, err)
+		}
+	} else {
+		var cfg zsim.Config
+		if err := json.Unmarshal(data, &cfg); err != nil {
+			return nil, fmt.Errorf("prewarm %s: %w", path, err)
+		}
+		cfgs = []*zsim.Config{&cfg}
+	}
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("prewarm %s: no configs", path)
+	}
+	return cfgs, nil
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stderr, nil))
@@ -52,6 +91,11 @@ func run(args []string, stderr io.Writer, onReady func(net.Addr)) int {
 		auditPath  = fs.String("audit", "", "append-only JSONL audit log file (empty = disabled)")
 		poolSize   = fs.Int("pool-size", 8, "warm-simulator pool: total simulators retained across shapes (0 = disabled)")
 		poolShape  = fs.Int("pool-per-shape", 2, "warm-simulator pool: simulators retained per configuration shape")
+		poolExpiry = fs.Duration("pool-idle-expiry", 0, "close pooled simulators idle longer than this (0 = never)")
+		prewarm    = fs.String("prewarm", "", "JSON file with a config (or array of configs) to pre-build warm simulators for at startup")
+		retain     = fs.Int("retain", 1024, "terminal jobs kept addressable via GET /jobs/{id} (older ones evict to the result store; -1 = unlimited)")
+		storeSize  = fs.Int("store-size", 4096, "result rows retained in the in-memory store ring")
+		campPoints = fs.Int("campaign-points", 0, "max points per campaign expansion (0 = default 10000)")
 		pprofOn    = fs.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -75,14 +119,31 @@ func run(args []string, stderr io.Writer, onReady func(net.Addr)) int {
 		return 1
 	}
 	srv := serve.New(serve.Options{
-		Workers:      *workers,
-		QueueDepth:   *queueDepth,
-		JobTimeout:   *jobTimeout,
-		Audit:        auditW,
-		PoolSize:     *poolSize,
-		PoolPerShape: *poolShape,
-		Pprof:        *pprofOn,
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		JobTimeout:        *jobTimeout,
+		Audit:             auditW,
+		PoolSize:          *poolSize,
+		PoolPerShape:      *poolShape,
+		PoolIdleExpiry:    *poolExpiry,
+		RetainJobs:        *retain,
+		StoreSize:         *storeSize,
+		MaxCampaignPoints: *campPoints,
+		Pprof:             *pprofOn,
 	})
+	if *prewarm != "" {
+		cfgs, err := loadPrewarmConfigs(*prewarm)
+		if err == nil {
+			var n int
+			n, err = srv.Prewarm(cfgs)
+			fmt.Fprintf(stderr, "zsimd: prewarmed %d/%d configs\n", n, len(cfgs))
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "zsimd:", err)
+			srv.Shutdown(0)
+			return 1
+		}
+	}
 	httpSrv := &http.Server{Handler: srv}
 
 	fmt.Fprintf(stderr, "zsimd: listening on %s (workers=%d queue=%d pool=%d)\n", ln.Addr(), *workers, *queueDepth, *poolSize)

@@ -40,13 +40,26 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		weave    = fs.String("weave-mode", "", "weave execution mode for every run: parallel (deterministic bounded-skew domains, the default) or serial (single-heap escape hatch)")
 		progress = fs.Bool("progress", false, "print a live per-run heartbeat on stderr (phase, intervals, cycles, sim-MIPS)")
 		progIvl  = fs.Duration("progress-interval", 2*time.Second, "heartbeat period for -progress")
+		daemon   = fs.String("daemon", "", "zsimd base URL (e.g. http://127.0.0.1:8347); required by the sweep experiment, which runs through the daemon instead of in-process")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: zsimexp [flags] <table2|table3|fig2|fig5|fig6perf|fig6speedup|fig6stream|table4|fig7|fig8|fig9|intervals|meshhotspot|all>")
+		fmt.Fprintln(stderr, "usage: zsimexp [flags] <table2|table3|fig2|fig5|fig6perf|fig6speedup|fig6stream|table4|fig7|fig8|fig9|intervals|meshhotspot|sweep|all>")
 		return 2
+	}
+	if fs.Arg(0) == "sweep" {
+		if *daemon == "" {
+			fmt.Fprintln(stderr, "zsimexp: sweep needs -daemon URL (a running zsimd)")
+			return 2
+		}
+		opts := harness.Options{Scale: *scale, MaxCores: *maxCores, HostThreads: *hostThr, Timeout: *timeout}
+		if err := runSweep(*daemon, opts, stdout); err != nil {
+			fmt.Fprintln(stderr, "zsimexp:", err)
+			return 1
+		}
+		return 0
 	}
 	opts := harness.Options{Scale: *scale, MaxCores: *maxCores, HostThreads: *hostThr, Timeout: *timeout,
 		WeaveDomains: *domains, WeaveMode: config.WeaveMode(*weave)}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"zsim/internal/campaign"
+	"zsim/internal/harness"
+	"zsim/internal/serve"
+)
+
+// runSweep is the submit-to-daemon mode: it POSTs a core-count scaling
+// campaign to a running zsimd (-daemon URL), polls the campaign until it
+// finishes, and prints the per-axis scaling curve and latency aggregates the
+// daemon computed — the paper's design-space-exploration loop driven through
+// the service API instead of in-process.
+func runSweep(daemon string, opts harness.Options, stdout io.Writer) error {
+	blocks := int(300 * opts.Scale)
+	if blocks < 20 {
+		blocks = 20
+	}
+	cores := []int{1, 2, 4, 8}
+	kept := cores[:0]
+	for _, c := range cores {
+		if c <= opts.MaxCores {
+			kept = append(kept, c)
+		}
+	}
+	if len(kept) == 0 {
+		kept = []int{1}
+	}
+	req := serve.CampaignRequest{
+		Name: "zsimexp-sweep",
+		Base: serve.JobRequest{
+			Preset:      "small",
+			Workloads:   []serve.WorkloadSpec{{Name: "fluidanimate", Threads: 1, Blocks: blocks}},
+			Seed:        7,
+			HostThreads: opts.HostThreads,
+		},
+		Axes: campaign.Axes{Cores: kept},
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Post(daemon+"/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("sweep: submit: %w", err)
+	}
+	var status serve.CampaignStatus
+	err = json.NewDecoder(resp.Body).Decode(&status)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("sweep: submit: daemon answered %s", resp.Status)
+	}
+	if err != nil {
+		return fmt.Errorf("sweep: submit: %w", err)
+	}
+
+	deadline := time.Now().Add(10 * time.Minute)
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
+	for status.State == "running" {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("sweep: %s still %s after deadline (%d/%d points)",
+				status.ID, status.State, status.Done, status.Points)
+		}
+		time.Sleep(100 * time.Millisecond)
+		resp, err := client.Get(daemon + "/campaigns/" + status.ID)
+		if err != nil {
+			return fmt.Errorf("sweep: poll: %w", err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&status)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("sweep: poll: %w", err)
+		}
+	}
+
+	fmt.Fprintf(stdout, "Campaign %s (%s): %d points, %d shapes, state %s\n",
+		status.ID, status.Name, status.Points, status.Shapes, status.State)
+	if status.Summary == nil {
+		return fmt.Errorf("sweep: daemon returned no summary")
+	}
+	if l := status.Summary.Latency; l != nil {
+		fmt.Fprintf(stdout, "latency: n=%d mean=%.3fs p50=%.3fs p90=%.3fs p99=%.3fs max=%.3fs\n",
+			l.Count, l.Mean, l.P50, l.P90, l.P99, l.Max)
+	}
+	for _, curve := range status.Summary.Curves {
+		fmt.Fprintf(stdout, "%-10s %6s %14s %10s %10s %8s\n", curve.Axis, "done", "meanCycles", "IPC", "simMIPS", "speedup")
+		for _, p := range curve.Points {
+			fmt.Fprintf(stdout, "%-10s %6d %14.0f %10.3f %10.2f %8.2f\n",
+				p.Value, p.Done, p.MeanCycles, p.MeanIPC, p.MeanSimMIPS, p.Speedup)
+		}
+	}
+	return nil
+}

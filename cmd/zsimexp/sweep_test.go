@@ -1,0 +1,87 @@
+package main
+
+// Tests for the sweep experiment: the zsimexp → zsimd client loop, driven
+// against a real in-process serve.Server over live HTTP. Covers the flag
+// guard, the full submit/poll/print cycle, and the unreachable-daemon path.
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"zsim/internal/serve"
+)
+
+func TestSweepNeedsDaemonFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := cliMain([]string{"sweep"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("sweep without -daemon: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-daemon") {
+		t.Fatalf("usage error does not mention -daemon: %s", stderr.String())
+	}
+}
+
+func TestSweepUnreachableDaemon(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	// A closed server: the URL is syntactically fine but refuses connections.
+	ts := httptest.NewServer(nil)
+	url := ts.URL
+	ts.Close()
+	if code := cliMain([]string{"-daemon", url, "sweep"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("unreachable daemon: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "sweep: submit") {
+		t.Fatalf("error does not name the failing step: %s", stderr.String())
+	}
+}
+
+func TestSweepEndToEnd(t *testing.T) {
+	srv := serve.New(serve.Options{
+		Workers:      2,
+		QueueDepth:   8,
+		PoolSize:     4,
+		PoolPerShape: 2,
+	})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Shutdown(0)
+	}()
+
+	var stdout, stderr bytes.Buffer
+	code := cliMain([]string{"-scale", "0.1", "-max-cores", "2", "-host-threads", "2",
+		"-daemon", ts.URL, "sweep"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("sweep exit %d\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+
+	// The header reports the daemon's view: 2 points (cores 1 and 2 after the
+	// -max-cores cap), finished.
+	if !strings.Contains(out, "2 points") || !strings.Contains(out, "state done") {
+		t.Fatalf("sweep header wrong:\n%s", out)
+	}
+	// Latency aggregates over both points.
+	if !strings.Contains(out, "latency: n=2") {
+		t.Fatalf("latency line missing or wrong count:\n%s", out)
+	}
+	// The cores scaling curve, one row per value, every row complete.
+	if !strings.Contains(out, "cores") || !strings.Contains(out, "speedup") {
+		t.Fatalf("curve table missing:\n%s", out)
+	}
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 6 && (fields[0] == "1" || fields[0] == "2") {
+			rows++
+			if fields[1] != "1" {
+				t.Errorf("curve row for cores=%s reports done=%s, want 1: %q", fields[0], fields[1], line)
+			}
+		}
+	}
+	if rows != 2 {
+		t.Fatalf("curve rows = %d, want 2 (cores 1 and 2):\n%s", rows, out)
+	}
+}

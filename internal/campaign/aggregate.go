@@ -1,0 +1,213 @@
+package campaign
+
+import (
+	"sort"
+
+	"zsim/internal/telemetry"
+)
+
+// Outcome classifies a finished point for aggregation. Values mirror the
+// serve layer's terminal job states.
+const (
+	OutcomeSucceeded = "succeeded"
+	OutcomeFailed    = "failed"
+	OutcomeCancelled = "cancelled"
+)
+
+// PointResult is the slice of a child job's result that aggregation consumes.
+type PointResult struct {
+	// Outcome is one of the Outcome* values.
+	Outcome string
+	// Seconds is the job's wall-clock service latency.
+	Seconds float64
+	// Simulated metrics; folded into curves only for succeeded points.
+	Cycles       uint64
+	Instructions uint64
+	SimMIPS      float64
+}
+
+// Agg incrementally folds finished points into per-axis aggregates. It is not
+// goroutine-safe; the owner (the serve layer's campaign state) locks around
+// Add and Snapshot.
+type Agg struct {
+	outcomes map[string]int
+	latency  []float64 // seconds per terminal point, in completion order
+	// cells groups succeeded points by axis coordinate. Axis iteration order
+	// is recorded in axisOrder (first-seen, which matches the fixed axis
+	// nesting order because every point carries the same axis list).
+	cells     map[Coord]*cell
+	axisOrder []string
+}
+
+type cell struct {
+	n       int
+	cycles  float64
+	instrs  float64
+	simMIPS float64
+	seconds float64
+}
+
+// NewAgg returns an empty aggregator.
+func NewAgg() *Agg {
+	return &Agg{
+		outcomes: make(map[string]int),
+		cells:    make(map[Coord]*cell),
+	}
+}
+
+// Add folds one finished point into the aggregates.
+func (a *Agg) Add(p *Point, r PointResult) {
+	a.outcomes[r.Outcome]++
+	a.latency = append(a.latency, r.Seconds)
+	if r.Outcome != OutcomeSucceeded {
+		return
+	}
+	for _, coord := range p.Coords {
+		c := a.cells[coord]
+		if c == nil {
+			c = &cell{}
+			a.cells[coord] = c
+			if !contains(a.axisOrder, coord.Axis) {
+				a.axisOrder = append(a.axisOrder, coord.Axis)
+			}
+		}
+		c.n++
+		c.cycles += float64(r.Cycles)
+		c.instrs += float64(r.Instructions)
+		c.simMIPS += r.SimMIPS
+		c.seconds += r.Seconds
+	}
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Latency summarizes terminal-point service latency in seconds.
+type Latency struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"meanSeconds"`
+	P50   float64 `json:"p50Seconds"`
+	P90   float64 `json:"p90Seconds"`
+	P99   float64 `json:"p99Seconds"`
+	Max   float64 `json:"maxSeconds"`
+}
+
+// AxisPoint is one value of one axis in a scaling curve, averaging the
+// simulated metrics of every succeeded point at that coordinate.
+type AxisPoint struct {
+	Value       string  `json:"value"`
+	Done        int     `json:"done"`
+	MeanCycles  float64 `json:"meanCycles"`
+	MeanInstrs  float64 `json:"meanInstrs"`
+	MeanIPC     float64 `json:"meanIPC"`
+	MeanSimMIPS float64 `json:"meanSimMIPS"`
+	// Speedup is the axis's first value's mean cycles divided by this value's
+	// (simulated-time speedup relative to the curve's first point; 1.0 there).
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// Curve is the per-axis scaling view over succeeded points.
+type Curve struct {
+	Axis   string      `json:"axis"`
+	Points []AxisPoint `json:"points"`
+}
+
+// Summary is a point-in-time aggregate view of a campaign.
+type Summary struct {
+	Outcomes map[string]int `json:"outcomes,omitempty"`
+	Latency  *Latency       `json:"latency,omitempty"`
+	Curves   []Curve        `json:"curves,omitempty"`
+}
+
+// Snapshot computes the current summary. valueOrder lists each axis's values
+// in campaign axis order (from the expansion), keeping curve points in sweep
+// order rather than map order; axes absent from valueOrder fall back to
+// lexicographic value order.
+func (a *Agg) Snapshot(valueOrder map[string][]string) Summary {
+	s := Summary{}
+	if len(a.outcomes) > 0 {
+		s.Outcomes = make(map[string]int, len(a.outcomes))
+		for k, v := range a.outcomes {
+			s.Outcomes[k] = v
+		}
+	}
+	if n := len(a.latency); n > 0 {
+		sorted := make([]float64, n)
+		copy(sorted, a.latency)
+		sort.Float64s(sorted)
+		sum := 0.0
+		for _, v := range sorted {
+			sum += v
+		}
+		s.Latency = &Latency{
+			Count: n,
+			Mean:  sum / float64(n),
+			P50:   telemetry.QuantileSorted(sorted, 0.50),
+			P90:   telemetry.QuantileSorted(sorted, 0.90),
+			P99:   telemetry.QuantileSorted(sorted, 0.99),
+			Max:   sorted[n-1],
+		}
+	}
+	for _, axis := range a.axisOrder {
+		values := valueOrder[axis]
+		if values == nil {
+			for coord := range a.cells {
+				if coord.Axis == axis {
+					values = append(values, coord.Value)
+				}
+			}
+			sort.Strings(values)
+		}
+		curve := Curve{Axis: axis}
+		var base float64 // first value's mean cycles, for speedup
+		for _, v := range values {
+			c := a.cells[Coord{axis, v}]
+			if c == nil || c.n == 0 {
+				continue
+			}
+			ap := AxisPoint{
+				Value:       v,
+				Done:        c.n,
+				MeanCycles:  c.cycles / float64(c.n),
+				MeanInstrs:  c.instrs / float64(c.n),
+				MeanSimMIPS: c.simMIPS / float64(c.n),
+			}
+			if ap.MeanCycles > 0 {
+				ap.MeanIPC = ap.MeanInstrs / ap.MeanCycles
+			}
+			if base == 0 {
+				base = ap.MeanCycles
+			}
+			if ap.MeanCycles > 0 {
+				ap.Speedup = base / ap.MeanCycles
+			}
+			curve.Points = append(curve.Points, ap)
+		}
+		if len(curve.Points) > 0 {
+			s.Curves = append(s.Curves, curve)
+		}
+	}
+	return s
+}
+
+// ValueOrder derives the per-axis value order from an expanded point list, for
+// Snapshot.
+func ValueOrder(points []Point) map[string][]string {
+	order := make(map[string][]string)
+	seen := make(map[Coord]bool)
+	for i := range points {
+		for _, c := range points[i].Coords {
+			if !seen[c] {
+				seen[c] = true
+				order[c.Axis] = append(order[c.Axis], c.Value)
+			}
+		}
+	}
+	return order
+}

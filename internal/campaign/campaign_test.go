@@ -1,0 +1,322 @@
+package campaign
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"zsim/internal/config"
+)
+
+func base(t *testing.T) *config.System {
+	t.Helper()
+	return config.SmallTest()
+}
+
+// TestExpandCartesianOrder pins the deterministic nesting order:
+// cores (outermost) → topologies → linkBytes → seeds → workloads (innermost).
+func TestExpandCartesianOrder(t *testing.T) {
+	axes := Axes{
+		Cores: []int{2, 4},
+		Seeds: []uint64{7, 9},
+		Workloads: []WorkloadSet{
+			{Specs: []Workload{{Name: "blackscholes", Threads: 1}}},
+			{Label: "mix", Specs: []Workload{{Name: "fluidanimate", Threads: 2}}},
+		},
+	}
+	points, err := Expand(base(t), axes, 0)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(points) != 8 {
+		t.Fatalf("got %d points, want 8", len(points))
+	}
+	var got []string
+	for _, p := range points {
+		got = append(got, coordString(p.Coords))
+	}
+	want := []string{
+		"cores=2 seed=7 workloads=blackscholes",
+		"cores=2 seed=7 workloads=mix",
+		"cores=2 seed=9 workloads=blackscholes",
+		"cores=2 seed=9 workloads=mix",
+		"cores=4 seed=7 workloads=blackscholes",
+		"cores=4 seed=7 workloads=mix",
+		"cores=4 seed=9 workloads=blackscholes",
+		"cores=4 seed=9 workloads=mix",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order:\n got %v\nwant %v", got, want)
+	}
+	for i, p := range points {
+		if p.Index != i {
+			t.Fatalf("point %d has Index %d", i, p.Index)
+		}
+	}
+	// Axis values are applied to the configs.
+	if points[0].Config.NumCores != 2 || points[4].Config.NumCores != 4 {
+		t.Fatalf("cores axis not applied: %d / %d", points[0].Config.NumCores, points[4].Config.NumCores)
+	}
+	if points[0].Seed != 7 || points[2].Seed != 9 {
+		t.Fatalf("seed axis not applied")
+	}
+	if points[1].Workloads[0].Name != "fluidanimate" {
+		t.Fatalf("workload axis not applied")
+	}
+}
+
+// TestExpandDeterministic: the same base and axes expand identically, shapes
+// included.
+func TestExpandDeterministic(t *testing.T) {
+	axes := Axes{Cores: []int{2, 4}, Topologies: []string{"ring", "mesh"}, LinkBytes: []int{8, 16}}
+	a, err := Expand(base(t), axes, 0)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	b, err := Expand(base(t), axes, 0)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(a) != 8 || len(b) != 8 {
+		t.Fatalf("want 8 points, got %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Shape != b[i].Shape {
+			t.Fatalf("point %d shape differs across expansions", i)
+		}
+		if !reflect.DeepEqual(a[i].Coords, b[i].Coords) {
+			t.Fatalf("point %d coords differ", i)
+		}
+		if *a[i].Config != *b[i].Config {
+			t.Fatalf("point %d config differs", i)
+		}
+	}
+}
+
+// TestExpandSeedSweepSharesShape: a pure seed sweep is one shape — the
+// warm-pool ideal — while a core sweep fragments into one shape per value.
+func TestExpandSeedSweepSharesShape(t *testing.T) {
+	seeds := make([]uint64, 50)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	points, err := Expand(base(t), Axes{Seeds: seeds}, 0)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	shapes := map[uint64]bool{}
+	for _, p := range points {
+		shapes[p.Shape] = true
+	}
+	if len(shapes) != 1 {
+		t.Fatalf("seed sweep produced %d shapes, want 1", len(shapes))
+	}
+
+	points, err = Expand(base(t), Axes{Cores: []int{1, 2, 4}}, 0)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	shapes = map[uint64]bool{}
+	for _, p := range points {
+		shapes[p.Shape] = true
+	}
+	if len(shapes) != 3 {
+		t.Fatalf("3-value core sweep produced %d shapes, want 3", len(shapes))
+	}
+}
+
+func TestExpandExplicitPoints(t *testing.T) {
+	axes := Axes{Points: []PointSpec{
+		{Cores: 2, Seed: 3},
+		{Topology: "mesh", LinkBytes: 32},
+	}}
+	points, err := Expand(base(t), axes, 0)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2", len(points))
+	}
+	if points[0].Config.NumCores != 2 || points[0].Seed != 3 {
+		t.Fatalf("point 0 spec not applied: %+v", points[0])
+	}
+	if points[1].Config.Network != config.NetMesh || points[1].Config.NOCLinkBytes != 32 {
+		t.Fatalf("point 1 spec not applied: %+v", points[1].Config)
+	}
+	if points[0].Coords[0].Axis != AxisExplicit {
+		t.Fatalf("explicit points want %q coords, got %q", AxisExplicit, points[0].Coords[0].Axis)
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		axes Axes
+		max  int
+		want string
+	}{
+		{"mixed modes", Axes{Cores: []int{2}, Points: []PointSpec{{Cores: 2}}}, 0, "mutually exclusive"},
+		{"too many points", Axes{Seeds: []uint64{1, 2, 3, 4}}, 3, "limit is 3"},
+		{"invalid point", Axes{Topologies: []string{"torus"}}, 0, "point 0 (topology=torus)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Expand(base(t), tc.axes, tc.max)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+	if _, err := Expand(nil, Axes{}, 0); err == nil {
+		t.Fatalf("nil base must error")
+	}
+}
+
+// TestExpandPointNameIsRunVariable: point labels land in Name, which is
+// outside the shape key, so labelling never fragments the warm pool.
+func TestExpandPointNameIsRunVariable(t *testing.T) {
+	points, err := Expand(base(t), Axes{Seeds: []uint64{1, 2}}, 0)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if points[0].Config.Name == points[1].Config.Name {
+		t.Fatalf("point names must be distinct")
+	}
+	if points[0].Shape != base(t).ShapeKey() {
+		t.Fatalf("renamed point shape diverged from base shape")
+	}
+}
+
+func TestAggregateCurvesAndLatency(t *testing.T) {
+	points, err := Expand(base(t), Axes{Cores: []int{2, 4}, Seeds: []uint64{1, 2}}, 0)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	agg := NewAgg()
+	// cores=2 points: 1000 cycles; cores=4 points: 500 cycles (ideal 2×).
+	for i := range points {
+		p := &points[i]
+		cycles := uint64(1000)
+		if p.Config.NumCores == 4 {
+			cycles = 500
+		}
+		agg.Add(p, PointResult{
+			Outcome:      OutcomeSucceeded,
+			Seconds:      0.1 * float64(i+1),
+			Cycles:       cycles,
+			Instructions: 2000,
+			SimMIPS:      10,
+		})
+	}
+	// One failed straggler only counts in outcomes and latency.
+	agg.Add(&points[0], PointResult{Outcome: OutcomeFailed, Seconds: 9})
+
+	s := agg.Snapshot(ValueOrder(points))
+	if s.Outcomes[OutcomeSucceeded] != 4 || s.Outcomes[OutcomeFailed] != 1 {
+		t.Fatalf("outcomes: %v", s.Outcomes)
+	}
+	if s.Latency == nil || s.Latency.Count != 5 {
+		t.Fatalf("latency: %+v", s.Latency)
+	}
+	if s.Latency.Max != 9 {
+		t.Fatalf("latency max = %v, want 9", s.Latency.Max)
+	}
+	if s.Latency.P50 <= 0 || s.Latency.P50 > s.Latency.P99 || s.Latency.P99 > s.Latency.Max {
+		t.Fatalf("percentiles out of order: %+v", s.Latency)
+	}
+
+	var coresCurve *Curve
+	for i := range s.Curves {
+		if s.Curves[i].Axis == AxisCores {
+			coresCurve = &s.Curves[i]
+		}
+	}
+	if coresCurve == nil {
+		t.Fatalf("no cores curve in %+v", s.Curves)
+	}
+	if len(coresCurve.Points) != 2 || coresCurve.Points[0].Value != "2" || coresCurve.Points[1].Value != "4" {
+		t.Fatalf("cores curve order: %+v", coresCurve.Points)
+	}
+	p2, p4 := coresCurve.Points[0], coresCurve.Points[1]
+	if p2.MeanCycles != 1000 || p4.MeanCycles != 500 {
+		t.Fatalf("mean cycles: %v / %v", p2.MeanCycles, p4.MeanCycles)
+	}
+	if p2.Speedup != 1.0 || p4.Speedup != 2.0 {
+		t.Fatalf("speedup: %v / %v (want 1, 2)", p2.Speedup, p4.Speedup)
+	}
+	if p2.MeanIPC != 2.0 { // 2000 instrs / 1000 cycles
+		t.Fatalf("IPC: %v", p2.MeanIPC)
+	}
+	if p2.Done != 2 || p4.Done != 2 {
+		t.Fatalf("done counts: %d / %d", p2.Done, p4.Done)
+	}
+}
+
+// TestAggregateIncremental: snapshots taken mid-campaign only cover what
+// finished, and later snapshots extend them monotonically.
+func TestAggregateIncremental(t *testing.T) {
+	points, err := Expand(base(t), Axes{Seeds: []uint64{1, 2, 3}}, 0)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	agg := NewAgg()
+	order := ValueOrder(points)
+	for i := range points {
+		agg.Add(&points[i], PointResult{Outcome: OutcomeSucceeded, Seconds: 1, Cycles: 100, Instructions: 100})
+		s := agg.Snapshot(order)
+		if s.Latency.Count != i+1 {
+			t.Fatalf("after %d adds latency count = %d", i+1, s.Latency.Count)
+		}
+		if got := s.Outcomes[OutcomeSucceeded]; got != i+1 {
+			t.Fatalf("after %d adds outcomes = %d", i+1, got)
+		}
+	}
+}
+
+func TestWorkloadSetLabel(t *testing.T) {
+	ws := WorkloadSet{Specs: []Workload{{Name: "a"}, {Name: "b"}}}
+	if got := ws.label(); got != "a+b" {
+		t.Fatalf("label = %q", got)
+	}
+	ws.Label = "named"
+	if got := ws.label(); got != "named" {
+		t.Fatalf("label = %q", got)
+	}
+}
+
+// TestExpandScale sanity-checks a paper-scale expansion (1000 points) stays
+// cheap and deterministic end to end.
+func TestExpandScale(t *testing.T) {
+	seeds := make([]uint64, 250)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	axes := Axes{Cores: []int{1, 2}, Topologies: []string{"ring", "flat"}, Seeds: seeds}
+	points, err := Expand(base(t), axes, 1000)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(points) != 1000 {
+		t.Fatalf("got %d points", len(points))
+	}
+	// Coordinates must uniquely identify every point.
+	seen := map[string]bool{}
+	for _, p := range points {
+		k := coordString(p.Coords)
+		if seen[k] {
+			t.Fatalf("duplicate coords %s", k)
+		}
+		seen[k] = true
+	}
+	if _, err := Expand(base(t), axes, 999); err == nil {
+		t.Fatalf("1000 points must exceed a 999 limit")
+	}
+}
+
+func ExampleExpand() {
+	points, _ := Expand(config.SmallTest(), Axes{Cores: []int{2, 4}}, 0)
+	for _, p := range points {
+		fmt.Printf("%d: cores=%d shape=%016x\n", p.Index, p.Config.NumCores, p.Shape)
+	}
+}

@@ -1,0 +1,104 @@
+package config
+
+// Fuzz targets for the JSON configuration surface. Two invariants the serve
+// layer leans on:
+//
+//   - Load → WriteJSON → Load is a fixed point: a validated configuration
+//     re-serializes to something that loads back byte-for-byte equivalent
+//     (Validate must be idempotent for this to hold), and its ShapeKey is
+//     stable across the round trip. The warm-simulator pool keys on it.
+//   - ShapeKey ignores exactly the run-variable fields (Name, MaxWallTime,
+//     MaxCycles) and nothing else: mutating those never moves a config to a
+//     different pool bucket, while construction-shape fields do.
+//
+// Seeded with the shipped presets so the corpus starts from every
+// configuration family the paper uses.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// presetSeeds serializes each preset (validated first — Load validates too,
+// and an unvalidated config hashes differently from its validated self).
+func presetSeeds(f *testing.F) [][]byte {
+	f.Helper()
+	presets := []*System{
+		SmallTest(),
+		WestmereValidation(),
+		TiledChip(16, CoreOOO),
+		TiledChip(64, CoreIPC1),
+	}
+	var seeds [][]byte
+	for _, s := range presets {
+		if err := s.Validate(); err != nil {
+			f.Fatalf("preset %q fails validation: %v", s.Name, err)
+		}
+		var buf bytes.Buffer
+		if err := s.WriteJSON(&buf); err != nil {
+			f.Fatalf("preset %q fails to serialize: %v", s.Name, err)
+		}
+		seeds = append(seeds, buf.Bytes())
+	}
+	return seeds
+}
+
+func FuzzSystemJSONRoundTrip(f *testing.F) {
+	for _, seed := range presetSeeds(f) {
+		f.Add(seed)
+	}
+	f.Add([]byte(`{"numCores":1,"l1i":{"sizeKB":1},"l1d":{"sizeKB":1},"l2":{"sizeKB":1},"l3":{"sizeKB":1}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // invalid input is fine; we only care about accepted configs
+		}
+		var buf bytes.Buffer
+		if err := s.WriteJSON(&buf); err != nil {
+			t.Fatalf("loaded config fails to serialize: %v", err)
+		}
+		s2, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-serialized config fails to load: %v\njson: %s", err, buf.Bytes())
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip not a fixed point:\n first: %+v\nsecond: %+v", s, s2)
+		}
+		if k1, k2 := s.ShapeKey(), s2.ShapeKey(); k1 != k2 {
+			t.Fatalf("shape key unstable across round trip: %016x != %016x", k1, k2)
+		}
+	})
+}
+
+func FuzzShapeKeyStability(f *testing.F) {
+	for _, seed := range presetSeeds(f) {
+		f.Add(seed, "renamed", int64(time.Minute), uint64(1<<40))
+	}
+	f.Fuzz(func(t *testing.T, data []byte, name string, wallNs int64, maxCycles uint64) {
+		s, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		key := s.ShapeKey()
+
+		// Run-variable fields are outside the shape: the pool must keep
+		// serving a renamed or re-limited run from the same warm simulator.
+		s.Name = name
+		s.MaxWallTime = time.Duration(wallNs)
+		s.MaxCycles = maxCycles
+		if got := s.ShapeKey(); got != key {
+			t.Fatalf("run-variable mutation moved the shape key: %016x != %016x (name=%q wallNs=%d maxCycles=%d)",
+				got, key, name, wallNs, maxCycles)
+		}
+
+		// A construction-shape field is inside it: growing the core count by
+		// one tile keeps the config valid but must change the key.
+		s.NumCores += s.CoresPerTile
+		if got := s.ShapeKey(); got == key {
+			t.Fatalf("numCores %d -> %d left the shape key unchanged: %016x",
+				s.NumCores-s.CoresPerTile, s.NumCores, key)
+		}
+	})
+}

@@ -18,6 +18,9 @@ type auditRecord struct {
 	Job    string    `json:"job,omitempty"`
 	State  string    `json:"state,omitempty"`
 	Detail string    `json:"detail,omitempty"`
+	// Result carries the compact result row on "result" events; the audit
+	// stream is the result store's durable archive.
+	Result *ResultRow `json:"result,omitempty"`
 }
 
 // auditLog serializes records to an underlying writer. A nil *auditLog (or
@@ -55,6 +58,22 @@ func (a *auditLog) record(event, jobID, state, detail string) {
 		Job:    jobID,
 		State:  state,
 		Detail: detail,
+	})
+}
+
+// recordResult archives one result-store row. Like record, it never fails.
+func (a *auditLog) recordResult(row *ResultRow) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_ = a.enc.Encode(auditRecord{
+		Time:   time.Now().UTC(),
+		Event:  "result",
+		Job:    row.Job,
+		State:  row.Outcome,
+		Result: row,
 	})
 }
 

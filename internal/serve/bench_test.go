@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"zsim/internal/campaign"
 	"zsim/internal/serve"
 )
 
@@ -94,6 +95,78 @@ func BenchmarkServeJobThroughput(b *testing.B) {
 			benchWait(b, ts, id)
 		}
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
+	}
+	b.Run("fresh", func(b *testing.B) { run(b, 0) })
+	b.Run("warm", func(b *testing.B) { run(b, 2) })
+}
+
+// BenchmarkCampaignThroughput measures the campaign path end to end: one
+// seed-sweep campaign of b.N same-shape points through POST /campaigns, the
+// quota-paced pump, the worker pool and the result store, until the campaign
+// reports done. This is the design-space-exploration serving rate; "warm" is
+// the deployment configuration (children after the first reuse a pooled
+// simulator), "fresh" constructs the 64-core chip for every point. Gate on
+// the fresh/warm points/sec ratio, not absolute numbers.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	run := func(b *testing.B, poolSize int) {
+		srv := serve.New(serve.Options{
+			Workers:           1,
+			QueueDepth:        64,
+			PoolSize:          poolSize,
+			MaxCampaignPoints: b.N + 1,
+			StoreSize:         b.N + 1,
+		})
+		ts := httptest.NewServer(srv)
+		defer func() {
+			srv.Shutdown(time.Minute)
+			ts.Close()
+		}()
+		// One plain job off the clock: HTTP warm-up, pool stocking.
+		benchWait(b, ts, benchSubmit(b, ts, benchJob()))
+
+		seeds := make([]uint64, b.N)
+		for i := range seeds {
+			seeds[i] = uint64(i + 1)
+		}
+		b.ResetTimer()
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(&serve.CampaignRequest{
+			Name:  "bench-sweep",
+			Base:  *benchJob(),
+			Axes:  campaign.Axes{Seeds: seeds},
+			Quota: 32,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/campaigns", "application/json", &buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var st serve.CampaignStatus
+		if resp.StatusCode != http.StatusAccepted {
+			resp.Body.Close()
+			b.Fatalf("submit campaign: HTTP %d", resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		for st.State == "running" {
+			time.Sleep(500 * time.Microsecond)
+			resp, err := http.Get(ts.URL + "/campaigns/" + st.ID)
+			if err != nil {
+				b.Fatal(err)
+			}
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if st.State != "done" || st.Done != b.N {
+			b.Fatalf("campaign ended %q with %d/%d points done", st.State, st.Done, b.N)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "points/sec")
 	}
 	b.Run("fresh", func(b *testing.B) { run(b, 0) })
 	b.Run("warm", func(b *testing.B) { run(b, 2) })

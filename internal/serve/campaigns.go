@@ -1,0 +1,416 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"zsim/internal/campaign"
+)
+
+// CampaignRequest is the POST /campaigns payload: a base job (system +
+// workloads + run knobs) and the axes to sweep. The expansion (base × axes) is
+// deterministic — see internal/campaign — and is accepted or rejected
+// atomically before any child runs.
+type CampaignRequest struct {
+	// Name labels the campaign in listings and the audit log.
+	Name string `json:"name,omitempty"`
+	// Base is the job every point starts from; axis values override its
+	// config (and, for the workloads/seed axes, its workloads and seed).
+	Base JobRequest `json:"base"`
+	// Axes select the sweep (cartesian axes or an explicit point list).
+	Axes campaign.Axes `json:"axes"`
+	// Priority is the admission class of the campaign's children: "low"
+	// (default — sweeps yield to interactive jobs), "normal" or "high".
+	Priority string `json:"priority,omitempty"`
+	// Quota bounds the campaign's outstanding (queued + running) children.
+	// Default 2×workers (min 2): enough to keep workers fed without letting
+	// one sweep monopolize the queue.
+	Quota int `json:"quota,omitempty"`
+}
+
+// CampaignStatus is the wire form of a campaign's progress. Summary and
+// Children are populated only on GET /campaigns/{id}.
+type CampaignStatus struct {
+	ID          string    `json:"id"`
+	Name        string    `json:"name,omitempty"`
+	Priority    string    `json:"priority"`
+	Quota       int       `json:"quota"`
+	State       string    `json:"state"` // running | done | cancelled
+	Points      int       `json:"points"`
+	Shapes      int       `json:"shapes"` // distinct config shapes across points
+	Released    int       `json:"released"`
+	Outstanding int       `json:"outstanding"`
+	Done        int       `json:"done"`
+	Created     time.Time `json:"created"`
+	Finished    time.Time `json:"finished,omitzero"`
+	// Summary carries the live aggregates: outcome counts, latency
+	// percentiles, per-axis scaling curves.
+	Summary *campaign.Summary `json:"summary,omitempty"`
+	// Children lists the child job IDs released so far, in point order.
+	Children []string `json:"children,omitempty"`
+}
+
+// campaignState is the server-side record of one campaign. The points slice
+// and expansion metadata are immutable after creation; progress fields are
+// guarded by mu. Child release order is serialized by the server's pump lock,
+// so next/outstanding advance without release/release races.
+type campaignState struct {
+	id         string
+	name       string
+	class      int
+	quota      int
+	base       *JobRequest
+	points     []campaign.Point
+	shapes     int
+	valueOrder map[string][]string
+
+	mu          sync.Mutex
+	next        int // next point index to release
+	outstanding int
+	done        int
+	cancelled   bool
+	finished    time.Time
+	created     time.Time
+	agg         *campaign.Agg
+	children    []string
+}
+
+// stateName derives the campaign's lifecycle state; callers hold c.mu.
+func (c *campaignState) stateName() string {
+	if c.cancelled {
+		if c.outstanding == 0 {
+			return "cancelled"
+		}
+		return "running"
+	}
+	if c.done == len(c.points) {
+		return "done"
+	}
+	return "running"
+}
+
+// statusLocked snapshots the campaign; callers hold c.mu.
+func (c *campaignState) statusLocked(detail bool) CampaignStatus {
+	st := CampaignStatus{
+		ID:          c.id,
+		Name:        c.name,
+		Priority:    classNames[c.class],
+		Quota:       c.quota,
+		State:       c.stateName(),
+		Points:      len(c.points),
+		Shapes:      c.shapes,
+		Released:    c.next,
+		Outstanding: c.outstanding,
+		Done:        c.done,
+		Created:     c.created,
+		Finished:    c.finished,
+	}
+	if detail {
+		summary := c.agg.Snapshot(c.valueOrder)
+		st.Summary = &summary
+		st.Children = append([]string(nil), c.children...)
+	}
+	return st
+}
+
+func (c *campaignState) status(detail bool) CampaignStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.statusLocked(detail)
+}
+
+// childRequest builds the point's job request from the campaign base.
+func (c *campaignState) childRequest(p *campaign.Point) *JobRequest {
+	req := *c.base
+	req.Preset, req.Tiles, req.CoreModel = "", 0, ""
+	req.Config = p.Config
+	if p.Seed != 0 {
+		req.Seed = p.Seed
+	}
+	if p.Workloads != nil {
+		specs := make([]WorkloadSpec, len(p.Workloads))
+		for i, w := range p.Workloads {
+			specs[i] = WorkloadSpec{Name: w.Name, Threads: w.Threads, Blocks: w.Blocks}
+		}
+		req.Workloads = specs
+	}
+	req.Priority = classNames[c.class]
+	return &req
+}
+
+// handleCampaignSubmit admits a campaign: the whole expansion is validated up
+// front (every point's config), the campaign is registered, and its first
+// children are released subject to quota and class limits. The campaign
+// itself is never shed once its expansion is accepted — only its children
+// wait; submission is refused only while draining or when the expansion is
+// invalid or oversized.
+func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
+	var req CampaignRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request: " + err.Error()})
+		return
+	}
+	if err := req.Base.validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "base: " + err.Error()})
+		return
+	}
+	pri := req.Priority
+	if pri == "" {
+		pri = "low"
+	}
+	class, err := parsePriority(pri)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	baseCfg, err := req.Base.buildConfig()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "base: " + err.Error()})
+		return
+	}
+	points, err := campaign.Expand(baseCfg, req.Axes, s.opts.MaxCampaignPoints)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	if len(points) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "campaign expands to zero points"})
+		return
+	}
+	quota := req.Quota
+	if quota <= 0 {
+		quota = max(2, 2*s.opts.Workers)
+	}
+	shapes := make(map[uint64]struct{}, 4)
+	for i := range points {
+		shapes[points[i].Shape] = struct{}{}
+	}
+	base := req.Base // copy; the campaign owns it beyond this request
+	c := &campaignState{
+		name:       req.Name,
+		class:      class,
+		quota:      quota,
+		base:       &base,
+		points:     points,
+		shapes:     len(shapes),
+		valueOrder: campaign.ValueOrder(points),
+		agg:        campaign.NewAgg(),
+		created:    time.Now().UTC(),
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.shedResponse(w, "draining", "", "shutting down")
+		return
+	}
+	s.campSeq++
+	c.id = fmt.Sprintf("campaign-%d", s.campSeq)
+	s.campaigns[c.id] = c
+	s.campOrder = append(s.campOrder, c.id)
+	s.mu.Unlock()
+
+	s.audit.record("campaign", c.id, "running",
+		fmt.Sprintf("name=%s points=%d shapes=%d priority=%s quota=%d", c.name, len(points), c.shapes, classNames[class], quota))
+	s.pumpCampaigns()
+	writeJSON(w, http.StatusAccepted, c.status(false))
+}
+
+func (s *Server) lookupCampaign(r *http.Request) (*campaignState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.campaigns[r.PathValue("id")]
+	return c, ok
+}
+
+func (s *Server) handleCampaignList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	camps := make([]*campaignState, 0, len(s.campOrder))
+	for _, id := range s.campOrder {
+		camps = append(camps, s.campaigns[id])
+	}
+	s.mu.Unlock()
+	out := make([]CampaignStatus, 0, len(camps))
+	for _, c := range camps {
+		out = append(out, c.status(false))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCampaignStatus(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.lookupCampaign(r)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such campaign"})
+		return
+	}
+	writeJSON(w, http.StatusOK, c.status(true))
+}
+
+// handleCampaignCancel stops releasing new children and cancels the
+// outstanding ones; already-finished children keep their results.
+func (s *Server) handleCampaignCancel(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.lookupCampaign(r)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such campaign"})
+		return
+	}
+	c.mu.Lock()
+	already := c.cancelled || c.done == len(c.points)
+	if !already {
+		c.cancelled = true
+		if c.outstanding == 0 && c.finished.IsZero() {
+			c.finished = time.Now().UTC()
+		}
+	}
+	children := append([]string(nil), c.children...)
+	c.mu.Unlock()
+	if already {
+		writeJSON(w, http.StatusConflict, errorBody{Error: "campaign already finished"})
+		return
+	}
+	// Cancel outstanding children; terminal ones refuse the cancel harmlessly.
+	for _, id := range children {
+		s.mu.Lock()
+		j := s.jobs[id]
+		s.mu.Unlock()
+		if j != nil && j.requestCancel() {
+			s.metrics.cancelRequested()
+			s.audit.record("cancel", j.id, "", "campaign cancelled")
+		}
+	}
+	s.audit.record("campaign", c.id, "cancelled", "cancel requested")
+	writeJSON(w, http.StatusAccepted, c.status(false))
+}
+
+// pumpCampaigns releases children for every campaign that has quota headroom,
+// round-robin across campaigns until no campaign can make progress. pumpMu
+// serializes pumps (submission, every job completion), so release order — and
+// therefore child job numbering — is deterministic given a completion order.
+// Lock order: pumpMu > s.mu > c.mu, never the reverse.
+func (s *Server) pumpCampaigns() {
+	s.pumpMu.Lock()
+	defer s.pumpMu.Unlock()
+	for {
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			return
+		}
+		camps := make([]*campaignState, 0, len(s.campOrder))
+		for _, id := range s.campOrder {
+			camps = append(camps, s.campaigns[id])
+		}
+		s.mu.Unlock()
+		progress := false
+		for _, c := range camps {
+			if s.releaseNextChild(c) {
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// releaseNextChild admits the campaign's next point as a child job if quota
+// and class limits allow. Only the pump calls this (under pumpMu).
+func (s *Server) releaseNextChild(c *campaignState) bool {
+	c.mu.Lock()
+	if c.cancelled || c.next >= len(c.points) || c.outstanding >= c.quota {
+		c.mu.Unlock()
+		return false
+	}
+	p := &c.points[c.next]
+	c.mu.Unlock()
+
+	req := c.childRequest(p)
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return false
+	}
+	s.seq++
+	j := &job{
+		id:        fmt.Sprintf("job-%d", s.seq),
+		req:       req,
+		state:     StateQueued,
+		submitted: time.Now().UTC(),
+		class:     c.class,
+		camp:      c,
+		point:     p.Index,
+	}
+	if !s.sched.enqueue(j, c.class) {
+		// Class limit reached: the point stays unreleased (and the burned job
+		// ID keeps numbering attributable); the next completion re-pumps.
+		s.mu.Unlock()
+		return false
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+
+	c.mu.Lock()
+	c.next++
+	c.outstanding++
+	c.children = append(c.children, j.id)
+	c.mu.Unlock()
+	s.audit.record("submit", j.id, StateQueued, fmt.Sprintf("campaign=%s point=%d", c.id, p.Index))
+	return true
+}
+
+// campaignChildDone folds a finished child into its campaign: aggregates,
+// quota release, and the campaign-finish audit edge.
+func (s *Server) campaignChildDone(j *job, state string, result *JobResult, dur time.Duration) {
+	c := j.camp
+	p := &c.points[j.point]
+	pr := campaign.PointResult{Outcome: state, Seconds: dur.Seconds()}
+	if result != nil && result.Metrics != nil && state == StateSucceeded {
+		pr.Cycles = result.Metrics.Cycles
+		pr.Instructions = result.Metrics.Instrs
+		pr.SimMIPS = result.Metrics.SimMIPS
+	}
+	c.mu.Lock()
+	c.outstanding--
+	c.done++
+	c.agg.Add(p, pr)
+	finishedNow := c.finished.IsZero() &&
+		((c.cancelled && c.outstanding == 0) || c.done == len(c.points))
+	var finalState string
+	if finishedNow {
+		c.finished = time.Now().UTC()
+		finalState = c.stateName()
+	}
+	doneCount := c.done
+	c.mu.Unlock()
+	if finishedNow {
+		s.audit.record("campaign", c.id, finalState, fmt.Sprintf("done=%d points=%d", doneCount, len(c.points)))
+	}
+}
+
+// drainCampaigns persists every campaign's terminal snapshot to the audit log
+// during shutdown, so a drained daemon leaves a replayable account of sweep
+// progress (done/outstanding/pending per campaign plus the aggregate summary).
+func (s *Server) drainCampaigns() {
+	s.mu.Lock()
+	camps := make([]*campaignState, 0, len(s.campOrder))
+	for _, id := range s.campOrder {
+		camps = append(camps, s.campaigns[id])
+	}
+	s.mu.Unlock()
+	for _, c := range camps {
+		c.mu.Lock()
+		st := c.statusLocked(true)
+		c.mu.Unlock()
+		detail, err := json.Marshal(st)
+		if err != nil {
+			detail = []byte(`{}`)
+		}
+		s.audit.record("campaign-drain", c.id, st.State, string(detail))
+	}
+}

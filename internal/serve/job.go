@@ -58,6 +58,10 @@ type JobRequest struct {
 	// an overrun fails the job with reason "deadline-exceeded" but keeps its
 	// partial metrics.
 	TimeoutMillis int64 `json:"timeoutMillis,omitempty"`
+	// Priority selects the admission class: "high" (reserved queue headroom,
+	// admitted even when normal admission is full), "normal" (default) or
+	// "low" (refused first under load; the class campaign children run at).
+	Priority string `json:"priority,omitempty"`
 }
 
 // buildConfig resolves the request's system description.
@@ -101,6 +105,9 @@ func (r *JobRequest) validate() error {
 		if w.Threads < 0 || w.Blocks < 0 {
 			return fmt.Errorf("workload %q: negative threads/blocks", w.Name)
 		}
+	}
+	if _, err := parsePriority(r.Priority); err != nil {
+		return err
 	}
 	if _, err := r.buildConfig(); err != nil {
 		return err
@@ -178,6 +185,12 @@ type JobStatus struct {
 	Started   time.Time `json:"started,omitzero"`
 	Finished  time.Time `json:"finished,omitzero"`
 	Error     string    `json:"error,omitempty"`
+	// Priority is the job's admission class.
+	Priority string `json:"priority"`
+	// Campaign and Point identify a campaign child's parent sweep and its
+	// index in the expansion (absent on interactive jobs).
+	Campaign string `json:"campaign,omitempty"`
+	Point    *int   `json:"point,omitempty"`
 	// Progress is present while the job is running.
 	Progress *JobProgress `json:"progress,omitempty"`
 }
@@ -186,6 +199,12 @@ type JobStatus struct {
 type job struct {
 	id  string
 	req *JobRequest
+	// class is the admission class (classHigh/Normal/Low); camp and point link
+	// a campaign child to its parent sweep (camp == nil, point == -1 for
+	// interactive jobs). All three are fixed at admission.
+	class int
+	camp  *campaignState
+	point int
 
 	mu        sync.Mutex
 	state     string
@@ -218,6 +237,12 @@ func (j *job) status() JobStatus {
 		Submitted: j.submitted,
 		Started:   j.started,
 		Finished:  j.finished,
+		Priority:  classNames[j.class],
+	}
+	if j.camp != nil {
+		st.Campaign = j.camp.id
+		point := j.point
+		st.Point = &point
 	}
 	if j.result != nil {
 		st.Error = j.result.Error

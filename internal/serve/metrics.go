@@ -26,11 +26,15 @@ type metrics struct {
 	cancels    uint64
 	jobsTotal  map[string]uint64 // terminal state -> count
 	reused     uint64
+	results    uint64 // rows filed into the result store
 	latency    map[latencyKey]*telemetry.Histogram
 	running    map[*telemetry.Probe]struct{}
 	completed  telemetry.Totals
 	inflight   int
 	maxVariant int // cap on distinct latency series, guarding label cardinality
+	// ewmaLatency tracks recent job service latency (seconds; 0 until the
+	// first job finishes) and feeds the queue-state-derived Retry-After.
+	ewmaLatency float64
 }
 
 // latencyKey labels one job-latency histogram: terminal outcome plus the
@@ -114,6 +118,11 @@ func (m *metrics) jobDone(state, shape string, dur time.Duration, wasReused bool
 	if wasReused {
 		m.reused++
 	}
+	if sec := dur.Seconds(); m.ewmaLatency == 0 {
+		m.ewmaLatency = sec
+	} else {
+		m.ewmaLatency = 0.8*m.ewmaLatency + 0.2*sec
+	}
 	h := m.latency[key]
 	if h == nil {
 		if len(m.latency) >= m.maxVariant {
@@ -128,6 +137,20 @@ func (m *metrics) jobDone(state, shape string, dur time.Duration, wasReused bool
 	}
 	m.mu.Unlock()
 	h.Observe(dur.Seconds())
+}
+
+// avgLatencySeconds reports the latency EWMA (0 until a job has finished).
+func (m *metrics) avgLatencySeconds() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ewmaLatency
+}
+
+// resultFiled counts one row filed into the result store.
+func (m *metrics) resultFiled() {
+	m.mu.Lock()
+	m.results++
+	m.mu.Unlock()
 }
 
 // engineAggregate sums completed totals with every live probe's current
@@ -156,6 +179,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	inflight := m.inflight
 	cancels := m.cancels
 	reused := m.reused
+	results := m.results
 	sheds := make(map[string]uint64, len(m.sheds))
 	for k, v := range m.sheds {
 		sheds[k] = v
@@ -171,6 +195,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.mu.Unlock()
 	ps := s.pool.stats()
 	arenaBytes := s.pool.arenaBytes()
+	classDepths := s.sched.classDepths()
+	storeRows, storeEvicted := s.store.stats()
+	s.mu.Lock()
+	jobsEvicted := s.evicted
+	camps := make([]*campaignState, 0, len(s.campOrder))
+	for _, id := range s.campOrder {
+		camps = append(camps, s.campaigns[id])
+	}
+	s.mu.Unlock()
+	campStates := map[string]int{"running": 0, "done": 0, "cancelled": 0}
+	var campPointsDone uint64
+	for _, c := range camps {
+		c.mu.Lock()
+		campStates[c.stateName()]++
+		campPointsDone += uint64(c.done)
+		c.mu.Unlock()
+	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	pw := telemetry.NewPromWriter(w)
@@ -179,9 +220,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pw.Family("zsimd_uptime_seconds", "gauge", "Seconds since the server started.")
 	pw.Sample("zsimd_uptime_seconds", nil, uptime)
 	pw.Family("zsimd_queue_depth", "gauge", "Jobs waiting in the admission queue.")
-	pw.UintSample("zsimd_queue_depth", nil, uint64(len(s.queue)))
+	pw.UintSample("zsimd_queue_depth", nil, uint64(classDepths[classHigh]+classDepths[classNormal]+classDepths[classLow]))
 	pw.Family("zsimd_queue_capacity", "gauge", "Admission queue capacity.")
-	pw.UintSample("zsimd_queue_capacity", nil, uint64(cap(s.queue)))
+	pw.UintSample("zsimd_queue_capacity", nil, uint64(s.opts.QueueDepth))
+	pw.Family("zsimd_queue_class_depth", "gauge", "Jobs waiting in the admission queue, by priority class.")
+	for class, name := range classNames {
+		pw.UintSample("zsimd_queue_class_depth", []telemetry.Label{{Name: "class", Value: name}}, uint64(classDepths[class]))
+	}
 	pw.Family("zsimd_workers", "gauge", "Configured simulation workers.")
 	pw.UintSample("zsimd_workers", nil, uint64(s.opts.Workers))
 	pw.Family("zsimd_jobs_inflight", "gauge", "Jobs currently executing on workers.")
@@ -198,6 +243,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	pw.Family("zsimd_cancels_total", "counter", "Accepted cancellation requests.")
 	pw.UintSample("zsimd_cancels_total", nil, cancels)
+	pw.Family("zsimd_jobs_evicted_total", "counter", "Terminal jobs evicted from retention (archived in store/audit).")
+	pw.UintSample("zsimd_jobs_evicted_total", nil, jobsEvicted)
+
+	// Campaign and result-store metrics.
+	pw.Family("zsimd_campaigns", "gauge", "Campaigns by lifecycle state.")
+	for _, st := range []string{"cancelled", "done", "running"} {
+		pw.UintSample("zsimd_campaigns", []telemetry.Label{{Name: "state", Value: st}}, uint64(campStates[st]))
+	}
+	pw.Family("zsimd_campaign_points_done_total", "counter", "Campaign points finished across all campaigns.")
+	pw.UintSample("zsimd_campaign_points_done_total", nil, campPointsDone)
+	pw.Family("zsimd_results_total", "counter", "Result rows filed into the store.")
+	pw.UintSample("zsimd_results_total", nil, results)
+	pw.Family("zsimd_store_rows", "gauge", "Result rows currently retained in the store ring.")
+	pw.UintSample("zsimd_store_rows", nil, uint64(storeRows))
+	pw.Family("zsimd_store_evictions_total", "counter", "Result rows evicted from the store ring (audit log keeps them).")
+	pw.UintSample("zsimd_store_evictions_total", nil, storeEvicted)
 
 	pw.Family("zsimd_job_latency_seconds", "histogram", "Job wall time from start to finish, by outcome and config shape.")
 	keys := make([]latencyKey, 0, len(lat))
@@ -229,6 +290,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pw.UintSample("zsimd_pool_returns_total", nil, ps.Returns)
 	pw.Family("zsimd_pool_discards_total", "counter", "Simulators discarded instead of pooled.")
 	pw.UintSample("zsimd_pool_discards_total", nil, ps.Discards)
+	pw.Family("zsimd_pool_prewarmed_total", "counter", "Simulators parked by startup prewarming.")
+	pw.UintSample("zsimd_pool_prewarmed_total", nil, ps.Prewarmed)
+	pw.Family("zsimd_pool_expiries_total", "counter", "Pooled simulators released by idle expiry.")
+	pw.UintSample("zsimd_pool_expiries_total", nil, ps.Expiries)
 	pw.Family("zsimd_pool_hit_rate", "gauge", "Warm-pool hit rate over all checkouts.")
 	pw.Sample("zsimd_pool_hit_rate", nil, ps.HitRate)
 	pw.Family("zsimd_pool_arena_bytes", "gauge", "Arena bytes held by retained warm simulators.")

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"sync"
+	"time"
 
 	"zsim"
 )
@@ -18,18 +19,33 @@ import (
 // the number per shape (perShape), so a burst of one-off shapes cannot pin
 // unbounded memory. get and put are O(1) under one mutex; the simulators
 // themselves are only ever used by the single worker that checked them out.
+//
+// Entries remember when they were parked; the server's janitor calls
+// expireIdle so shapes that stopped arriving release their arena memory
+// instead of pinning it for the daemon's lifetime. Prewarming (parking
+// freshly built simulators before any job arrives) uses the same slots but
+// its own counter, so /healthz can account for every entry:
+// occupancy == returns + prewarmed − hits − expiries.
 type simPool struct {
 	mu       sync.Mutex
 	size     int // total retained simulators across shapes
 	perShape int // retained simulators per shape key
-	shapes   map[uint64][]*zsim.Simulator
+	shapes   map[uint64][]poolEntry
 	total    int
 	closed   bool
 
-	hits     uint64
-	misses   uint64
-	returns  uint64
-	discards uint64
+	hits      uint64
+	misses    uint64
+	returns   uint64
+	discards  uint64
+	prewarmed uint64
+	expiries  uint64
+}
+
+// poolEntry is one parked simulator and the time it was parked.
+type poolEntry struct {
+	sim  *zsim.Simulator
+	last time.Time
 }
 
 // poolStats is the wire form of the pool's occupancy and effectiveness
@@ -44,6 +60,8 @@ type poolStats struct {
 	Misses    uint64  `json:"misses"`
 	Returns   uint64  `json:"returns"`
 	Discards  uint64  `json:"discards"`
+	Prewarmed uint64  `json:"prewarmed"`
+	Expiries  uint64  `json:"expiries"`
 	HitRate   float64 `json:"hitRate"`
 }
 
@@ -63,7 +81,7 @@ func newSimPool(size, perShape int) *simPool {
 	return &simPool{
 		size:     size,
 		perShape: perShape,
-		shapes:   make(map[uint64][]*zsim.Simulator),
+		shapes:   make(map[uint64][]poolEntry),
 	}
 }
 
@@ -75,17 +93,17 @@ func (p *simPool) get(key uint64) *zsim.Simulator {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	sims := p.shapes[key]
-	if len(sims) == 0 {
+	entries := p.shapes[key]
+	if len(entries) == 0 {
 		p.misses++
 		return nil
 	}
-	sim := sims[len(sims)-1]
-	sims[len(sims)-1] = nil
-	if len(sims) == 1 {
+	sim := entries[len(entries)-1].sim
+	entries[len(entries)-1] = poolEntry{}
+	if len(entries) == 1 {
 		delete(p.shapes, key)
 	} else {
-		p.shapes[key] = sims[:len(sims)-1]
+		p.shapes[key] = entries[:len(entries)-1]
 	}
 	p.total--
 	p.hits++
@@ -96,6 +114,16 @@ func (p *simPool) get(key uint64) *zsim.Simulator {
 // the pool retained it; on false (pool full, per-shape cap reached, or pool
 // closed) the caller must Close the simulator.
 func (p *simPool) put(key uint64, sim *zsim.Simulator) bool {
+	return p.park(key, sim, false)
+}
+
+// prewarm parks a freshly built simulator before any job ever requested its
+// shape, counted separately from job returns.
+func (p *simPool) prewarm(key uint64, sim *zsim.Simulator) bool {
+	return p.park(key, sim, true)
+}
+
+func (p *simPool) park(key uint64, sim *zsim.Simulator, warmup bool) bool {
 	if p == nil || sim == nil {
 		return false
 	}
@@ -105,10 +133,50 @@ func (p *simPool) put(key uint64, sim *zsim.Simulator) bool {
 		p.discards++
 		return false
 	}
-	p.shapes[key] = append(p.shapes[key], sim)
+	p.shapes[key] = append(p.shapes[key], poolEntry{sim: sim, last: time.Now()})
 	p.total++
-	p.returns++
+	if warmup {
+		p.prewarmed++
+	} else {
+		p.returns++
+	}
 	return true
+}
+
+// expireIdle closes every entry parked before the cutoff and reports how many
+// it released. Simulator Close (which tears down worker pools and arenas)
+// runs outside the pool lock.
+func (p *simPool) expireIdle(cutoff time.Time) int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	var victims []*zsim.Simulator
+	for key, entries := range p.shapes {
+		kept := entries[:0]
+		for _, e := range entries {
+			if e.last.Before(cutoff) {
+				victims = append(victims, e.sim)
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		for i := len(kept); i < len(entries); i++ {
+			entries[i] = poolEntry{}
+		}
+		if len(kept) == 0 {
+			delete(p.shapes, key)
+		} else {
+			p.shapes[key] = kept
+		}
+	}
+	p.total -= len(victims)
+	p.expiries += uint64(len(victims))
+	p.mu.Unlock()
+	for _, sim := range victims {
+		sim.Close()
+	}
+	return len(victims)
 }
 
 // stats snapshots the pool counters. Safe on a nil (disabled) pool.
@@ -128,6 +196,8 @@ func (p *simPool) stats() poolStats {
 		Misses:    p.misses,
 		Returns:   p.returns,
 		Discards:  p.discards,
+		Prewarmed: p.prewarmed,
+		Expiries:  p.expiries,
 	}
 	if lookups := p.hits + p.misses; lookups > 0 {
 		st.HitRate = float64(p.hits) / float64(lookups)
@@ -145,9 +215,9 @@ func (p *simPool) arenaBytes() uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	var total uint64
-	for _, sims := range p.shapes {
-		for _, sim := range sims {
-			_, b := sim.ArenaStats()
+	for _, entries := range p.shapes {
+		for _, e := range entries {
+			_, b := e.sim.ArenaStats()
 			total += b
 		}
 	}
@@ -163,13 +233,13 @@ func (p *simPool) close() {
 	}
 	p.mu.Lock()
 	shapes := p.shapes
-	p.shapes = make(map[uint64][]*zsim.Simulator)
+	p.shapes = make(map[uint64][]poolEntry)
 	p.total = 0
 	p.closed = true
 	p.mu.Unlock()
-	for _, sims := range shapes {
-		for _, sim := range sims {
-			sim.Close()
+	for _, entries := range shapes {
+		for _, e := range entries {
+			e.sim.Close()
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"sort"
@@ -23,9 +24,12 @@ type Options struct {
 	// Workers is the number of concurrent simulation workers (default 1).
 	// Each worker runs one job at a time through the zsim facade.
 	Workers int
-	// QueueDepth bounds the admission queue (default 16). When the queue is
-	// full, submissions are shed with 503 and a Retry-After hint instead of
-	// blocking or growing without bound.
+	// QueueDepth bounds the admission queue (default 16). Admission is
+	// class-aware: low-priority (campaign) jobs are refused once the queue is
+	// 3/4 full, normal jobs at capacity, and high-priority jobs get reserved
+	// headroom above capacity — so a saturating sweep cannot starve
+	// interactive submissions. Refused jobs are shed with 503 and a
+	// Retry-After derived from queue depth and observed job latency.
 	QueueDepth int
 	// JobTimeout is the default per-job wall-time budget (0 = unlimited).
 	// Individual requests can only tighten it, never extend it.
@@ -39,6 +43,21 @@ type Options struct {
 	// PoolPerShape bounds retained simulators per shape key (default 2 when
 	// pooling is enabled), so one hot shape cannot monopolize the pool.
 	PoolPerShape int
+	// PoolIdleExpiry releases pooled simulators whose shape stopped arriving:
+	// a simulator idle in the pool longer than this is closed and its arena
+	// memory freed. 0 disables expiry (long-lived daemons then pin memory for
+	// every shape they ever pooled).
+	PoolIdleExpiry time.Duration
+	// RetainJobs bounds how many terminal jobs stay addressable via
+	// GET /jobs/{id} (default 1024; negative = unlimited). Older terminal
+	// jobs are evicted — their compact rows remain queryable in the result
+	// store and the audit log keeps the full history.
+	RetainJobs int
+	// StoreSize bounds the in-memory result store ring (default 4096 rows).
+	StoreSize int
+	// MaxCampaignPoints bounds a single campaign expansion (default
+	// campaign.DefaultMaxPoints).
+	MaxCampaignPoints int
 	// Pprof mounts net/http/pprof under /debug/pprof/ (off by default: the
 	// profiling surface stays dark unless explicitly requested with -pprof).
 	Pprof bool
@@ -50,8 +69,10 @@ type Server struct {
 	opts    Options
 	mux     *http.ServeMux
 	audit   *auditLog
-	pool    *simPool // warm-simulator pool (nil when Options.PoolSize == 0)
-	metrics *metrics // /metrics scrape registry
+	pool    *simPool     // warm-simulator pool (nil when Options.PoolSize == 0)
+	metrics *metrics     // /metrics scrape registry
+	sched   *scheduler   // class-aware admission queue
+	store   *resultStore // queryable ring of recent result rows
 
 	baseCtx    context.Context // parent of every job context
 	baseCancel context.CancelFunc
@@ -60,8 +81,17 @@ type Server struct {
 	jobs     map[string]*job
 	order    []string // submission order, for stable listings
 	seq      int
-	queue    chan *job
 	draining bool
+	// finished lists terminal job IDs oldest-first; retention evicts from its
+	// head once it outgrows Options.RetainJobs.
+	finished []string
+	evicted  uint64
+
+	campaigns map[string]*campaignState
+	campOrder []string
+	campSeq   int
+	// pumpMu serializes campaign child release (see pumpCampaigns).
+	pumpMu sync.Mutex
 
 	workers sync.WaitGroup
 }
@@ -74,6 +104,9 @@ func New(opts Options) *Server {
 	if opts.QueueDepth <= 0 {
 		opts.QueueDepth = 16
 	}
+	if opts.RetainJobs == 0 {
+		opts.RetainJobs = 1024
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:       opts,
@@ -81,15 +114,20 @@ func New(opts Options) *Server {
 		audit:      newAuditLog(opts.Audit),
 		pool:       newSimPool(opts.PoolSize, opts.PoolPerShape),
 		metrics:    newMetrics(),
+		sched:      newScheduler(opts.QueueDepth),
+		store:      newResultStore(opts.StoreSize),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*job),
-		queue:      make(chan *job, opts.QueueDepth),
+		campaigns:  make(map[string]*campaignState),
 	}
 	s.routes()
 	s.workers.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
 		go s.worker()
+	}
+	if s.pool != nil && opts.PoolIdleExpiry > 0 {
+		go s.poolJanitor(opts.PoolIdleExpiry)
 	}
 	s.audit.record("serve", "", "", fmt.Sprintf("workers=%d queue=%d pool=%d", opts.Workers, opts.QueueDepth, opts.PoolSize))
 	return s
@@ -101,6 +139,11 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("POST /campaigns", s.handleCampaignSubmit)
+	s.mux.HandleFunc("GET /campaigns", s.handleCampaignList)
+	s.mux.HandleFunc("GET /campaigns/{id}", s.handleCampaignStatus)
+	s.mux.HandleFunc("POST /campaigns/{id}/cancel", s.handleCampaignCancel)
+	s.mux.HandleFunc("GET /results", s.handleResults)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -129,6 +172,36 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// retryAfterSeconds derives the shed Retry-After hint from queue state: the
+// expected time to drain the current backlog plus one job, using the EWMA of
+// observed job latency (1s floor before any job has finished). Clamped to
+// [1, 60] so clients neither hammer nor stall.
+func (s *Server) retryAfterSeconds() int {
+	avg := s.metrics.avgLatencySeconds()
+	if avg <= 0 {
+		avg = 1
+	}
+	backlog := s.sched.depth() + s.metrics.inflightCount()
+	est := avg * float64(backlog+1) / float64(s.opts.Workers)
+	secs := int(math.Ceil(est))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// shedResponse writes a 503 with the queue-state-derived Retry-After, and
+// records the shed in metrics and the audit log.
+func (s *Server) shedResponse(w http.ResponseWriter, reason, jobID, msg string) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: msg})
+	s.metrics.shed(reason)
+	s.audit.record("shed", jobID, "", msg)
+}
+
 // handleSubmit admits a job or sheds it. Admission is all-or-nothing under
 // the server lock: the job is registered and enqueued atomically, so a
 // submitted job is always observable via GET /jobs/{id} and always reaches a
@@ -145,14 +218,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
+	class, _ := parsePriority(req.Priority) // validate() already vetted it
 
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		w.Header().Set("Retry-After", "5")
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "shutting down"})
-		s.metrics.shed("draining")
-		s.audit.record("shed", "", "", "draining")
+		s.shedResponse(w, "draining", "", "shutting down")
 		return
 	}
 	s.seq++
@@ -161,22 +232,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		req:       &req,
 		state:     StateQueued,
 		submitted: time.Now().UTC(),
+		class:     class,
+		point:     -1,
 	}
-	select {
-	case s.queue <- j:
-		s.jobs[j.id] = j
-		s.order = append(s.order, j.id)
-	default:
+	if !s.sched.enqueue(j, class) {
 		// The job was never admitted (not registered, not queued), but its ID
 		// stays burned so the shed audit record is attributable and IDs never
 		// repeat.
 		s.mu.Unlock()
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "queue full"})
-		s.metrics.shed("queue_full")
-		s.audit.record("shed", j.id, "", "queue full")
+		s.shedResponse(w, "queue_full", j.id, "queue full")
 		return
 	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
 	s.mu.Unlock()
 
 	s.audit.record("submit", j.id, StateQueued, "")
@@ -190,12 +258,27 @@ func (s *Server) lookup(r *http.Request) (*job, bool) {
 	return j, ok
 }
 
+// missingJob answers a lookup miss: 410 for jobs evicted by retention (their
+// row survives in /results and the audit log), 404 for IDs never admitted.
+func (s *Server) missingJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.store.has(id) {
+		writeJSON(w, http.StatusGone, errorBody{
+			Error: fmt.Sprintf("job %s evicted from retention; see /results?job=%s or the audit log", id, id),
+		})
+		return
+	}
+	writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+}
+
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	ids := append([]string(nil), s.order...)
 	jobs := make([]*job, 0, len(ids))
 	for _, id := range ids {
-		jobs = append(jobs, s.jobs[id])
+		if j := s.jobs[id]; j != nil { // evicted IDs stay in order until compaction
+			jobs = append(jobs, j)
+		}
 	}
 	s.mu.Unlock()
 	out := make([]JobStatus, 0, len(jobs))
@@ -209,7 +292,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+		s.missingJob(w, r)
 		return
 	}
 	writeJSON(w, http.StatusOK, j.status())
@@ -218,7 +301,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+		s.missingJob(w, r)
 		return
 	}
 	j.mu.Lock()
@@ -235,7 +318,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+		s.missingJob(w, r)
 		return
 	}
 	if !j.requestCancel() {
@@ -248,8 +331,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // healthBody is the /healthz payload: liveness, uptime, queue and worker
-// occupancy, plus the warm-pool occupancy and hit-rate counters (all zero
-// with pooling disabled).
+// occupancy, warm-pool counters, result-store occupancy and job retention.
 type healthBody struct {
 	Status        string    `json:"status"`
 	Uptime        string    `json:"uptime"`
@@ -258,17 +340,33 @@ type healthBody struct {
 	InFlight      int       `json:"inFlight"`
 	Workers       int       `json:"workers"`
 	Pool          poolStats `json:"pool"`
+	Campaigns     int       `json:"campaigns"`
+	StoreRows     int       `json:"storeRows"`
+	StoreEvicted  uint64    `json:"storeEvicted"`
+	JobsRetained  int       `json:"jobsRetained"`
+	JobsEvicted   uint64    `json:"jobsEvicted"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	retained := len(s.jobs)
+	evicted := s.evicted
+	ncamp := len(s.campaigns)
+	s.mu.Unlock()
+	rows, storeEvicted := s.store.stats()
 	writeJSON(w, http.StatusOK, healthBody{
 		Status:        "ok",
 		Uptime:        s.metrics.uptimeString(),
-		QueueDepth:    len(s.queue),
-		QueueCapacity: cap(s.queue),
+		QueueDepth:    s.sched.depth(),
+		QueueCapacity: s.opts.QueueDepth,
 		InFlight:      s.metrics.inflightCount(),
 		Workers:       s.opts.Workers,
 		Pool:          s.pool.stats(),
+		Campaigns:     ncamp,
+		StoreRows:     rows,
+		StoreEvicted:  storeEvicted,
+		JobsRetained:  retained,
+		JobsEvicted:   evicted,
 	})
 }
 
@@ -286,12 +384,64 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
-// worker drains the queue until Shutdown closes it.
+// worker drains the scheduler until Shutdown closes it.
 func (s *Server) worker() {
 	defer s.workers.Done()
-	for j := range s.queue {
+	for {
+		j, ok := s.sched.next()
+		if !ok {
+			return
+		}
 		s.runJob(j)
 	}
+}
+
+// poolJanitor periodically expires pool entries idle longer than ttl, until
+// shutdown cancels the base context.
+func (s *Server) poolJanitor(ttl time.Duration) {
+	tick := ttl / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			s.pool.expireIdle(time.Now().Add(-ttl))
+		}
+	}
+}
+
+// Prewarm constructs a warm simulator for each configuration and parks it in
+// the pool, so a daemon starts with its expected shapes already hot. Configs
+// that exceed pool capacity are built and immediately discarded; the count of
+// actually pooled simulators is returned. No-op with pooling disabled.
+func (s *Server) Prewarm(cfgs []*zsim.Config) (int, error) {
+	if s.pool == nil {
+		return 0, nil
+	}
+	pooled := 0
+	for i, c := range cfgs {
+		cfg := *c // copy: Validate mutates defaults in place
+		if err := cfg.Validate(); err != nil {
+			return pooled, fmt.Errorf("prewarm config %d: %w", i, err)
+		}
+		sim, err := zsim.New(&cfg)
+		if err != nil {
+			return pooled, fmt.Errorf("prewarm config %d: %w", i, err)
+		}
+		sim.SetReusable(true)
+		if s.pool.prewarm(cfg.ShapeKey(), sim) {
+			pooled++
+		} else {
+			sim.Close()
+		}
+	}
+	s.audit.record("prewarm", "", "", fmt.Sprintf("configs=%d pooled=%d", len(cfgs), pooled))
+	return pooled, nil
 }
 
 // runJob executes one job end to end: transition to running, execute under a
@@ -306,9 +456,11 @@ func (s *Server) runJob(j *job) {
 	if j.cancelled {
 		j.state = StateCancelled
 		j.finished = time.Now().UTC()
-		j.result = &JobResult{Error: "cancelled before start", Failure: &Failure{Reason: runctl.ReasonCancelled.String()}}
+		result := &JobResult{Error: "cancelled before start", Failure: &Failure{Reason: runctl.ReasonCancelled.String()}}
+		j.result = result
 		j.mu.Unlock()
 		s.audit.record("finish", j.id, StateCancelled, "cancelled while queued")
+		s.jobFinished(j, StateCancelled, result, 0, 0)
 		s.audit.flush()
 		return
 	}
@@ -330,7 +482,8 @@ func (s *Server) runJob(j *job) {
 	j.cancel = nil
 	j.result = result
 	j.mu.Unlock()
-	s.metrics.jobDone(state, shapeLabel(shape), time.Since(started), reused)
+	dur := time.Since(started)
+	s.metrics.jobDone(state, shapeLabel(shape), dur, reused)
 	detail := result.Error
 	if reused {
 		detail = "reused=true"
@@ -339,7 +492,74 @@ func (s *Server) runJob(j *job) {
 		}
 	}
 	s.audit.record("finish", j.id, state, detail)
+	s.jobFinished(j, state, result, shape, dur)
 	s.audit.flush()
+}
+
+// jobFinished is the single post-terminal hook: it files the job's compact
+// result row (store + audit archive), folds campaign children into their
+// campaign, enforces job retention, and releases follow-on campaign work.
+// Called from runJob with no locks held.
+func (s *Server) jobFinished(j *job, state string, result *JobResult, shape uint64, dur time.Duration) {
+	row := ResultRow{
+		Job:      j.id,
+		Shape:    shapeLabel(shape),
+		Outcome:  state,
+		Seconds:  dur.Seconds(),
+		Finished: time.Now().UTC(),
+	}
+	if result != nil {
+		row.Reused = result.Reused
+		if m := result.Metrics; m != nil {
+			row.Cycles = m.Cycles
+			row.Instructions = m.Instrs
+			row.IPC = m.IPC
+			row.SimMIPS = m.SimMIPS
+		}
+	}
+	if j.camp != nil {
+		row.Campaign = j.camp.id
+		point := j.point
+		row.Point = &point
+	}
+	s.store.insert(row)
+	s.audit.recordResult(&row)
+	s.metrics.resultFiled()
+	if j.camp != nil {
+		s.campaignChildDone(j, state, result, dur)
+	}
+	s.evictOldJobs(j.id)
+	s.pumpCampaigns()
+}
+
+// evictOldJobs appends the newly terminal job to the finish-order list and
+// evicts the oldest terminal jobs beyond the retention bound. Eviction only
+// drops the in-memory job record — the result store and audit log remain.
+func (s *Server) evictOldJobs(id string) {
+	retain := s.opts.RetainJobs
+	s.mu.Lock()
+	s.finished = append(s.finished, id)
+	if retain >= 0 {
+		for len(s.finished) > retain {
+			victim := s.finished[0]
+			s.finished = s.finished[1:]
+			if _, ok := s.jobs[victim]; ok {
+				delete(s.jobs, victim)
+				s.evicted++
+			}
+		}
+	}
+	// Compact the submission-order list once evictions leave it mostly holes.
+	if len(s.order) > 2*(len(s.jobs)+16) {
+		kept := make([]string, 0, len(s.jobs))
+		for _, jid := range s.order {
+			if _, ok := s.jobs[jid]; ok {
+				kept = append(kept, jid)
+			}
+		}
+		s.order = kept
+	}
+	s.mu.Unlock()
 }
 
 // execute builds (or checks out of the warm pool) and runs the simulation
@@ -496,8 +716,9 @@ func classify(res *zsim.Result, err error) (*JobResult, string) {
 // (submissions get 503, readyz flips to draining), queued and in-flight jobs
 // get the grace period to finish, and whatever is still running after the
 // grace is cooperatively cancelled — those jobs end Cancelled with partial
-// metrics rather than being lost. The audit log is flushed and synced before
-// Shutdown returns. It is idempotent; the first call wins.
+// metrics rather than being lost. Campaign progress is persisted to the audit
+// log before it closes. The audit log is flushed and synced before Shutdown
+// returns. It is idempotent; the first call wins.
 func (s *Server) Shutdown(grace time.Duration) {
 	s.mu.Lock()
 	if s.draining {
@@ -506,8 +727,8 @@ func (s *Server) Shutdown(grace time.Duration) {
 		return
 	}
 	s.draining = true
-	close(s.queue) // workers exit after draining what was admitted
 	s.mu.Unlock()
+	s.sched.close() // workers exit after draining what was admitted
 	s.audit.record("shutdown", "", "", fmt.Sprintf("grace=%s", grace))
 
 	done := make(chan struct{})
@@ -527,6 +748,7 @@ func (s *Server) Shutdown(grace time.Duration) {
 	}
 	s.baseCancel()
 	s.pool.close()
+	s.drainCampaigns()
 	s.audit.record("drained", "", "", strconv.Itoa(s.jobCount()))
 	s.audit.close()
 }

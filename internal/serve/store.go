@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ResultRow is one finished job's row in the queryable result store: the
+// compact, indexed slice of the job result that campaign queries and scaling
+// analyses need, without the full metrics tree. Every row is also appended to
+// the JSONL audit stream (event "result"), which is the store's durable
+// archive — the in-memory table is a bounded ring over the most recent rows.
+type ResultRow struct {
+	Job      string `json:"job"`
+	Campaign string `json:"campaign,omitempty"`
+	// Point is the job's campaign point index (campaign jobs only).
+	Point *int `json:"point,omitempty"`
+	// Shape is the config's shape key in hex ("none" if no config ever built).
+	Shape   string `json:"shape"`
+	Outcome string `json:"outcome"`
+	Reused  bool   `json:"reused,omitempty"`
+	// Seconds is the job's service latency (start to finish).
+	Seconds float64 `json:"seconds"`
+	// Simulated metrics (zero for jobs that never ran).
+	Cycles       uint64    `json:"cycles,omitempty"`
+	Instructions uint64    `json:"instructions,omitempty"`
+	IPC          float64   `json:"ipc,omitempty"`
+	SimMIPS      float64   `json:"simMIPS,omitempty"`
+	Finished     time.Time `json:"finished"`
+}
+
+// resultStore is a bounded ring of the most recent result rows, indexed for
+// the GET /results query surface. Rows beyond the capacity evict oldest-first;
+// the audit log keeps the full history.
+type resultStore struct {
+	mu        sync.Mutex
+	capacity  int
+	rows      []ResultRow // ring buffer, rows[next] is the oldest once full
+	next      int
+	full      bool
+	evictions uint64
+}
+
+func newResultStore(capacity int) *resultStore {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &resultStore{capacity: capacity}
+}
+
+func (st *resultStore) insert(row ResultRow) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.rows) < st.capacity {
+		st.rows = append(st.rows, row)
+		return
+	}
+	st.rows[st.next] = row
+	st.next = (st.next + 1) % st.capacity
+	st.full = true
+	st.evictions++
+}
+
+// resultFilter selects rows; zero fields match everything.
+type resultFilter struct {
+	campaign string
+	shape    string
+	outcome  string
+	job      string
+	limit    int
+}
+
+// query returns matching rows newest-first, up to the filter's limit.
+func (st *resultStore) query(f resultFilter) []ResultRow {
+	if f.limit <= 0 {
+		f.limit = 100
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]ResultRow, 0, min(f.limit, len(st.rows)))
+	// Walk newest to oldest: backwards from next-1 through the ring.
+	n := len(st.rows)
+	for i := 1; i <= n && len(out) < f.limit; i++ {
+		idx := (st.next - i + n) % n
+		// Before the ring wraps, rows is append-ordered and next stays 0, so
+		// the newest row is the last element.
+		if !st.full {
+			idx = n - i
+		}
+		row := &st.rows[idx]
+		if f.campaign != "" && row.Campaign != f.campaign {
+			continue
+		}
+		if f.shape != "" && row.Shape != f.shape {
+			continue
+		}
+		if f.outcome != "" && row.Outcome != f.outcome {
+			continue
+		}
+		if f.job != "" && row.Job != f.job {
+			continue
+		}
+		out = append(out, *row)
+	}
+	return out
+}
+
+// has reports whether any stored row belongs to the given job id.
+func (st *resultStore) has(jobID string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for i := range st.rows {
+		if st.rows[i].Job == jobID {
+			return true
+		}
+	}
+	return false
+}
+
+func (st *resultStore) stats() (rows int, evictions uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.rows), st.evictions
+}
+
+// handleResults serves GET /results: the queryable view over recent finished
+// jobs. Filters: ?campaign=, ?shape= (hex key), ?outcome=, ?job=, ?limit=.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	f := resultFilter{
+		campaign: q.Get("campaign"),
+		shape:    q.Get("shape"),
+		outcome:  q.Get("outcome"),
+		job:      q.Get("job"),
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad limit"})
+			return
+		}
+		f.limit = n
+	}
+	writeJSON(w, http.StatusOK, s.store.query(f))
+}

@@ -1,0 +1,115 @@
+package serve
+
+// Internal tests for the bounded result store: ring eviction, newest-first
+// queries, filters, and the has() probe backing 410 Gone responses.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func row(i int, campaign, outcome string) ResultRow {
+	return ResultRow{
+		Job:      fmt.Sprintf("job-%d", i),
+		Campaign: campaign,
+		Shape:    fmt.Sprintf("%016x", i%2),
+		Outcome:  outcome,
+		Seconds:  float64(i),
+		Finished: time.Unix(int64(i), 0),
+	}
+}
+
+func TestStoreNewestFirst(t *testing.T) {
+	st := newResultStore(10)
+	for i := 0; i < 5; i++ {
+		st.insert(row(i, "", "succeeded"))
+	}
+	got := st.query(resultFilter{})
+	if len(got) != 5 {
+		t.Fatalf("got %d rows", len(got))
+	}
+	for i, r := range got {
+		want := fmt.Sprintf("job-%d", 4-i)
+		if r.Job != want {
+			t.Fatalf("row %d = %s, want %s", i, r.Job, want)
+		}
+	}
+}
+
+func TestStoreRingEviction(t *testing.T) {
+	st := newResultStore(4)
+	for i := 0; i < 10; i++ {
+		st.insert(row(i, "", "succeeded"))
+	}
+	rows, evictions := st.stats()
+	if rows != 4 || evictions != 6 {
+		t.Fatalf("stats = %d rows / %d evictions, want 4 / 6", rows, evictions)
+	}
+	got := st.query(resultFilter{})
+	if len(got) != 4 {
+		t.Fatalf("got %d rows", len(got))
+	}
+	// Only the 4 newest survive, newest first.
+	for i, r := range got {
+		want := fmt.Sprintf("job-%d", 9-i)
+		if r.Job != want {
+			t.Fatalf("row %d = %s, want %s", i, r.Job, want)
+		}
+	}
+	if st.has("job-3") {
+		t.Fatalf("evicted job still reported present")
+	}
+	if !st.has("job-9") {
+		t.Fatalf("retained job reported absent")
+	}
+}
+
+func TestStoreFilters(t *testing.T) {
+	st := newResultStore(100)
+	for i := 0; i < 20; i++ {
+		camp := ""
+		if i%2 == 0 {
+			camp = "campaign-1"
+		}
+		outcome := "succeeded"
+		if i%5 == 0 {
+			outcome = "failed"
+		}
+		st.insert(row(i, camp, outcome))
+	}
+	if got := st.query(resultFilter{campaign: "campaign-1"}); len(got) != 10 {
+		t.Fatalf("campaign filter: %d rows, want 10", len(got))
+	}
+	if got := st.query(resultFilter{outcome: "failed"}); len(got) != 4 {
+		t.Fatalf("outcome filter: %d rows, want 4", len(got))
+	}
+	if got := st.query(resultFilter{campaign: "campaign-1", outcome: "failed"}); len(got) != 2 {
+		t.Fatalf("combined filter: %d rows, want 2 (i = 0 and 10)", len(got))
+	}
+	if got := st.query(resultFilter{job: "job-7"}); len(got) != 1 || got[0].Job != "job-7" {
+		t.Fatalf("job filter: %+v", got)
+	}
+	if got := st.query(resultFilter{shape: fmt.Sprintf("%016x", 1)}); len(got) != 10 {
+		t.Fatalf("shape filter: %d rows, want 10", len(got))
+	}
+	if got := st.query(resultFilter{limit: 3}); len(got) != 3 || got[0].Job != "job-19" {
+		t.Fatalf("limit: %d rows, first %s", len(got), got[0].Job)
+	}
+	if got := st.query(resultFilter{campaign: "no-such"}); len(got) != 0 {
+		t.Fatalf("miss filter returned rows: %v", got)
+	}
+}
+
+// TestStoreQueryAfterWrap: newest-first ordering must hold when the ring has
+// wrapped and next points mid-slice.
+func TestStoreQueryAfterWrap(t *testing.T) {
+	st := newResultStore(4)
+	for i := 0; i < 6; i++ { // next == 2 after wrap
+		st.insert(row(i, "", "succeeded"))
+	}
+	got := st.query(resultFilter{limit: 2})
+	if len(got) != 2 || got[0].Job != "job-5" || got[1].Job != "job-4" {
+		t.Fatalf("post-wrap order: %+v", got)
+	}
+}

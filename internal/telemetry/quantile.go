@@ -1,0 +1,41 @@
+package telemetry
+
+import "sort"
+
+// Quantile returns the q-quantile (0 <= q <= 1) of samples by linear
+// interpolation between closest ranks. The input need not be sorted; it is
+// not modified. Returns 0 for an empty slice.
+func Quantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	return QuantileSorted(sorted, q)
+}
+
+// QuantileSorted is Quantile over an already ascending-sorted slice, without
+// copying. Callers aggregating many quantiles over one sample set should sort
+// once and use this.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	// Linear interpolation between closest ranks (the "R-7" estimate used by
+	// numpy's default percentile).
+	pos := q * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
